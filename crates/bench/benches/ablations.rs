@@ -1,0 +1,62 @@
+//! Criterion wrappers over the ablation studies (reduced scale), so
+//! `cargo bench` exercises every sensitivity sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flov_bench::ablations;
+use std::hint::black_box;
+
+const CYCLES: u64 = 5_000;
+
+fn ab_escape_timeout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_escape_timeout");
+    g.sample_size(10);
+    g.bench_function("4-point sweep (reduced)", |b| {
+        b.iter(|| black_box(ablations::ablate_escape_timeout(CYCLES)))
+    });
+    g.finish();
+}
+
+fn ab_idle_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_idle_threshold");
+    g.sample_size(10);
+    g.bench_function("4-point sweep (reduced)", |b| {
+        b.iter(|| black_box(ablations::ablate_idle_threshold(CYCLES)))
+    });
+    g.finish();
+}
+
+fn ab_rp_stall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rp_stall");
+    g.sample_size(10);
+    g.bench_function("3-point sweep (reduced)", |b| {
+        b.iter(|| black_box(ablations::ablate_rp_stall(CYCLES * 4)))
+    });
+    g.finish();
+}
+
+fn ab_buffers_vcs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_buffers_and_vcs");
+    g.sample_size(10);
+    g.bench_function("buffer depth sweep (reduced)", |b| {
+        b.iter(|| black_box(ablations::ablate_buffer_depth(CYCLES)))
+    });
+    g.bench_function("vc count sweep (reduced)", |b| {
+        b.iter(|| black_box(ablations::ablate_vc_count(CYCLES)))
+    });
+    g.finish();
+}
+
+fn ab_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_policies");
+    g.sample_size(10);
+    g.bench_function("rp policy sweep (reduced)", |b| {
+        b.iter(|| black_box(ablations::ablate_rp_policy(CYCLES)))
+    });
+    g.bench_function("handshake rtt sweep (reduced)", |b| {
+        b.iter(|| black_box(ablations::ablate_handshake_rtt(CYCLES)))
+    });
+    g.finish();
+}
+
+criterion_group!(ablations_group, ab_escape_timeout, ab_idle_threshold, ab_rp_stall, ab_buffers_vcs, ab_policies);
+criterion_main!(ablations_group);

@@ -1,0 +1,106 @@
+//! One Criterion group per paper table/figure, running the same generator
+//! the `fig*` binaries use, at reduced scale — so `cargo bench` validates
+//! every experiment pipeline and tracks the simulator's wall-clock cost of
+//! regenerating each figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flov_bench::figures::{
+    fig_breakdown, fig_parsec, fig_static, fig_synthetic, fig_timeline, overhead, table1,
+    SynthScale,
+};
+use flov_workloads::Pattern;
+use std::hint::black_box;
+
+fn bench_scale() -> SynthScale {
+    SynthScale {
+        warmup: 1_000,
+        cycles: 6_000,
+        drain: 20_000,
+        fractions: vec![0.0, 0.5],
+        rates: vec![0.02],
+        seed: 0xF10F,
+    }
+}
+
+fn fig6_uniform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_uniform_random");
+    g.sample_size(10);
+    g.bench_function("latency+power sweep (reduced)", |b| {
+        b.iter(|| black_box(fig_synthetic(Pattern::UniformRandom, &bench_scale())))
+    });
+    g.finish();
+}
+
+fn fig7_tornado(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_tornado");
+    g.sample_size(10);
+    g.bench_function("latency+power sweep (reduced)", |b| {
+        b.iter(|| black_box(fig_synthetic(Pattern::Tornado, &bench_scale())))
+    });
+    g.finish();
+}
+
+fn fig8ab_breakdown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8ab_latency_breakdown");
+    g.sample_size(10);
+    g.bench_function("uniform (reduced)", |b| {
+        b.iter(|| black_box(fig_breakdown(Pattern::UniformRandom, &bench_scale())))
+    });
+    g.bench_function("tornado (reduced)", |b| {
+        b.iter(|| black_box(fig_breakdown(Pattern::Tornado, &bench_scale())))
+    });
+    g.finish();
+}
+
+fn fig8cd_parsec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8cd_parsec_full_system");
+    g.sample_size(10);
+    g.bench_function("swaptions x 4 mechanisms", |b| {
+        b.iter(|| {
+            black_box(fig_parsec(
+                &["swaptions"],
+                0xF10F,
+                &["Baseline", "RP", "rFLOV", "gFLOV"],
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn fig9_static(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_static_power");
+    g.sample_size(10);
+    g.bench_function("static power sweep (reduced)", |b| {
+        b.iter(|| black_box(fig_static(&bench_scale())))
+    });
+    g.finish();
+}
+
+fn fig10_reconfig(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_reconfiguration_timeline");
+    g.sample_size(10);
+    let scale = SynthScale { cycles: 20_000, ..bench_scale() };
+    g.bench_function("gFLOV vs RP timeline (reduced)", |b| {
+        b.iter(|| black_box(fig_timeline(&scale)))
+    });
+    g.finish();
+}
+
+fn table1_and_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_and_overhead");
+    g.bench_function("table1", |b| b.iter(|| black_box(table1())));
+    g.bench_function("overhead_analysis", |b| b.iter(|| black_box(overhead())));
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig6_uniform,
+    fig7_tornado,
+    fig8ab_breakdown,
+    fig8cd_parsec,
+    fig9_static,
+    fig10_reconfig,
+    table1_and_overhead
+);
+criterion_main!(figures);

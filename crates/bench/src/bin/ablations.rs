@@ -1,0 +1,14 @@
+//! Ablation studies over the design choices of the reproduction: escape
+//! timeout, idle-detect threshold, RP Phase-I stall, buffer depth, VC
+//! count, RP parking policy, handshake RTT.
+//!
+//! Usage: `cargo run --release -p flov-bench --bin ablations [--quick]`
+
+use flov_bench::ablations;
+
+fn main() {
+    let cycles = if std::env::args().any(|a| a == "--quick") { 12_000 } else { 100_000 };
+    for (i, t) in ablations::all(cycles).iter().enumerate() {
+        t.emit(&format!("ablation_{i}"));
+    }
+}

@@ -1,0 +1,14 @@
+//! Fig. 10 — reconfiguration overhead: average packet latency over the
+//! execution timeline with gating-configuration changes mid-run (Uniform
+//! Random, 0.02 flits/cycle/node, 10% gated cores), gFLOV vs Router
+//! Parking. RP's Fabric-Manager Phase I stalls all new injections for
+//! >700 cycles at each change; gFLOV reconfigures routers independently.
+//!
+//! Usage: `cargo run --release -p flov-bench --bin fig10 [--quick]`
+
+use flov_bench::figures::{fig_timeline, SynthScale};
+
+fn main() {
+    let scale = SynthScale::from_args();
+    fig_timeline(&scale).emit("fig10");
+}

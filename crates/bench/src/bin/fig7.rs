@@ -1,0 +1,16 @@
+//! Fig. 7 — Tornado traffic: average latency, dynamic power and total
+//! power at injection rates 0.02 and 0.08 flits/cycle/node, across 0–80%
+//! power-gated cores, for Baseline / RP / rFLOV / gFLOV.
+//!
+//! Usage: `cargo run --release -p flov-bench --bin fig7 [--quick]`
+
+use flov_bench::figures::{fig_synthetic, SynthScale};
+use flov_workloads::Pattern;
+
+fn main() {
+    let scale = SynthScale::from_args();
+    let tables = fig_synthetic(Pattern::Tornado, &scale);
+    for (i, t) in tables.iter().enumerate() {
+        t.emit(&format!("fig7_{i}"));
+    }
+}

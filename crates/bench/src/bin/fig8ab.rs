@@ -1,0 +1,14 @@
+//! Fig. 8(a)/(b) — per-packet latency breakdown (accumulated router
+//! latency, link latency, serialization, contention, FLOV latency) under
+//! Uniform Random and Tornado traffic at 0.02 flits/cycle/node.
+//!
+//! Usage: `cargo run --release -p flov-bench --bin fig8ab [--quick]`
+
+use flov_bench::figures::{fig_breakdown, SynthScale};
+use flov_workloads::Pattern;
+
+fn main() {
+    let scale = SynthScale::from_args();
+    fig_breakdown(Pattern::UniformRandom, &scale).emit("fig8a");
+    fig_breakdown(Pattern::Tornado, &scale).emit("fig8b");
+}

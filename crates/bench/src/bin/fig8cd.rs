@@ -1,0 +1,21 @@
+//! Fig. 8(c)/(d) + headline numbers — full-system PARSEC-proxy evaluation:
+//! per-benchmark runtime and energy normalized to Baseline, plus the
+//! geometric-mean summary the paper reports (FLOV vs RP total/static
+//! energy; FLOV vs Baseline static energy and performance degradation).
+//!
+//! Usage: `cargo run --release -p flov-bench --bin fig8cd [--quick]`
+
+use flov_bench::figures::{fig_parsec, parsec_default};
+
+fn main() {
+    let (benches, mechs) = parsec_default();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let benches: Vec<&str> = if quick { benches[..2].to_vec() } else { benches };
+    let (table, s) = fig_parsec(&benches, 0xF10F, &mechs);
+    table.emit("fig8cd");
+    println!("== headline summary (geometric means over {} benchmarks) ==", benches.len());
+    println!("paper: FLOV vs RP       total energy  -18%   | measured: {:+.1}%", s.flov_vs_rp_total * 100.0);
+    println!("paper: FLOV vs RP       static energy -22%   | measured: {:+.1}%", s.flov_vs_rp_static * 100.0);
+    println!("paper: FLOV vs Baseline static energy -43%   | measured: {:+.1}%", s.flov_vs_base_static * 100.0);
+    println!("paper: FLOV vs Baseline runtime       +1%    | measured: {:+.1}%", s.flov_vs_base_runtime * 100.0);
+}

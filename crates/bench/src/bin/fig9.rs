@@ -1,0 +1,13 @@
+//! Fig. 9 — static power vs fraction of power-gated cores, for Baseline,
+//! aggressive Router Parking, rFLOV and gFLOV. (FLOV static power is
+//! injection-rate and workload independent; RP is compared in its
+//! aggressive configuration, as in the paper.)
+//!
+//! Usage: `cargo run --release -p flov-bench --bin fig9 [--quick]`
+
+use flov_bench::figures::{fig_static, SynthScale};
+
+fn main() {
+    let scale = SynthScale::from_args();
+    fig_static(&scale).emit("fig9");
+}

@@ -1,0 +1,166 @@
+//! `flov-sim` — a general-purpose command-line front end for one-off
+//! simulations: pick the mechanism, traffic, rate, gating level, and get a
+//! full report (latency breakdown, power, hotspot summary, mesh map), with
+//! optional JSON output for scripting.
+//!
+//! Usage:
+//!   cargo run --release -p flov-bench --bin flov-sim -- \
+//!       [--mech gFLOV] [--pattern uniform] [--rate 0.02] [--gated 0.5] \
+//!       [--cycles 100000] [--warmup 10000] [--seed 61711] [--k 8] \
+//!       [--parsec canneal] [--json] [--map]
+
+use flov_bench::{run, RunSpec, WorkloadSpec};
+use flov_core::mechanism;
+use flov_noc::network::Simulation;
+use flov_noc::render;
+use flov_noc::NocConfig;
+use flov_power::PowerParams;
+use flov_workloads::{GatingSchedule, Pattern, SyntheticWorkload};
+
+struct Args {
+    mech: String,
+    pattern: Pattern,
+    rate: f64,
+    gated: f64,
+    cycles: u64,
+    warmup: u64,
+    seed: u64,
+    k: u16,
+    parsec: Option<String>,
+    json: bool,
+    map: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        mech: "gFLOV".into(),
+        pattern: Pattern::UniformRandom,
+        rate: 0.02,
+        gated: 0.5,
+        cycles: 100_000,
+        warmup: 10_000,
+        seed: 0xF10F,
+        k: 8,
+        parsec: None,
+        json: false,
+        map: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let usage = || -> ! {
+        eprintln!(
+            "usage: flov-sim [--mech NAME] [--pattern P] [--rate R] [--gated F] \
+             [--cycles N] [--warmup N] [--seed S] [--k K] [--parsec BENCH] [--json] [--map]"
+        );
+        std::process::exit(2);
+    };
+    while i < argv.len() {
+        let val = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--mech" => a.mech = val(&mut i),
+            "--pattern" => {
+                a.pattern = match val(&mut i).as_str() {
+                    "uniform" => Pattern::UniformRandom,
+                    "tornado" => Pattern::Tornado,
+                    "transpose" => Pattern::Transpose,
+                    "bitcomp" => Pattern::BitComplement,
+                    "neighbor" => Pattern::Neighbor,
+                    _ => usage(),
+                }
+            }
+            "--rate" => a.rate = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--gated" => a.gated = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--cycles" => a.cycles = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--warmup" => a.warmup = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => a.seed = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--k" => a.k = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--parsec" => a.parsec = Some(val(&mut i)),
+            "--json" => a.json = true,
+            "--map" => a.map = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    a
+}
+
+fn main() {
+    let a = parse_args();
+    let cfg = NocConfig { k: a.k, ..NocConfig::paper_table1() };
+    let spec = RunSpec {
+        cfg: cfg.clone(),
+        mechanism: a.mech.clone(),
+        workload: match &a.parsec {
+            Some(bench) => WorkloadSpec::Parsec { name: bench.clone(), seed: a.seed },
+            None => WorkloadSpec::Synthetic {
+                pattern: a.pattern,
+                rate: a.rate,
+                gated_fraction: a.gated,
+                seed: a.seed,
+                changes: vec![],
+            },
+        },
+        warmup: if a.parsec.is_some() { 0 } else { a.warmup },
+        cycles: if a.parsec.is_some() { 5_000_000 } else { a.cycles },
+        drain: a.cycles,
+        timeline_width: 0,
+        power_params: PowerParams::default(),
+    };
+    let r = run(&spec);
+    if a.json {
+        println!("{}", serde_json::to_string_pretty(&r).expect("serialize result"));
+    } else {
+        println!("mechanism        {}", r.mechanism);
+        println!("packets          {}", r.packets);
+        println!("avg latency      {:.2} cycles (max {})", r.avg_latency, r.max_latency);
+        let (p50, p95, p99) = r.latency_percentiles;
+        println!("  percentiles    p50<={p50} p95<={p95} p99<={p99}");
+        println!(
+            "  breakdown      router {:.2} | link {:.2} | serial {:.2} | contention {:.2} | flov {:.2}",
+            r.breakdown[0], r.breakdown[1], r.breakdown[2], r.breakdown[3], r.breakdown[4]
+        );
+        println!("avg hops         {:.2} routers + {:.2} flov latches", r.avg_hops, r.avg_flov_hops);
+        println!("throughput       {:.4} flits/cycle", r.throughput);
+        println!("escape           {} packets ({} diversions)", r.escape_packets, r.escape_diversions);
+        println!("static power     {:.1} mW", r.power.static_w * 1e3);
+        println!("dynamic power    {:.1} mW", r.power.dynamic_w * 1e3);
+        println!("total power      {:.1} mW", r.power.total_w * 1e3);
+        println!("total energy     {:.3} uJ over {} cycles", r.power.total_j() * 1e6, r.power.cycles);
+        println!("gating events    {}", r.gating_events);
+        println!("stalled inj      {} node-cycles", r.stalled_injection_cycles);
+        if a.parsec.is_some() {
+            println!(
+                "per-class lat    req {:.1} ({} pkts) | data {:.1} ({}) | ctrl {:.1} ({})",
+                r.vnet_latency[0].1, r.vnet_latency[0].0,
+                r.vnet_latency[1].1, r.vnet_latency[1].0,
+                r.vnet_latency[2].1, r.vnet_latency[2].0
+            );
+        }
+    }
+    if a.map {
+        // Re-run briefly to render the steady-state map (run() consumed the sim).
+        let mech = mechanism::by_name(&a.mech, &cfg).expect("mechanism");
+        let w = SyntheticWorkload::new(
+            cfg.k,
+            a.pattern,
+            a.rate,
+            cfg.synth_packet_len,
+            20_000,
+            GatingSchedule::static_fraction(cfg.nodes(), a.gated, a.seed, &[]),
+            a.seed ^ 0xABCD,
+        );
+        let mut sim = Simulation::new(cfg, mech, Box::new(w));
+        sim.run(20_000);
+        println!("\npower map (A=active, a=active router/gated core, d=draining, w=waking, .=asleep):");
+        print!("{}", render::power_map(&sim.core));
+        let (max, mean, gini) = render::link_util_summary(&sim.core);
+        println!("link utilization: max {max}, mean {mean:.1}, gini {gini:.3}");
+        println!("east-link heatmap (0-9 relative):");
+        print!("{}", render::eastlink_heatmap(&sim.core));
+        sim.drain(100_000);
+    }
+}

@@ -1,0 +1,93 @@
+//! NoRD vs FLOV — quantifying the paper's §II critique of node-router
+//! decoupling: "a bypass ring is not scalable to large network sizes" and
+//! "a bypass can be constructed in a (k x k) mesh, if and only if k is
+//! even".
+//!
+//! Two experiments:
+//!  1. 8x8 gated-fraction sweep (UR, 0.02): latency + power of NoRD vs
+//!     gFLOV vs RP vs Baseline. NoRD gates *more* routers than anyone (no
+//!     AON column, no adjacency/connectivity limits) so its static power is
+//!     the lowest — but ring trips cost latency.
+//!  2. Mesh scaling at 75% gated cores: the ring's O(N) trips make NoRD's
+//!     latency blow up with k while gFLOV stays near Baseline.
+//!
+//! Usage: `cargo run --release -p flov-bench --bin nord [--quick]`
+
+use flov_bench::report::{f2, mw, Table};
+use flov_bench::{run_all, RunSpec, WorkloadSpec};
+use flov_noc::NocConfig;
+use flov_power::PowerParams;
+use flov_workloads::Pattern;
+
+fn spec(mech: &str, k: u16, rate: f64, fraction: f64, cycles: u64) -> RunSpec {
+    RunSpec {
+        cfg: NocConfig { k, ..NocConfig::paper_table1() },
+        mechanism: mech.into(),
+        workload: WorkloadSpec::Synthetic {
+            pattern: Pattern::UniformRandom,
+            rate,
+            gated_fraction: fraction,
+            seed: 0xF10F,
+            changes: vec![],
+        },
+        warmup: cycles / 10,
+        cycles,
+        drain: cycles * 2,
+        timeline_width: 0,
+        power_params: PowerParams::default(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cycles = if quick { 12_000 } else { 100_000 };
+    let mechs = ["Baseline", "RP", "gFLOV", "NoRD"];
+
+    // Experiment 1: gated-fraction sweep at 8x8.
+    let fractions: &[f64] =
+        if quick { &[0.0, 0.5] } else { &[0.0, 0.2, 0.4, 0.6, 0.8] };
+    let mut t = Table::new(
+        "NoRD vs FLOV — 8x8 UR 0.02, latency / static / total power",
+        &["gated %", "mech", "avg lat", "ring flits", "static [mW]", "total [mW]"],
+    );
+    for &f in fractions {
+        let specs: Vec<RunSpec> =
+            mechs.iter().map(|&m| spec(m, 8, 0.02, f, cycles)).collect();
+        for r in run_all(&specs) {
+            t.row(vec![
+                format!("{:.0}", f * 100.0),
+                r.mechanism.clone(),
+                if r.packets == 0 { "n/a".into() } else { f2(r.avg_latency) },
+                r.ring_flits.to_string(),
+                mw(r.power.static_w),
+                mw(r.power.total_w),
+            ]);
+        }
+    }
+    t.emit("nord_sweep");
+
+    // Experiment 2: mesh scaling at 75% gated.
+    let ks: &[u16] = if quick { &[4, 8] } else { &[4, 8, 12, 16] };
+    let mut t2 = Table::new(
+        "NoRD scalability — UR 0.02, 75% gated: ring latency grows with k",
+        &["k", "mech", "avg lat", "p95 lat", "static [mW]"],
+    );
+    for &k in ks {
+        let specs: Vec<RunSpec> = ["gFLOV", "NoRD"]
+            .iter()
+            .map(|&m| spec(m, k, 0.02, 0.75, cycles))
+            .collect();
+        for r in run_all(&specs) {
+            t2.row(vec![
+                k.to_string(),
+                r.mechanism.clone(),
+                f2(r.avg_latency),
+                r.latency_percentiles.1.to_string(),
+                mw(r.power.static_w),
+            ]);
+        }
+    }
+    t2.emit("nord_scaling");
+    println!("Expected: NoRD's static power is the lowest (gates everything, no AON");
+    println!("column) but its latency diverges with k — the paper's scalability point.");
+}

@@ -1,0 +1,10 @@
+//! §V-A — area/overhead analysis of the FLOV router additions (PSRs, HSC,
+//! latches, muxes): reproduces the paper's 2.8e-3 mm² / 3% quantization.
+//!
+//! Usage: `cargo run --release -p flov-bench --bin overhead`
+
+use flov_bench::figures::overhead;
+
+fn main() {
+    overhead().emit("overhead");
+}

@@ -1,0 +1,10 @@
+//! Table I — prints the simulation testbed parameters this reproduction
+//! runs with (and verifies they match the paper's configuration).
+//!
+//! Usage: `cargo run --release -p flov-bench --bin table1`
+
+use flov_bench::figures::table1;
+
+fn main() {
+    table1().emit("table1");
+}

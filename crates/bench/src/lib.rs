@@ -1,0 +1,225 @@
+//! # flov-bench — the experiment harness
+//!
+//! One entry point, [`run`], executes a fully specified simulation and
+//! returns every number the paper's figures need (latency + breakdown,
+//! static/dynamic/total power, runtime, timeline). The `src/bin/fig*.rs`
+//! binaries drive sweeps over it — one binary per paper table/figure — and
+//! print both an aligned table and CSV. Sweeps are embarrassingly parallel
+//! and use rayon; each individual simulation is deterministic.
+
+pub mod ablations;
+pub mod figures;
+pub mod report;
+pub mod spec;
+
+pub use report::{csv_escape, Table};
+pub use spec::{RunResult, RunSpec, WorkloadSpec};
+
+use flov_core::mechanism;
+use flov_noc::network::Simulation;
+use flov_noc::stats::IntervalSample;
+use flov_noc::traits::Workload;
+use flov_power::GatedResidual;
+use flov_workloads::{GatingSchedule, ParsecWorkload, SyntheticWorkload};
+use rayon::prelude::*;
+
+/// Execute one simulation per `spec`, resolving the mechanism by name.
+pub fn run(spec: &RunSpec) -> RunResult {
+    let mut spec = spec.clone();
+    if spec.mechanism == "NoRD" {
+        spec.cfg.enable_ring = true; // NoRD requires the bypass ring
+    }
+    if spec.mechanism == "PowerPunch" {
+        spec.cfg = flov_core::punch_config(&spec.cfg); // no escape VCs
+    }
+    let mech = mechanism::by_name(&spec.mechanism, &spec.cfg)
+        .unwrap_or_else(|| panic!("unknown mechanism {:?}", spec.mechanism));
+    run_with(&spec, mech)
+}
+
+/// Execute one simulation with an explicitly constructed mechanism (used by
+/// the ablation studies, which tweak mechanism-internal parameters).
+pub fn run_with(spec: &RunSpec, mech: Box<dyn flov_noc::PowerMechanism>) -> RunResult {
+    let cfg = spec.cfg.clone();
+    let workload: Box<dyn Workload> = match &spec.workload {
+        WorkloadSpec::Synthetic { pattern, rate, gated_fraction, seed, changes } => {
+            let gating = if changes.is_empty() {
+                GatingSchedule::static_fraction(cfg.nodes(), *gated_fraction, *seed, &[])
+            } else {
+                GatingSchedule::rerandomized_at(
+                    cfg.nodes(),
+                    *gated_fraction,
+                    *seed,
+                    changes,
+                    &[],
+                )
+            };
+            Box::new(SyntheticWorkload::new(
+                cfg.k,
+                *pattern,
+                *rate,
+                cfg.synth_packet_len,
+                spec.cycles,
+                gating,
+                *seed ^ 0xABCD,
+            ))
+        }
+        WorkloadSpec::Parsec { name, seed } => {
+            let profile = flov_workloads::benchmark(name)
+                .unwrap_or_else(|| panic!("unknown PARSEC benchmark {name:?}"));
+            Box::new(ParsecWorkload::new(cfg.k, profile, *seed))
+        }
+    };
+    let mut sim = Simulation::new(cfg, mech, workload);
+    sim.measure_from(spec.warmup);
+    sim.core.stats.interval_width = spec.timeline_width;
+    // Warmup.
+    sim.run(spec.warmup);
+    let act0 = sim.core.activity.clone();
+    let res0 = sim.core.residency.clone();
+    // Measured portion.
+    let measured_end;
+    match &spec.workload {
+        WorkloadSpec::Synthetic { .. } => {
+            sim.run(spec.cycles.saturating_sub(spec.warmup));
+            measured_end = sim.core.cycle;
+            sim.core.stats.measure_until = spec.cycles;
+            sim.drain(spec.drain);
+        }
+        WorkloadSpec::Parsec { .. } => {
+            let end = sim.run_until_done(spec.cycles);
+            assert!(
+                sim.core.is_empty(),
+                "PARSEC run hit the cycle cap ({end} cycles) before completing"
+            );
+            measured_end = end;
+        }
+    }
+    let window = measured_end - spec.warmup;
+    let activity = sim.core.activity.delta_since(&act0);
+    let residency = flov_power::residency_delta(&sim.core.residency, &res0);
+    let power = flov_power::compute(
+        &spec.power_params,
+        sim.core.cfg.k,
+        &activity,
+        &residency,
+        window.max(1),
+        GatedResidual::for_mechanism(&spec.mechanism),
+    );
+    let s = &sim.core.stats;
+    RunResult {
+        mechanism: spec.mechanism.clone(),
+        packets: s.packets,
+        avg_latency: s.avg_latency(),
+        max_latency: s.latency_max,
+        latency_percentiles: s.histogram.percentiles(),
+        breakdown: s.breakdown.averages(s.packets),
+        avg_hops: s.avg_hops(),
+        avg_flov_hops: s.avg_flov_hops(),
+        escape_packets: s.escape_packets,
+        escape_diversions: sim.core.escape_diversions,
+        throughput: s.throughput(window.max(1)),
+        power,
+        runtime_cycles: measured_end,
+        stalled_injection_cycles: sim.core.stalled_injection_cycles,
+        gating_events: activity.gating_events,
+        flov_latch_flits: activity.flov_latch_flits,
+        ring_flits: activity.ring_flits,
+        vnet_latency: [
+            (s.per_vnet[0].0, s.vnet_avg_latency(0)),
+            (s.per_vnet[1].0, s.vnet_avg_latency(1)),
+            (s.per_vnet[2].0, s.vnet_avg_latency(2)),
+        ],
+        timeline: sim.core.stats.timeline.clone(),
+        delivered_all: sim.core.is_empty(),
+    }
+}
+
+/// Run many specs in parallel (rayon), preserving order.
+pub fn run_all(specs: &[RunSpec]) -> Vec<RunResult> {
+    specs.par_iter().map(run).collect()
+}
+
+/// Convenience: the paper's synthetic sweep axes.
+pub mod axes {
+    /// Gated-core fractions of Figs. 6–9 (0%..80%).
+    pub const GATED_FRACTIONS: [f64; 9] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+    /// Injection rates of Figs. 6–7 (flits/cycle/node).
+    pub const INJECTION_RATES: [f64; 2] = [0.02, 0.08];
+}
+
+/// Timeline helper for Fig. 10: bucketed average latency.
+pub fn timeline_rows(t: &[IntervalSample]) -> Vec<(u64, f64, u64)> {
+    t.iter().map(|s| (s.start, s.avg_latency(), s.packets)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flov_noc::NocConfig;
+    use flov_power::PowerParams;
+    use flov_workloads::Pattern;
+
+    fn quick_spec(mech: &str, fraction: f64) -> RunSpec {
+        RunSpec {
+            cfg: NocConfig::paper_table1(),
+            mechanism: mech.into(),
+            workload: WorkloadSpec::Synthetic {
+                pattern: Pattern::UniformRandom,
+                rate: 0.02,
+                gated_fraction: fraction,
+                seed: 42,
+                changes: vec![],
+            },
+            warmup: 2_000,
+            cycles: 10_000,
+            drain: 30_000,
+            timeline_width: 0,
+            power_params: PowerParams::default(),
+        }
+    }
+
+    #[test]
+    fn all_mechanisms_complete_a_quick_run() {
+        for mech in mechanism::ALL {
+            let r = run(&quick_spec(mech, 0.3));
+            assert!(r.packets > 50, "{mech}: only {} packets measured", r.packets);
+            assert!(r.delivered_all, "{mech}: packets left in flight");
+            assert!(r.avg_latency > 8.0, "{mech}: implausible latency {}", r.avg_latency);
+            assert!(r.power.total_w > 0.0);
+        }
+    }
+
+    #[test]
+    fn gflov_saves_static_power_vs_baseline() {
+        let base = run(&quick_spec("Baseline", 0.5));
+        let g = run(&quick_spec("gFLOV", 0.5));
+        assert!(
+            g.power.static_w < base.power.static_w * 0.8,
+            "gFLOV static {} vs baseline {}",
+            g.power.static_w,
+            base.power.static_w
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(&quick_spec("gFLOV", 0.4));
+        let b = run(&quick_spec("gFLOV", 0.4));
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(a.avg_latency, b.avg_latency);
+        assert_eq!(a.power.static_w, b.power.static_w);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let specs: Vec<RunSpec> =
+            [0.0, 0.4].iter().map(|&f| quick_spec("rFLOV", f)).collect();
+        let par = run_all(&specs);
+        let ser: Vec<RunResult> = specs.iter().map(run).collect();
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.avg_latency, s.avg_latency);
+            assert_eq!(p.packets, s.packets);
+        }
+    }
+}

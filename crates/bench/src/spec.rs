@@ -1,0 +1,141 @@
+//! Run specifications and results.
+
+use flov_noc::stats::IntervalSample;
+use flov_noc::types::Cycle;
+use flov_noc::NocConfig;
+use flov_power::{PowerParams, PowerReport};
+use flov_workloads::Pattern;
+use serde::Serialize;
+
+/// Workload selection for one run.
+#[derive(Clone, Debug)]
+pub enum WorkloadSpec {
+    /// §VI-B synthetic traffic.
+    Synthetic {
+        pattern: Pattern,
+        /// flits/cycle/node.
+        rate: f64,
+        /// Fraction of cores power-gated.
+        gated_fraction: f64,
+        seed: u64,
+        /// Cycles at which the gated set is re-randomized (Fig. 10).
+        changes: Vec<Cycle>,
+    },
+    /// §VI-B-3 full-system traffic (PARSEC proxy); runs to completion.
+    Parsec { name: String, seed: u64 },
+}
+
+/// Everything needed to execute one simulation.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    pub cfg: NocConfig,
+    /// "Baseline" | "RP" | "RP-aggressive" | "rFLOV" | "gFLOV".
+    pub mechanism: String,
+    pub workload: WorkloadSpec,
+    /// Warmup cycles excluded from measurement (paper: 10k).
+    pub warmup: Cycle,
+    /// Synthetic: total run length (paper: 100k). Parsec: cycle cap.
+    pub cycles: Cycle,
+    /// Extra cycles allowed for in-flight packets after a synthetic run.
+    pub drain: Cycle,
+    /// Latency-timeline bucket width (0 = off); used by Fig. 10.
+    pub timeline_width: u64,
+    pub power_params: PowerParams,
+}
+
+impl RunSpec {
+    /// The paper's synthetic methodology: 10k warmup, 100k cycles.
+    pub fn synthetic_paper(
+        mechanism: &str,
+        pattern: Pattern,
+        rate: f64,
+        gated_fraction: f64,
+        seed: u64,
+    ) -> RunSpec {
+        RunSpec {
+            cfg: NocConfig::paper_table1(),
+            mechanism: mechanism.into(),
+            workload: WorkloadSpec::Synthetic {
+                pattern,
+                rate,
+                gated_fraction,
+                seed,
+                changes: vec![],
+            },
+            warmup: 10_000,
+            cycles: 100_000,
+            drain: 100_000,
+            timeline_width: 0,
+            power_params: PowerParams::default(),
+        }
+    }
+
+    /// Full-system run of one PARSEC-proxy benchmark to completion.
+    pub fn parsec(mechanism: &str, bench: &str, seed: u64) -> RunSpec {
+        RunSpec {
+            cfg: NocConfig::paper_table1(),
+            mechanism: mechanism.into(),
+            workload: WorkloadSpec::Parsec { name: bench.into(), seed },
+            warmup: 0,
+            cycles: 3_000_000,
+            drain: 0,
+            timeline_width: 0,
+            power_params: PowerParams::default(),
+        }
+    }
+}
+
+/// Everything a figure needs from one run.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunResult {
+    pub mechanism: String,
+    /// Packets measured (born inside the window).
+    pub packets: u64,
+    /// Mean total packet latency \[cycles\].
+    pub avg_latency: f64,
+    pub max_latency: u64,
+    /// Conservative (p50, p95, p99) latency upper bounds.
+    pub latency_percentiles: (u64, u64, u64),
+    /// Per-packet averages: \[router, link, serialization, contention, flov\].
+    pub breakdown: [f64; 5],
+    pub avg_hops: f64,
+    pub avg_flov_hops: f64,
+    pub escape_packets: u64,
+    pub escape_diversions: u64,
+    /// Delivered flits/cycle over the window.
+    pub throughput: f64,
+    pub power: PowerReport,
+    /// Cycle count at the end of the measured portion (Parsec: completion).
+    pub runtime_cycles: u64,
+    pub stalled_injection_cycles: u64,
+    pub gating_events: u64,
+    pub flov_latch_flits: u64,
+    /// Flit hops on the NoRD bypass ring over the window.
+    pub ring_flits: u64,
+    /// Per-vnet (packets, avg latency) for the first three message classes.
+    pub vnet_latency: [(u64, f64); 3],
+    pub timeline: Vec<IntervalSample>,
+    /// True if every injected packet was delivered by the end of the run.
+    pub delivered_all: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_defaults_match_methodology() {
+        let s = RunSpec::synthetic_paper("gFLOV", Pattern::UniformRandom, 0.02, 0.3, 1);
+        assert_eq!(s.warmup, 10_000);
+        assert_eq!(s.cycles, 100_000);
+        assert_eq!(s.cfg.k, 8);
+        assert_eq!(s.mechanism, "gFLOV");
+    }
+
+    #[test]
+    fn parsec_spec_runs_to_completion() {
+        let s = RunSpec::parsec("RP", "canneal", 2);
+        assert_eq!(s.warmup, 0);
+        assert!(matches!(s.workload, WorkloadSpec::Parsec { .. }));
+    }
+}

@@ -1,0 +1,173 @@
+//! Destination partitioning (paper Fig. 4a).
+//!
+//! Each router divides the mesh into eight partitions around itself: the
+//! four straight lines along its own row/column (odd numbers) and the four
+//! quadrants (even numbers). Routing decisions are made from the partition
+//! the destination falls into plus the neighboring routers' power states.
+
+use flov_noc::types::{Coord, Dir};
+
+/// The eight destination partitions. Odd = straight, even = quadrant,
+/// numbered counter-clockwise starting from the NE quadrant, matching the
+/// paper's convention (partitions 1/3/5/7 map to N/W/S/E).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Partition {
+    /// Quadrant: strictly north-east.
+    NE = 0,
+    /// Straight north (same column).
+    N = 1,
+    /// Quadrant: strictly north-west.
+    NW = 2,
+    /// Straight west (same row).
+    W = 3,
+    /// Quadrant: strictly south-west.
+    SW = 4,
+    /// Straight south (same column).
+    S = 5,
+    /// Quadrant: strictly south-east.
+    SE = 6,
+    /// Straight east (same row).
+    E = 7,
+}
+
+impl Partition {
+    /// Partition of `dst` as seen from `at`; `None` when they coincide.
+    #[inline]
+    pub fn of(at: Coord, dst: Coord) -> Option<Partition> {
+        use std::cmp::Ordering::*;
+        match (dst.x.cmp(&at.x), dst.y.cmp(&at.y)) {
+            (Equal, Equal) => None,
+            (Equal, Greater) => Some(Partition::N),
+            (Equal, Less) => Some(Partition::S),
+            (Greater, Equal) => Some(Partition::E),
+            (Less, Equal) => Some(Partition::W),
+            (Greater, Greater) => Some(Partition::NE),
+            (Less, Greater) => Some(Partition::NW),
+            (Less, Less) => Some(Partition::SW),
+            (Greater, Less) => Some(Partition::SE),
+        }
+    }
+
+    /// True for the straight partitions 1/3/5/7.
+    #[inline]
+    pub fn is_straight(self) -> bool {
+        (self as u8) % 2 == 1
+    }
+
+    /// For straight partitions: the direction pointing at the destination.
+    #[inline]
+    pub fn straight_dir(self) -> Option<Dir> {
+        match self {
+            Partition::N => Some(Dir::North),
+            Partition::W => Some(Dir::West),
+            Partition::S => Some(Dir::South),
+            Partition::E => Some(Dir::East),
+            _ => None,
+        }
+    }
+
+    /// For quadrant partitions: the Y-direction component toward the
+    /// destination (the preferred first move, YX order).
+    #[inline]
+    pub fn quadrant_y(self) -> Option<Dir> {
+        match self {
+            Partition::NE | Partition::NW => Some(Dir::North),
+            Partition::SE | Partition::SW => Some(Dir::South),
+            _ => None,
+        }
+    }
+
+    /// For quadrant partitions: the X-direction component toward the
+    /// destination.
+    #[inline]
+    pub fn quadrant_x(self) -> Option<Dir> {
+        match self {
+            Partition::NE | Partition::SE => Some(Dir::East),
+            Partition::NW | Partition::SW => Some(Dir::West),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: u16, y: u16) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn straight_partitions() {
+        let at = c(3, 3);
+        assert_eq!(Partition::of(at, c(3, 6)), Some(Partition::N));
+        assert_eq!(Partition::of(at, c(3, 0)), Some(Partition::S));
+        assert_eq!(Partition::of(at, c(7, 3)), Some(Partition::E));
+        assert_eq!(Partition::of(at, c(0, 3)), Some(Partition::W));
+    }
+
+    #[test]
+    fn quadrant_partitions() {
+        let at = c(3, 3);
+        assert_eq!(Partition::of(at, c(5, 5)), Some(Partition::NE));
+        assert_eq!(Partition::of(at, c(1, 5)), Some(Partition::NW));
+        assert_eq!(Partition::of(at, c(1, 1)), Some(Partition::SW));
+        assert_eq!(Partition::of(at, c(5, 1)), Some(Partition::SE));
+    }
+
+    #[test]
+    fn self_is_none() {
+        assert_eq!(Partition::of(c(2, 2), c(2, 2)), None);
+    }
+
+    #[test]
+    fn numbering_matches_paper() {
+        // Partitions 1, 3, 5, 7 are N, W, S, E (paper §V).
+        assert_eq!(Partition::N as u8, 1);
+        assert_eq!(Partition::W as u8, 3);
+        assert_eq!(Partition::S as u8, 5);
+        assert_eq!(Partition::E as u8, 7);
+        assert!(Partition::N.is_straight());
+        assert!(!Partition::NE.is_straight());
+    }
+
+    #[test]
+    fn exhaustive_coverage_8x8() {
+        // Every (at, dst) pair lands in exactly one partition and the
+        // quadrant decomposition is consistent with the component dirs.
+        for ax in 0..8 {
+            for ay in 0..8 {
+                for dx in 0..8 {
+                    for dy in 0..8 {
+                        let at = c(ax, ay);
+                        let dst = c(dx, dy);
+                        match Partition::of(at, dst) {
+                            None => assert_eq!(at, dst),
+                            Some(p) if p.is_straight() => {
+                                let d = p.straight_dir().unwrap();
+                                let (ddx, ddy) = d.delta();
+                                // Moving toward dst stays aligned.
+                                assert_eq!(
+                                    (dx as i32 - ax as i32).signum(),
+                                    ddx.signum()
+                                );
+                                assert_eq!(
+                                    (dy as i32 - ay as i32).signum(),
+                                    ddy.signum()
+                                );
+                                assert!(p.quadrant_x().is_none());
+                            }
+                            Some(p) => {
+                                let qx = p.quadrant_x().unwrap();
+                                let qy = p.quadrant_y().unwrap();
+                                assert_eq!((dx as i32 - ax as i32).signum(), qx.delta().0);
+                                assert_eq!((dy as i32 - ay as i32).signum(), qy.delta().1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Power Punch (Chen, Zhu, Pedram & Pinkston, HPCA'15) — the third prior
+//! power-gating scheme the paper's §II discusses: "a performance-aware,
+//! non-blocking power-gating scheme that wakes up powered-off routers along
+//! the path of a packet in advance, thereby preventing the packet from
+//! suffering router wakeup latency".
+//!
+//! Model: routers gate freely (no adjacency/AON/connectivity constraints —
+//! wake-on-demand provides connectivity); when a packet enters a NIC queue,
+//! the mechanism immediately sends *power punches* (wake signals) to every
+//! sleeping router on the packet's YX path, so the ~10-cycle wakeup ramp
+//! overlaps with the packet's injection serialization and upstream hops.
+//! Routing is plain YX; a packet whose next hop is not yet Active simply
+//! waits at its current router (there are no FLOV latches and no bypass
+//! ring in this scheme, so nothing ever flies over a gated router).
+//!
+//! Run it with `NocConfig { escape_vcs: 0, .. }`: YX is deadlock-free on
+//! its own and a `route() == None` must mean "wait for the punched wakeup",
+//! not "divert to the escape network" ([`punch_config`] does this).
+//!
+//! The interesting trade vs FLOV, which the tests and the `punch` binary
+//! quantify: Power Punch keeps latency near Baseline like FLOV does, but
+//! every through-packet forces a wake/re-drain cycle of intermediate
+//! routers (gating-event energy + powered residency), where FLOV's latches
+//! let them stay asleep.
+
+use flov_noc::network::NetworkCore;
+use flov_noc::routing::{yx_route, RouteCtx};
+use flov_noc::traits::PowerMechanism;
+use flov_noc::types::{Coord, Cycle, NodeId, PacketId, Port, PowerState};
+
+/// Configuration adjustments Power Punch needs: no escape VCs (waiting on a
+/// punched wakeup must not divert to the FLOV escape network).
+pub fn punch_config(base: &flov_noc::NocConfig) -> flov_noc::NocConfig {
+    flov_noc::NocConfig {
+        escape_vcs: 0,
+        // Keep the total VC count comparable.
+        regular_vcs: base.regular_vcs + base.escape_vcs,
+        ..base.clone()
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct NodeCtl {
+    drain_since: Cycle,
+    stable: u32,
+    ramp: u32,
+    /// Cycles to stay awake after the last punch (lets the punched packet
+    /// actually pass before the idle detector re-drains).
+    punch_hold_until: Cycle,
+    /// Earliest cycle the next drain attempt may start (post-timeout backoff).
+    retry_after: Cycle,
+}
+
+/// The Power Punch mechanism.
+pub struct PowerPunch {
+    pub idle_threshold: u32,
+    pub drain_timeout: u32,
+    pub handshake_rtt: u32,
+    /// Keep a punched router awake this long after its punch.
+    pub punch_hold: u32,
+    ctl: Vec<NodeCtl>,
+    /// Packets whose paths have already been punched.
+    punched: std::collections::HashSet<PacketId>,
+    /// Punch signals sent (energy/overhead accounting).
+    pub punches_sent: u64,
+    wake_buf: Vec<NodeId>,
+}
+
+impl PowerPunch {
+    pub fn new(cfg: &flov_noc::NocConfig) -> PowerPunch {
+        assert_eq!(cfg.escape_vcs, 0, "Power Punch requires escape_vcs = 0 (see punch_config)");
+        PowerPunch {
+            idle_threshold: cfg.idle_threshold,
+            drain_timeout: 256,
+            handshake_rtt: 2,
+            punch_hold: 48,
+            ctl: vec![NodeCtl::default(); cfg.nodes()],
+            punched: std::collections::HashSet::new(),
+            punches_sent: 0,
+            wake_buf: Vec::new(),
+        }
+    }
+
+    /// Walk the YX path from `src` to `dst`, punching every non-active
+    /// router (including the destination).
+    fn punch_path(&mut self, core: &mut NetworkCore, src: NodeId, dst: NodeId) {
+        let k = core.cfg.k;
+        let mut at = Coord::of(src, k);
+        let dstc = Coord::of(dst, k);
+        loop {
+            let n = at.id(k);
+            let now = core.cycle;
+            self.ctl[n as usize].punch_hold_until = now + self.punch_hold as u64;
+            match core.power(n) {
+                PowerState::Sleep => {
+                    core.begin_wakeup(n);
+                    core.activity.handshake_signals += 1;
+                    self.punches_sent += 1;
+                    let c = &mut self.ctl[n as usize];
+                    c.ramp = core.cfg.wakeup_latency;
+                    c.stable = 0;
+                }
+                PowerState::Draining => {
+                    // A punch overrides a drain in progress.
+                    core.abort_drain(n);
+                    core.activity.handshake_signals += 1;
+                    self.punches_sent += 1;
+                }
+                _ => {}
+            }
+            let p = yx_route(at, dstc);
+            let Some(d) = p.dir() else { break };
+            at = at.neighbor(d, k).expect("yx stays in the mesh");
+        }
+    }
+}
+
+impl PowerMechanism for PowerPunch {
+    fn name(&self) -> &'static str {
+        "PowerPunch"
+    }
+
+    fn step(&mut self, core: &mut NetworkCore) {
+        let now = core.cycle;
+        // Fallback wakeups (should be rare: punches precede packets).
+        let mut wake = std::mem::take(&mut self.wake_buf);
+        core.take_wakeup_requests(&mut wake);
+        for &n in wake.iter() {
+            if core.power(n) == PowerState::Sleep {
+                core.begin_wakeup(n);
+                let c = &mut self.ctl[n as usize];
+                c.ramp = core.cfg.wakeup_latency;
+                c.stable = 0;
+            }
+        }
+        self.wake_buf = wake;
+        // Punch the paths of newly queued packets.
+        let mut to_punch: Vec<(NodeId, NodeId)> = Vec::new();
+        for node in 0..core.nodes() {
+            for q in &core.nics[node].queues {
+                for pkt in q.iter() {
+                    if !self.punched.contains(&pkt.id) {
+                        to_punch.push((pkt.src, pkt.dst));
+                        self.punched.insert(pkt.id);
+                    }
+                }
+            }
+        }
+        for (src, dst) in to_punch {
+            self.punch_path(core, src, dst);
+        }
+        // Power FSM (NoRD-style: no adjacency constraints, but punched
+        // routers hold awake for a while).
+        for n in 0..core.nodes() as NodeId {
+            match core.power(n) {
+                PowerState::Active => {
+                    let gated = !core.core_active[n as usize];
+                    let idle =
+                        core.routers[n as usize].local_idle(now) >= self.idle_threshold as u64;
+                    let held = now < self.ctl[n as usize].punch_hold_until;
+                    // Adjacent simultaneous drains starve each other (each
+                    // blocks the other's egress): forbid them, id order
+                    // arbitrating simultaneous attempts.
+                    let neighbor_draining = flov_noc::types::Dir::ALL.iter().any(|&d| {
+                        core.neighbor(n, d)
+                            .is_some_and(|m| core.power(m) == PowerState::Draining)
+                    });
+                    if gated
+                        && idle
+                        && !held
+                        && !neighbor_draining
+                        && now >= self.ctl[n as usize].retry_after
+                        && !core.nic_pending(n)
+                    {
+                        core.begin_drain(n);
+                        let c = &mut self.ctl[n as usize];
+                        c.drain_since = now;
+                        c.stable = 0;
+                    }
+                }
+                PowerState::Draining => {
+                    let held = now < self.ctl[n as usize].punch_hold_until;
+                    if core.core_active[n as usize] || core.nic_pending(n) || held {
+                        core.abort_drain(n);
+                        continue;
+                    }
+                    if now - self.ctl[n as usize].drain_since > self.drain_timeout as u64 {
+                        core.abort_drain(n);
+                        self.ctl[n as usize].retry_after = now + 4 * self.drain_timeout as u64;
+                        continue;
+                    }
+                    let ready = core.routers[n as usize].is_drained() && core.fully_quiescent(n);
+                    let c = &mut self.ctl[n as usize];
+                    if ready {
+                        c.stable += 1;
+                        if c.stable >= self.handshake_rtt {
+                            core.enter_sleep(n);
+                        }
+                    } else {
+                        c.stable = 0;
+                    }
+                }
+                PowerState::Sleep => {
+                    if core.core_active[n as usize] || core.nic_pending(n) {
+                        core.begin_wakeup(n);
+                        let c = &mut self.ctl[n as usize];
+                        c.ramp = core.cfg.wakeup_latency;
+                        c.stable = 0;
+                    }
+                }
+                PowerState::Wakeup => {
+                    let c = &mut self.ctl[n as usize];
+                    if c.ramp > 0 {
+                        c.ramp -= 1;
+                        continue;
+                    }
+                    let ready = core.routers[n as usize].latches_empty()
+                        && core.fully_quiescent(n);
+                    let c = &mut self.ctl[n as usize];
+                    if ready {
+                        c.stable += 1;
+                        if c.stable >= self.handshake_rtt {
+                            core.complete_wakeup(n);
+                        }
+                    } else {
+                        c.stable = 0;
+                    }
+                }
+            }
+        }
+        // Bound the punched-set memory (ids of long-delivered packets).
+        if self.punched.len() > 100_000 {
+            self.punched.clear();
+        }
+    }
+
+    fn route(&self, core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
+        let out = yx_route(ctx.at, ctx.dst);
+        let Some(d) = out.dir() else { return Some(out) };
+        // No bypass datapath: wait until the (punched) next hop is Active.
+        let next = ctx.at.neighbor(d, core.cfg.k).expect("yx stays in the mesh");
+        if core.power(next.id(core.cfg.k)) == PowerState::Active {
+            Some(out)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flov_noc::network::Simulation;
+    use flov_noc::traits::{PacketRequest, ScriptedWorkload};
+    use flov_noc::NocConfig;
+
+    fn cfg() -> NocConfig {
+        punch_config(&NocConfig { k: 4, vnets: 1, watchdog_cycles: 20_000, ..NocConfig::default() })
+    }
+
+    fn gate_all_but(active: &[u16]) -> Vec<(u64, NodeId, bool)> {
+        (0..16).filter(|n| !active.contains(n)).map(|n| (0u64, n, false)).collect()
+    }
+
+    #[test]
+    fn config_swaps_escape_for_regular_vc() {
+        let c = cfg();
+        assert_eq!(c.escape_vcs, 0);
+        assert_eq!(c.regular_vcs, 4); // 3 + 1
+    }
+
+    #[test]
+    fn gates_everything_when_idle() {
+        let c = cfg();
+        let w = ScriptedWorkload::new(vec![]).with_core_events(gate_all_but(&[]));
+        let mut sim = Simulation::new(c.clone(), Box::new(PowerPunch::new(&c)), Box::new(w));
+        sim.run(3_000);
+        let asleep = (0..16u16).filter(|&n| sim.core.power(n) == PowerState::Sleep).count();
+        assert_eq!(asleep, 16, "Power Punch should gate every idle router");
+    }
+
+    #[test]
+    fn punch_wakes_the_path_and_delivers() {
+        let c = cfg();
+        let gates = gate_all_but(&[0, 15]);
+        let w = ScriptedWorkload::new(vec![(
+            3_000,
+            PacketRequest { src: 0, dst: 15, vnet: 0, len: 4 },
+        )])
+        .with_core_events(gates);
+        let mut sim = Simulation::new(c.clone(), Box::new(PowerPunch::new(&c)), Box::new(w));
+        sim.run(2_500);
+        // Path routers asleep before the punch.
+        assert_eq!(sim.core.power(4), PowerState::Sleep); // YX: column 0 first
+        let end = sim.run_until_done(20_000);
+        assert!(end < 20_000, "punched packet not delivered");
+        assert_eq!(sim.core.activity.packets_delivered, 1);
+        // After the hold expires, the path re-drains.
+        sim.run(2_000);
+        assert_eq!(sim.core.power(4), PowerState::Sleep, "path did not re-gate");
+    }
+
+    #[test]
+    fn wakeup_latency_is_hidden_for_long_paths() {
+        // The defining claim: with the punch sent at queue time, far-away
+        // routers are awake by the time the packet arrives, so latency is
+        // close to an all-on mesh.
+        let c = cfg();
+        let gates = gate_all_but(&[0, 15]);
+        let mut events = Vec::new();
+        for i in 0..40u64 {
+            events.push((3_000 + i * 400, PacketRequest { src: 0, dst: 15, vnet: 0, len: 4 }));
+        }
+        let w = ScriptedWorkload::new(events).with_core_events(gates);
+        let mut sim = Simulation::new(c.clone(), Box::new(PowerPunch::new(&c)), Box::new(w));
+        let end = sim.run_until_done(60_000);
+        assert!(end < 60_000);
+        // Unloaded YX path 0->15: 7 routers * 3 + 7 links + 3 serial ~ 31;
+        // with punches the measured average should be within ~60% of that
+        // (first hops still see some ramp), far below 31 + 6*10 = 91 if
+        // every hop had to wake on demand.
+        let lat = sim.core.stats.avg_latency();
+        assert!(lat < 55.0, "punch failed to hide wakeup latency: {lat}");
+        // And routers really were gated between packets (400-cycle gaps >
+        // punch_hold + idle threshold).
+        let gated: u64 = sim.core.residency.iter().map(|r| r.gated).sum();
+        assert!(gated > 0);
+    }
+
+    #[test]
+    fn through_traffic_churns_gating_events() {
+        // The cost vs FLOV: every burst re-wakes the path.
+        let c = cfg();
+        let gates = gate_all_but(&[0, 15]);
+        let mut events = Vec::new();
+        for i in 0..10u64 {
+            events.push((3_000 + i * 1_200, PacketRequest { src: 0, dst: 15, vnet: 0, len: 4 }));
+        }
+        let w = ScriptedWorkload::new(events).with_core_events(gates);
+        let mut sim = Simulation::new(c.clone(), Box::new(PowerPunch::new(&c)), Box::new(w));
+        let end = sim.run_until_done(60_000);
+        assert!(end < 60_000);
+        // Each of the 10 well-separated packets re-punches ~5 sleeping
+        // routers: expect a pile of gating events (sleep+wake pairs).
+        assert!(
+            sim.core.activity.gating_events > 60,
+            "expected wake/sleep churn, got {} events",
+            sim.core.activity.gating_events
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! The partition-based dynamic routing algorithm (paper §V), for regular
+//! VCs and for the escape sub-network.
+//!
+//! Regular VCs: straight partitions forward directly (FLOV links guarantee
+//! the destination is reachable along the line); quadrant partitions prefer
+//! the Y neighbor (YX order) if powered, else the X neighbor if powered and
+//! not the input port, else fall back East toward the always-on column. The
+//! packet never turns back out the port it arrived on; when no legal output
+//! exists the packet stalls (and the escape timeout eventually diverts it).
+//!
+//! Escape sub-network: straight partitions forward directly; quadrant
+//! partitions go East until the always-on column, turn toward the
+//! destination row, then go West — using only the turns
+//! {E->N, E->S, N->W, S->W}, which contain no cycle (Fig. 4b), so the
+//! escape network is deadlock-free.
+
+use crate::partition::Partition;
+use flov_noc::routing::RouteCtx;
+use flov_noc::types::{Dir, Port};
+
+/// Route a regular-VC head flit. `None` stalls the packet for this cycle.
+pub fn flov_route_regular(ctx: &RouteCtx) -> Option<Port> {
+    let Some(p) = Partition::of(ctx.at, ctx.dst) else {
+        return Some(Port::Local);
+    };
+    if let Some(d) = p.straight_dir() {
+        // Straight: forward directly; FLOV links carry the packet over any
+        // power-gated routers on the line.
+        debug_assert!(ctx.neighbor_exists(d));
+        return Some(Port::from_dir(d));
+    }
+    let y = p.quadrant_y().expect("quadrant partition");
+    let x = p.quadrant_x().expect("quadrant partition");
+    debug_assert!(ctx.neighbor_exists(y) && ctx.neighbor_exists(x));
+    if ctx.neighbor_powered(y) {
+        // YX preference: the turn will happen at (or beyond) this powered
+        // router.
+        return Some(Port::from_dir(y));
+    }
+    let xp = Port::from_dir(x);
+    if ctx.neighbor_powered(x) && xp != ctx.in_port {
+        return Some(xp);
+    }
+    // Both turn candidates unusable: head East toward the always-on column,
+    // where a turn is guaranteed to be possible — unless that would be a
+    // U-turn, in which case stall.
+    if ctx.neighbor_exists(Dir::East) && ctx.in_port != Port::East {
+        return Some(Port::East);
+    }
+    None
+}
+
+/// Route an escape-VC head flit. Deterministic and deadlock-free; never
+/// stalls. May return the input port only on the first escape hop (the
+/// diversion itself), never afterwards (see module docs).
+pub fn flov_route_escape(ctx: &RouteCtx) -> Option<Port> {
+    let Some(p) = Partition::of(ctx.at, ctx.dst) else {
+        return Some(Port::Local);
+    };
+    if let Some(d) = p.straight_dir() {
+        return Some(Port::from_dir(d));
+    }
+    // Quadrant: East toward the AON column; once there (no East neighbor or
+    // the AON boundary), move in Y toward the destination row.
+    if ctx.neighbor_exists(Dir::East) {
+        Some(Port::East)
+    } else {
+        let y = p.quadrant_y().expect("quadrant partition");
+        Some(Port::from_dir(y))
+    }
+}
+
+/// Combined FLOV routing entry point.
+pub fn flov_route(ctx: &RouteCtx) -> Option<Port> {
+    if ctx.escape {
+        flov_route_escape(ctx)
+    } else {
+        flov_route_regular(ctx)
+    }
+}
+
+/// The set of (in, out) direction pairs the escape routing is allowed to
+/// take (paper Fig. 4b). `in` is the direction of travel when *entering*
+/// the router, `out` when leaving.
+pub const ESCAPE_ALLOWED_TURNS: [(Dir, Dir); 4] = [
+    (Dir::East, Dir::North),
+    (Dir::East, Dir::South),
+    (Dir::North, Dir::West),
+    (Dir::South, Dir::West),
+];
+
+/// True if travelling `t_in` then `t_out` is legal in the escape network
+/// (straight moves are always legal; U-turns and the turns outside
+/// [`ESCAPE_ALLOWED_TURNS`] are not).
+pub fn escape_turn_legal(t_in: Dir, t_out: Dir) -> bool {
+    t_in == t_out || ESCAPE_ALLOWED_TURNS.contains(&(t_in, t_out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flov_noc::types::{Coord, PowerState};
+
+    fn ctx(at: (u16, u16), dst: (u16, u16), in_port: Port, escape: bool) -> RouteCtx {
+        ctx_with(at, dst, in_port, escape, [Some(PowerState::Active); 4])
+    }
+
+    fn ctx_with(
+        at: (u16, u16),
+        dst: (u16, u16),
+        in_port: Port,
+        escape: bool,
+        mut neighbors: [Option<PowerState>; 4],
+    ) -> RouteCtx {
+        let k = 8;
+        let atc = Coord::new(at.0, at.1);
+        for d in Dir::ALL {
+            if atc.neighbor(d, k).is_none() {
+                neighbors[d.index()] = None;
+            }
+        }
+        RouteCtx { k, at: atc, in_port, dst: Coord::new(dst.0, dst.1), escape, neighbors }
+    }
+
+    #[test]
+    fn straight_partitions_forward_directly_even_when_gated() {
+        let mut n = [Some(PowerState::Active); 4];
+        n[Dir::East.index()] = Some(PowerState::Sleep);
+        let c = ctx_with((2, 2), (6, 2), Port::Local, false, n);
+        assert_eq!(flov_route_regular(&c), Some(Port::East)); // paper Fig. 5(a)
+    }
+
+    #[test]
+    fn quadrant_prefers_y_when_powered() {
+        let c = ctx((2, 2), (5, 5), Port::Local, false);
+        assert_eq!(flov_route_regular(&c), Some(Port::North));
+    }
+
+    #[test]
+    fn quadrant_takes_x_when_y_gated() {
+        // Paper Fig. 5(b): Y-direction router gated, X powered.
+        let mut n = [Some(PowerState::Active); 4];
+        n[Dir::South.index()] = Some(PowerState::Sleep);
+        let c = ctx_with((1, 2), (4, 0), Port::Local, false, n);
+        assert_eq!(flov_route_regular(&c), Some(Port::East));
+    }
+
+    #[test]
+    fn quadrant_falls_back_east_when_both_gated() {
+        let mut n = [Some(PowerState::Active); 4];
+        n[Dir::North.index()] = Some(PowerState::Sleep);
+        n[Dir::West.index()] = Some(PowerState::Sleep);
+        let c = ctx_with((2, 2), (0, 5), Port::Local, false, n);
+        assert_eq!(flov_route_regular(&c), Some(Port::East));
+    }
+
+    #[test]
+    fn never_returns_to_arrival_port() {
+        // Paper Fig. 5(c) at "Router 6": dst NW, Y gated, came from West —
+        // cannot go back West, so East.
+        let mut n = [Some(PowerState::Active); 4];
+        n[Dir::North.index()] = Some(PowerState::Sleep);
+        let c = ctx_with((2, 2), (1, 5), Port::West, false, n);
+        assert_eq!(flov_route_regular(&c), Some(Port::East));
+    }
+
+    #[test]
+    fn stalls_when_only_option_is_uturn() {
+        // Arrived from East, dst NW, Y and X both gated: East fallback
+        // would be a U-turn, so stall.
+        let mut n = [Some(PowerState::Active); 4];
+        n[Dir::North.index()] = Some(PowerState::Sleep);
+        n[Dir::West.index()] = Some(PowerState::Sleep);
+        let c = ctx_with((2, 2), (1, 5), Port::East, false, n);
+        assert_eq!(flov_route_regular(&c), None);
+    }
+
+    #[test]
+    fn draining_neighbor_counts_as_powered_for_turns() {
+        let mut n = [Some(PowerState::Active); 4];
+        n[Dir::North.index()] = Some(PowerState::Draining);
+        let c = ctx_with((2, 2), (5, 5), Port::Local, false, n);
+        assert_eq!(flov_route_regular(&c), Some(Port::North));
+    }
+
+    #[test]
+    fn escape_quadrants_go_east() {
+        let c = ctx((2, 2), (0, 5), Port::South, true);
+        assert_eq!(flov_route_escape(&c), Some(Port::East));
+    }
+
+    #[test]
+    fn escape_turns_y_at_aon_column() {
+        let c = ctx((7, 2), (3, 6), Port::West, true);
+        assert_eq!(flov_route_escape(&c), Some(Port::North));
+        let c2 = ctx((7, 6), (3, 2), Port::West, true);
+        assert_eq!(flov_route_escape(&c2), Some(Port::South));
+    }
+
+    #[test]
+    fn escape_goes_west_in_destination_row() {
+        let c = ctx((7, 4), (3, 4), Port::North, true);
+        assert_eq!(flov_route_escape(&c), Some(Port::West));
+    }
+
+    #[test]
+    fn escape_route_reaches_destination_with_legal_turns_only() {
+        // Walk the escape route (ignoring power states, as escape routing
+        // does) from every source to every destination; verify delivery and
+        // the Fig. 4b turn discipline after the first hop.
+        let k = 8u16;
+        for s in 0..64u16 {
+            for d in 0..64u16 {
+                if s == d {
+                    continue;
+                }
+                let mut at = Coord::of(s, k);
+                let dst = Coord::of(d, k);
+                let mut travel: Option<Dir> = None;
+                let mut hops = 0;
+                loop {
+                    let c = RouteCtx {
+                        k,
+                        at,
+                        in_port: travel.map_or(Port::Local, |t| Port::from_dir(t.opposite())),
+                        dst,
+                        escape: true,
+                        neighbors: std::array::from_fn(|i| {
+                            at.neighbor(Dir::from_index(i), k).map(|_| PowerState::Active)
+                        }),
+                    };
+                    let out = flov_route_escape(&c).unwrap();
+                    if out == Port::Local {
+                        break;
+                    }
+                    let t_out = out.dir().unwrap();
+                    if let Some(t_in) = travel {
+                        assert!(
+                            escape_turn_legal(t_in, t_out),
+                            "illegal escape turn {t_in:?}->{t_out:?} at {at:?} toward {dst:?}"
+                        );
+                    }
+                    at = at.neighbor(t_out, k).expect("escape walked off the mesh");
+                    travel = Some(t_out);
+                    hops += 1;
+                    assert!(hops <= 30, "escape route too long from {s} to {d}");
+                }
+                assert_eq!(at, dst);
+            }
+        }
+    }
+
+    #[test]
+    fn escape_turn_set_has_no_cycle() {
+        // A routing turn set permits deadlock only if it can close a cycle:
+        // check all 4-turn direction cycles (both rotations) need a turn we
+        // forbid.
+        let cw = [Dir::North, Dir::East, Dir::South, Dir::West];
+        let ccw = [Dir::North, Dir::West, Dir::South, Dir::East];
+        for cyc in [cw, ccw] {
+            let mut all_legal = true;
+            for i in 0..4 {
+                if !escape_turn_legal(cyc[i], cyc[(i + 1) % 4]) {
+                    all_legal = false;
+                }
+            }
+            assert!(!all_legal, "escape turns permit a cycle {cyc:?}");
+        }
+    }
+
+    #[test]
+    fn regular_route_delivers_on_fully_powered_mesh() {
+        // With everything powered, the dynamic routing degenerates to
+        // minimal YX.
+        let k = 8u16;
+        for s in 0..64u16 {
+            for d in 0..64u16 {
+                if s == d {
+                    continue;
+                }
+                let mut at = Coord::of(s, k);
+                let dst = Coord::of(d, k);
+                let mut in_port = Port::Local;
+                let mut hops = 0;
+                loop {
+                    let c = RouteCtx {
+                        k,
+                        at,
+                        in_port,
+                        dst,
+                        escape: false,
+                        neighbors: std::array::from_fn(|i| {
+                            at.neighbor(Dir::from_index(i), k).map(|_| PowerState::Active)
+                        }),
+                    };
+                    let out = flov_route_regular(&c).unwrap();
+                    if out == Port::Local {
+                        break;
+                    }
+                    let t = out.dir().unwrap();
+                    at = at.neighbor(t, k).unwrap();
+                    in_port = Port::from_dir(t.opposite());
+                    hops += 1;
+                    assert!(hops <= 14);
+                }
+                assert_eq!(at, dst);
+                assert_eq!(hops, Coord::of(s, k).manhattan(dst), "not minimal");
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the Router Parking routing substrate: for *arbitrary*
+//! parked sets produced by the parking selector, the up*/down* tables must
+//! route every pair in the keep component, never cross a parked router,
+//! never loop, and never take an up move after a down move.
+
+use flov_core::rp::parking::{self, ParkPolicy};
+use flov_core::rp::updown;
+use flov_noc::rng::Rng;
+use flov_noc::types::{Coord, NodeId, Port};
+use proptest::prelude::*;
+
+fn random_keep(k: u16, keep_count: usize, seed: u64) -> Vec<bool> {
+    let n = (k as usize) * (k as usize);
+    let mut rng = Rng::new(seed);
+    let mut ids: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut ids);
+    let mut keep = vec![false; n];
+    for &i in ids.iter().take(keep_count.max(1)) {
+        keep[i] = true;
+    }
+    keep
+}
+
+fn check_tables(k: u16, keep: &[bool], policy: ParkPolicy) {
+    let parked = parking::select_parked(k, keep, policy);
+    let on: Vec<bool> = parked.iter().map(|&p| !p).collect();
+    let table = updown::build_table(k, &on);
+    let n = (k as usize) * (k as usize);
+    let level = updown::component_levels(k, &on);
+    for s in 0..n as NodeId {
+        for d in 0..n as NodeId {
+            if s == d || !keep[s as usize] || !keep[d as usize] {
+                continue;
+            }
+            // Keep nodes are mutually connected by construction, so the
+            // table must route them.
+            let mut cur = s;
+            let mut hops = 0u32;
+            let mut went_down = false;
+            while cur != d {
+                let e = table[cur as usize * n + d as usize];
+                assert_ne!(e, updown::NO_ROUTE, "no route {s}->{d} at {cur}");
+                let dir = Port::from_index(e as usize).dir().expect("local mid-route");
+                let next = Coord::of(cur, k).neighbor(dir, k).expect("walked off mesh").id(k);
+                assert!(on[next as usize], "route {s}->{d} crosses parked {next}");
+                let up = updown::hop_is_up(&level, cur, next);
+                assert!(!(up && went_down), "up after down on {s}->{d} at {cur}");
+                if !up {
+                    went_down = true;
+                }
+                cur = next;
+                hops += 1;
+                assert!(hops <= 4 * n as u32, "loop on {s}->{d}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn aggressive_tables_route_all_keep_pairs(
+        keep_count in 1usize..30,
+        seed in 0u64..1_000_000,
+    ) {
+        check_tables(8, &random_keep(8, keep_count, seed), ParkPolicy::Aggressive);
+    }
+
+    #[test]
+    fn spread_tables_route_all_keep_pairs(
+        keep_count in 1usize..30,
+        seed in 0u64..1_000_000,
+    ) {
+        check_tables(8, &random_keep(8, keep_count, seed), ParkPolicy::Spread);
+    }
+
+    #[test]
+    fn smaller_meshes_work_too(
+        k in 2u16..6,
+        seed in 0u64..100_000,
+    ) {
+        let n = (k as usize) * (k as usize);
+        check_tables(k, &random_keep(k, n / 3, seed), ParkPolicy::Aggressive);
+    }
+
+    #[test]
+    fn parking_never_parks_keep_nodes(
+        keep_count in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let keep = random_keep(8, keep_count, seed);
+        for policy in [ParkPolicy::Aggressive, ParkPolicy::Spread] {
+            let parked = parking::select_parked(8, &keep, policy);
+            for i in 0..64 {
+                prop_assert!(!(keep[i] && parked[i]), "keep node {i} parked");
+            }
+        }
+    }
+
+    #[test]
+    fn aggressive_parks_at_least_as_much_as_spread(
+        keep_count in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let keep = random_keep(8, keep_count, seed);
+        let agg = parking::select_parked(8, &keep, ParkPolicy::Aggressive)
+            .iter().filter(|&&p| p).count();
+        let spr = parking::select_parked(8, &keep, ParkPolicy::Spread)
+            .iter().filter(|&&p| p).count();
+        prop_assert!(agg >= spr, "aggressive {agg} < spread {spr}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Activity counters: the raw event counts the power model converts into
+//! dynamic energy, plus per-router powered/gated residency for leakage.
+//!
+//! The simulator increments these in the hot loop; they are plain integers
+//! (no allocation, no floating point) and are read once at the end of a run.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-run activity totals, aggregated over all routers and links.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActivityCounters {
+    /// Flits written into input VC buffers.
+    pub buffer_writes: u64,
+    /// Flits read out of input VC buffers (switch traversal).
+    pub buffer_reads: u64,
+    /// Crossbar traversals (one per flit per powered router hop).
+    pub xbar_traversals: u64,
+    /// Switch-allocator arbitration operations (granted requests).
+    pub sa_grants: u64,
+    /// VC-allocator grants.
+    pub va_grants: u64,
+    /// Flit traversals of inter-router links (plus ejection links).
+    pub link_flits: u64,
+    /// Flit traversals of FLOV latches in power-gated routers.
+    pub flov_latch_flits: u64,
+    /// Flit hops on the NoRD bypass ring.
+    pub ring_flits: u64,
+    /// Credit messages carried on reverse wires.
+    pub credit_msgs: u64,
+    /// Credit messages relayed through sleeping routers.
+    pub credit_relays: u64,
+    /// Handshake signal transmissions (HSC wires), including relays.
+    pub handshake_signals: u64,
+    /// Power-gating transitions (each costs the 17.7 pJ overhead of Table I):
+    /// counted once on every sleep entry and once on every wakeup completion.
+    pub gating_events: u64,
+    /// Packets injected into the network.
+    pub packets_injected: u64,
+    /// Flits injected into the network.
+    pub flits_injected: u64,
+    /// Packets delivered.
+    pub packets_delivered: u64,
+    /// Flits delivered.
+    pub flits_delivered: u64,
+}
+
+impl ActivityCounters {
+    /// Element-wise difference, for measuring a window (e.g. post-warmup).
+    pub fn delta_since(&self, earlier: &ActivityCounters) -> ActivityCounters {
+        ActivityCounters {
+            buffer_writes: self.buffer_writes - earlier.buffer_writes,
+            buffer_reads: self.buffer_reads - earlier.buffer_reads,
+            xbar_traversals: self.xbar_traversals - earlier.xbar_traversals,
+            sa_grants: self.sa_grants - earlier.sa_grants,
+            va_grants: self.va_grants - earlier.va_grants,
+            link_flits: self.link_flits - earlier.link_flits,
+            flov_latch_flits: self.flov_latch_flits - earlier.flov_latch_flits,
+            ring_flits: self.ring_flits - earlier.ring_flits,
+            credit_msgs: self.credit_msgs - earlier.credit_msgs,
+            credit_relays: self.credit_relays - earlier.credit_relays,
+            handshake_signals: self.handshake_signals - earlier.handshake_signals,
+            gating_events: self.gating_events - earlier.gating_events,
+            packets_injected: self.packets_injected - earlier.packets_injected,
+            flits_injected: self.flits_injected - earlier.flits_injected,
+            packets_delivered: self.packets_delivered - earlier.packets_delivered,
+            flits_delivered: self.flits_delivered - earlier.flits_delivered,
+        }
+    }
+}
+
+/// Per-router residency in each power condition, in cycles.
+/// Leakage is weighted by these: a powered router leaks fully; a gated
+/// router leaks only through its (active) FLOV latches and the always-on
+/// handshake logic.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Residency {
+    /// Cycles with the baseline datapath powered (Active or Draining).
+    pub powered: u64,
+    /// Cycles power-gated with FLOV latches live (Sleep or Wakeup ramp).
+    pub gated: u64,
+}
+
+impl Residency {
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.powered + self.gated
+    }
+
+    /// Fraction of time powered; 1.0 for an empty window (no gating evidence).
+    pub fn powered_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            1.0
+        } else {
+            self.powered as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let mut a = ActivityCounters::default();
+        a.buffer_writes = 10;
+        a.link_flits = 5;
+        a.gating_events = 2;
+        let mut b = a.clone();
+        b.buffer_writes = 25;
+        b.link_flits = 9;
+        b.gating_events = 2;
+        let d = b.delta_since(&a);
+        assert_eq!(d.buffer_writes, 15);
+        assert_eq!(d.link_flits, 4);
+        assert_eq!(d.gating_events, 0);
+    }
+
+    #[test]
+    fn residency_fraction() {
+        let r = Residency { powered: 75, gated: 25 };
+        assert!((r.powered_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(r.total(), 100);
+        assert_eq!(Residency::default().powered_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Simulation configuration (paper Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated NoC.
+///
+/// Defaults reproduce Table I of the paper:
+/// 8x8 mesh, 3-stage routers at 2 GHz, 6-flit input buffers, 3 regular VCs +
+/// 1 escape VC per virtual network, 3 virtual networks, 1-cycle 16-byte
+/// links, 10-cycle wakeup latency and 17.7 pJ power-gating overhead.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Mesh radix: the network is a `k x k` 2D mesh.
+    pub k: u16,
+    /// Number of virtual networks (message classes).
+    pub vnets: usize,
+    /// Regular (non-escape) VCs per vnet per input port.
+    pub regular_vcs: usize,
+    /// Escape VCs per vnet (Duato deadlock recovery); the escape VC is the
+    /// last VC index of each vnet.
+    pub escape_vcs: usize,
+    /// Input buffer depth, in flits, per VC.
+    pub buf_depth: usize,
+    /// Router pipeline depth in cycles (RC / VA+SA / ST).
+    pub pipeline_stages: u32,
+    /// Link traversal latency, cycles.
+    pub link_latency: u32,
+    /// Cycles a power-gated router needs to ramp power back up.
+    pub wakeup_latency: u32,
+    /// Cycles of local-port inactivity before a router with a gated core
+    /// initiates the drain handshake.
+    pub idle_threshold: u32,
+    /// Head-flit wait (cycles) after which a packet is diverted into the
+    /// escape sub-network (Duato timeout recovery).
+    pub escape_timeout: u32,
+    /// Flits per packet for synthetic traffic.
+    pub synth_packet_len: u16,
+    /// Router/link clock frequency in Hz (2 GHz in the paper).
+    pub clock_hz: f64,
+    /// Maximum queued flits per NIC source queue before generation back-
+    /// pressure is reported (statistics only; the queue itself is unbounded).
+    pub nic_queue_warn: usize,
+    /// Enable the NoRD bypass ring (node-router decoupling): a Hamiltonian
+    /// ring over all NICs that keeps gated nodes reachable without FLOV
+    /// links. Requires even `k` (no Hamiltonian cycle exists otherwise —
+    /// the paper's critique of NoRD), at most 256 nodes, and at least two
+    /// regular VCs (ring-to-mesh transfers reserve the last one).
+    pub enable_ring: bool,
+    /// Seed for all simulation-internal randomness (arbitration tie-breaks
+    /// are deterministic; this seeds workload-facing RNG forks).
+    pub seed: u64,
+    /// Cycles without any network event after which the watchdog declares a
+    /// deadlock (0 disables).
+    pub watchdog_cycles: u64,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig {
+            k: 8,
+            vnets: 3,
+            regular_vcs: 3,
+            escape_vcs: 1,
+            buf_depth: 6,
+            pipeline_stages: 3,
+            link_latency: 1,
+            wakeup_latency: 10,
+            idle_threshold: 16,
+            escape_timeout: 128,
+            synth_packet_len: 4,
+            clock_hz: 2.0e9,
+            nic_queue_warn: 4096,
+            enable_ring: false,
+            seed: 0xF10F_F10F,
+            watchdog_cycles: 50_000,
+        }
+    }
+}
+
+impl NocConfig {
+    /// Total VCs per vnet (regular + escape).
+    #[inline]
+    pub fn vcs_per_vnet(&self) -> usize {
+        self.regular_vcs + self.escape_vcs
+    }
+
+    /// Total VCs per input port across all vnets.
+    #[inline]
+    pub fn total_vcs(&self) -> usize {
+        self.vnets * self.vcs_per_vnet()
+    }
+
+    /// Flattened VC index for `(vnet, vc)`.
+    #[inline]
+    pub fn vc_index(&self, vnet: usize, vc: usize) -> usize {
+        vnet * self.vcs_per_vnet() + vc
+    }
+
+    /// Inverse of [`NocConfig::vc_index`].
+    #[inline]
+    pub fn vc_split(&self, idx: usize) -> (usize, usize) {
+        (idx / self.vcs_per_vnet(), idx % self.vcs_per_vnet())
+    }
+
+    /// Index (within a vnet) of the escape VC, or `None` if the config has
+    /// no escape VCs.
+    #[inline]
+    pub fn escape_vc(&self) -> Option<usize> {
+        if self.escape_vcs > 0 {
+            Some(self.regular_vcs)
+        } else {
+            None
+        }
+    }
+
+    /// True if `vc` (index within a vnet) is an escape VC.
+    #[inline]
+    pub fn is_escape_vc(&self, vc: usize) -> bool {
+        vc >= self.regular_vcs
+    }
+
+    /// Number of nodes in the mesh.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.k as usize * self.k as usize
+    }
+
+    /// Validate invariants; panics with a clear message on misconfiguration.
+    pub fn validate(&self) {
+        assert!(self.k >= 2, "mesh radix must be at least 2");
+        assert!(self.vnets >= 1, "at least one vnet required");
+        assert!(self.regular_vcs >= 1, "at least one regular VC required");
+        assert!(self.escape_vcs <= 1, "at most one escape VC per vnet is supported");
+        assert!(self.buf_depth >= 1, "buffers must hold at least one flit");
+        assert!(self.pipeline_stages >= 1, "router needs at least one stage");
+        assert!(self.link_latency >= 1, "links take at least one cycle");
+        assert!(self.synth_packet_len >= 1, "packets have at least one flit");
+        assert!(self.escape_timeout >= 1, "escape timeout must be positive");
+    }
+
+    /// Convenience: Table I configuration (the defaults).
+    pub fn paper_table1() -> Self {
+        Self::default()
+    }
+
+    /// Small configuration for fast tests: 4x4 mesh, 1 vnet.
+    pub fn small_test() -> Self {
+        NocConfig {
+            k: 4,
+            vnets: 1,
+            watchdog_cycles: 20_000,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let c = NocConfig::default();
+        assert_eq!(c.k, 8);
+        assert_eq!(c.buf_depth, 6);
+        assert_eq!(c.regular_vcs, 3);
+        assert_eq!(c.escape_vcs, 1);
+        assert_eq!(c.vnets, 3);
+        assert_eq!(c.pipeline_stages, 3);
+        assert_eq!(c.link_latency, 1);
+        assert_eq!(c.wakeup_latency, 10);
+        assert_eq!(c.synth_packet_len, 4);
+        assert_eq!(c.clock_hz, 2.0e9);
+        c.validate();
+    }
+
+    #[test]
+    fn vc_index_roundtrip() {
+        let c = NocConfig::default();
+        for vnet in 0..c.vnets {
+            for vc in 0..c.vcs_per_vnet() {
+                let idx = c.vc_index(vnet, vc);
+                assert_eq!(c.vc_split(idx), (vnet, vc));
+                assert!(idx < c.total_vcs());
+            }
+        }
+    }
+
+    #[test]
+    fn escape_vc_is_last() {
+        let c = NocConfig::default();
+        assert_eq!(c.escape_vc(), Some(3));
+        assert!(c.is_escape_vc(3));
+        assert!(!c.is_escape_vc(2));
+        let no_escape = NocConfig { escape_vcs: 0, ..NocConfig::default() };
+        assert_eq!(no_escape.escape_vc(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh radix")]
+    fn validate_rejects_tiny_mesh() {
+        NocConfig { k: 1, ..NocConfig::default() }.validate();
+    }
+
+    #[test]
+    fn node_count() {
+        assert_eq!(NocConfig::default().nodes(), 64);
+        assert_eq!(NocConfig::small_test().nodes(), 16);
+    }
+}

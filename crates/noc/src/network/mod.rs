@@ -1,0 +1,681 @@
+//! The simulation kernel: owns routers, channels and NICs, and advances the
+//! network one cycle at a time with a fixed, deterministic phase order:
+//!
+//! 1. workload update (core activity + packet generation),
+//! 2. FLOV latch forwarding in power-gated routers,
+//! 3. link delivery (flits, credits, ejection),
+//! 4. mechanism control step (handshakes, power transitions),
+//! 5. NIC injection,
+//! 6. router pipelines (VA, then SA/ST) for powered routers,
+//! 7. accounting (residency, watchdog).
+
+mod chain;
+#[cfg(test)]
+mod tests;
+mod pipeline;
+mod transitions;
+
+pub use chain::ChainTarget;
+
+use crate::activity::{ActivityCounters, Residency};
+use crate::config::NocConfig;
+use crate::flit::Flit;
+use crate::link::Channel;
+use crate::nic::Nic;
+use crate::ring::{BypassRing, RingDelivery};
+use crate::packet::Packet;
+use crate::router::Router;
+use crate::stats::NetStats;
+use crate::traits::{PacketRequest, PowerMechanism, Workload};
+use crate::types::{Coord, Cycle, Dir, NodeId, PacketId, PowerState};
+
+/// The network state, without the mechanism/workload policies.
+pub struct NetworkCore {
+    pub cfg: NocConfig,
+    pub cycle: Cycle,
+    pub routers: Vec<Router>,
+    /// Directed inter-router channels, indexed `node * 4 + dir`; the channel
+    /// leads *out of* `node` in direction `dir`. Edge slots exist but stay
+    /// unused.
+    channels: Vec<Channel>,
+    /// Ejection channels, router -> NIC, one per node.
+    eject: Vec<Channel>,
+    pub nics: Vec<Nic>,
+    /// OS-visible core power state, driven by the workload.
+    pub core_active: Vec<bool>,
+    wake_flag: Vec<bool>,
+    wake_list: Vec<NodeId>,
+    pub activity: ActivityCounters,
+    pub residency: Vec<Residency>,
+    pub stats: NetStats,
+    next_packet: PacketId,
+    /// Packets injected (head entered the network or NIC queue) minus
+    /// packets delivered.
+    pub in_flight_packets: u64,
+    last_progress: Cycle,
+    /// Cycles in which at least one node wanted to inject but was stalled by
+    /// the mechanism (Router Parking reconfiguration accounting).
+    pub stalled_injection_cycles: u64,
+    /// Packets diverted into the escape sub-network by the timeout.
+    pub escape_diversions: u64,
+    /// Flit count per directed channel (`node * 4 + dir`), for hotspot
+    /// analysis (the paper attributes RP's contention to routing hotspots).
+    pub link_util: Vec<u64>,
+    /// NoRD bypass ring, when `cfg.enable_ring` is set.
+    pub ring: Option<BypassRing>,
+    /// Ring-to-mesh transfer queues, one per node (flits that exited the
+    /// ring at a powered node and await mesh injection).
+    ring_transfer: Vec<std::collections::VecDeque<Flit>>,
+    /// Per-node wormhole state of the transfer injector: packet id of the
+    /// in-flight transfer (the reserved transfer VC keeps it contiguous).
+    transfer_open: Vec<Option<crate::types::PacketId>>,
+    /// Per-packet staging of mesh-to-ring transfers: flits of different
+    /// packets interleave on the ejection channel, but the ring station
+    /// must receive whole packets contiguously (its wormhole lock would
+    /// otherwise deadlock). Flits collect here until the tail arrives.
+    ring_stage: Vec<Vec<(crate::types::PacketId, Vec<Flit>)>>,
+    ring_out: Vec<RingDelivery>,
+    gen_buf: Vec<PacketRequest>,
+}
+
+impl NetworkCore {
+    pub fn new(cfg: NocConfig) -> NetworkCore {
+        cfg.validate();
+        let n = cfg.nodes();
+        let measure_from = 0;
+        NetworkCore {
+            routers: (0..n).map(|i| Router::new(&cfg, i as NodeId)).collect(),
+            channels: (0..n * 4).map(|_| Channel::new()).collect(),
+            eject: (0..n).map(|_| Channel::new()).collect(),
+            nics: (0..n).map(|_| Nic::new(cfg.vnets)).collect(),
+            core_active: vec![true; n],
+            wake_flag: vec![false; n],
+            wake_list: Vec::new(),
+            activity: ActivityCounters::default(),
+            residency: vec![Residency::default(); n],
+            stats: NetStats::new(measure_from, cfg.pipeline_stages, cfg.link_latency),
+            next_packet: 0,
+            in_flight_packets: 0,
+            last_progress: 0,
+            stalled_injection_cycles: 0,
+            escape_diversions: 0,
+            link_util: vec![0; n * 4],
+            ring: if cfg.enable_ring {
+                assert!(cfg.k.is_multiple_of(2), "NoRD bypass ring requires an even mesh radix");
+                assert!(n <= 256, "ring exit stamping supports at most 256 nodes");
+                assert!(cfg.regular_vcs >= 2, "the ring transfer path reserves one regular VC");
+                Some(BypassRing::new(cfg.k).expect("even-radix ring construction"))
+            } else {
+                None
+            },
+            ring_transfer: vec![std::collections::VecDeque::new(); n],
+            transfer_open: vec![None; n],
+            ring_stage: vec![Vec::new(); n],
+            ring_out: Vec::new(),
+            gen_buf: Vec::new(),
+            cycle: 0,
+            cfg,
+        }
+    }
+
+    /// Mesh radix.
+    #[inline]
+    pub fn k(&self) -> u16 {
+        self.cfg.k
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Coordinate of `node`.
+    #[inline]
+    pub fn coord(&self, node: NodeId) -> Coord {
+        Coord::of(node, self.cfg.k)
+    }
+
+    /// Neighbor of `node` in `d`, if any.
+    #[inline]
+    pub fn neighbor(&self, node: NodeId, d: Dir) -> Option<NodeId> {
+        self.coord(node).neighbor(d, self.cfg.k).map(|c| c.id(self.cfg.k))
+    }
+
+    /// Index of the outgoing channel of `node` in direction `d`.
+    #[inline]
+    fn edge(&self, node: NodeId, d: Dir) -> usize {
+        node as usize * 4 + d.index()
+    }
+
+    /// The outgoing channel of `node` in direction `d` (must exist).
+    #[inline]
+    pub fn channel(&self, node: NodeId, d: Dir) -> &Channel {
+        &self.channels[self.edge(node, d)]
+    }
+
+    #[inline]
+    pub(crate) fn channel_mut(&mut self, node: NodeId, d: Dir) -> &mut Channel {
+        let e = self.edge(node, d);
+        &mut self.channels[e]
+    }
+
+    /// Power state of `node`.
+    #[inline]
+    pub fn power(&self, node: NodeId) -> PowerState {
+        self.routers[node as usize].power
+    }
+
+    /// Physical-neighbor power states as seen from `node` (the PSR view).
+    pub fn psr(&self, node: NodeId) -> [Option<PowerState>; 4] {
+        let mut out = [None; 4];
+        for d in Dir::ALL {
+            out[d.index()] = self.neighbor(node, d).map(|m| self.power(m));
+        }
+        out
+    }
+
+    /// True if the NIC of `node` has traffic queued or mid-serialization.
+    #[inline]
+    pub fn nic_pending(&self, node: NodeId) -> bool {
+        self.nics[node as usize].pending()
+    }
+
+    /// Register a wakeup request for a sleeping router holding up traffic
+    /// (paper: "its neighbor has a packet destined for its core").
+    pub(crate) fn request_wakeup(&mut self, node: NodeId) {
+        if !self.wake_flag[node as usize] {
+            self.wake_flag[node as usize] = true;
+            self.wake_list.push(node);
+        }
+    }
+
+    /// Drain pending wakeup requests; called by the mechanism each step.
+    pub fn take_wakeup_requests(&mut self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend_from_slice(&self.wake_list);
+        for &n in &self.wake_list {
+            self.wake_flag[n as usize] = false;
+        }
+        self.wake_list.clear();
+    }
+
+    /// Peek at pending wakeup requests without clearing them.
+    pub fn wakeup_requests(&self) -> &[NodeId] {
+        &self.wake_list
+    }
+
+    /// Enqueue a generated packet at its source NIC.
+    pub fn submit(&mut self, req: PacketRequest) -> PacketId {
+        debug_assert!((req.src as usize) < self.nodes() && (req.dst as usize) < self.nodes());
+        debug_assert!(req.src != req.dst, "self-addressed packets are not modeled");
+        debug_assert!((req.vnet as usize) < self.cfg.vnets);
+        let id = self.next_packet;
+        self.next_packet += 1;
+        let pkt = Packet { id, src: req.src, dst: req.dst, vnet: req.vnet, len: req.len, birth: self.cycle };
+        self.nics[req.src as usize].enqueue(pkt);
+        self.routers[req.src as usize].touch_local(self.cycle);
+        self.in_flight_packets += 1;
+        id
+    }
+
+    /// Total flits buffered in routers, latches, channels and partial
+    /// serializations — zero means the network fabric is empty.
+    pub fn flits_in_network(&self) -> u64 {
+        let buffered: u64 = self.routers.iter().map(|r| r.buffered_flits() as u64).sum();
+        let latched: u64 = self
+            .routers
+            .iter()
+            .map(|r| r.latches.iter().filter(|l| l.is_some()).count() as u64)
+            .sum();
+        let in_flight: u64 = self.channels.iter().map(|c| c.flits_in_flight() as u64).sum();
+        let ejecting: u64 = self.eject.iter().map(|c| c.flits_in_flight() as u64).sum();
+        let ringed: u64 = self.ring.as_ref().map_or(0, |r| r.flits_in_ring());
+        let transfers: u64 = self.ring_transfer.iter().map(|q| q.len() as u64).sum();
+        let staged: u64 = self
+            .ring_stage
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|(_, fs)| fs.len() as u64)
+            .sum();
+        buffered + latched + in_flight + ejecting + ringed + transfers + staged
+    }
+
+    /// True if no packet is anywhere between generation and delivery.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight_packets == 0
+    }
+
+    /// Flits generated so far: injected plus still queued at the NICs
+    /// (including the remainder of partial serializations). This is the
+    /// *offered* load — visible even while injection is stalled, which is
+    /// what a Fabric Manager's congestion estimate needs.
+    pub fn generated_flits(&self) -> u64 {
+        let queued: u64 = self
+            .nics
+            .iter()
+            .map(|nic| {
+                let q: u64 =
+                    nic.queues.iter().flat_map(|q| q.iter()).map(|p| p.len as u64).sum();
+                let partial: u64 = nic
+                    .in_progress
+                    .iter()
+                    .flatten()
+                    .map(|st| (st.pkt.len - st.next) as u64)
+                    .sum();
+                q + partial
+            })
+            .sum();
+        self.activity.flits_injected + queued
+    }
+
+    /// True if every channel between `a` and its neighbor in `d` (both
+    /// directions) is idle. Used by handshake quiescence checks.
+    pub fn link_quiescent(&self, a: NodeId, d: Dir) -> bool {
+        let Some(b) = self.neighbor(a, d) else { return true };
+        self.channel(a, d).is_idle() && self.channel(b, d.opposite()).is_idle()
+    }
+
+    /// Incoming flit channels of `node` are all empty.
+    pub fn incoming_flits_clear(&self, node: NodeId) -> bool {
+        Dir::ALL.iter().all(|&d| {
+            self.neighbor(node, d)
+                .is_none_or(|m| self.channel(m, d.opposite()).flits_in_flight() == 0)
+        })
+    }
+
+    fn note_progress(&mut self) {
+        self.last_progress = self.cycle;
+    }
+
+    /// Phase 2: power-gated routers move latched flits onward.
+    fn latch_phase(&mut self) {
+        let now = self.cycle;
+        let link_lat = self.cfg.link_latency as u64;
+        for i in 0..self.routers.len() {
+            if !self.routers[i].power.is_flov() {
+                debug_assert!(self.routers[i].latches_empty());
+                continue;
+            }
+            for d in Dir::ALL {
+                let Some((t0, flit)) = self.routers[i].latches[d.index()] else { continue };
+                if t0 >= now {
+                    continue; // latched this cycle; hold for one cycle
+                }
+                let next = self
+                    .neighbor(i as NodeId, d)
+                    .expect("FLOV latch forwarding would leave the mesh");
+                let mut f = flit;
+                f.hops_link += 1;
+                self.activity.link_flits += 1;
+                let e = self.edge(i as NodeId, d);
+                self.link_util[e] += 1;
+                self.channels[e].send_flit(now + link_lat, f);
+                self.routers[i].latches[d.index()] = None;
+                self.note_progress();
+                let _ = next;
+            }
+        }
+    }
+
+    /// Phase 3: deliver arrived flits and credits.
+    fn delivery_phase(&mut self) {
+        let now = self.cycle;
+        // Inter-router channels.
+        for e in 0..self.channels.len() {
+            let node = (e / 4) as NodeId;
+            let d = Dir::from_index(e % 4);
+            let Some(target) = self.neighbor(node, d) else {
+                debug_assert!(self.channels[e].is_idle(), "traffic on an edge channel");
+                continue;
+            };
+            // Flits.
+            while let Some(flit) = self.channels[e].recv_flit(now) {
+                self.deliver_flit(target, d, flit);
+            }
+            // Credits: travel in direction `d`; at a powered router they
+            // refund the output facing back along `opposite(d)`.
+            while let Some(c) = self.channels[e].recv_credit(now) {
+                self.deliver_credit(target, d, c);
+            }
+        }
+        // Ejection channels.
+        for n in 0..self.eject.len() {
+            while let Some(flit) = self.eject[n].recv_flit(now) {
+                if flit.dst != n as NodeId {
+                    // Mesh-to-ring transfer at a proxy node: the routing
+                    // function ejected the flit here so it can ride the
+                    // bypass ring the rest of the way (NoRD only).
+                    assert!(
+                        self.ring.is_some(),
+                        "flit misdelivered: dst {} ejected at {n} without a ring",
+                        flit.dst
+                    );
+                    let exit = flit.dst;
+                    self.ring_ingress(n as NodeId, flit, exit);
+                    continue;
+                }
+                self.activity.flits_delivered += 1;
+                self.routers[n].touch_local(now);
+                if let Some(done) = self.nics[n].receive(flit, now, n as NodeId) {
+                    self.activity.packets_delivered += 1;
+                    self.in_flight_packets -= 1;
+                    self.stats.record(&done);
+                }
+                self.note_progress();
+            }
+        }
+    }
+
+    fn deliver_flit(&mut self, target: NodeId, travel: Dir, flit: crate::flit::Flit) {
+        let now = self.cycle;
+        let r = &mut self.routers[target as usize];
+        if r.power.is_flov() {
+            // Fly over: into the output latch of the same travel direction.
+            debug_assert!(
+                r.has_flov(travel),
+                "flit flying over router {target} without FLOV capability in {travel:?}"
+            );
+            debug_assert!(flit.dst != target, "flit for a gated router reached its latch");
+            let slot = &mut r.latches[travel.index()];
+            assert!(slot.is_none(), "FLOV latch conflict at router {target}");
+            let mut f = flit;
+            f.hops_flov += 1;
+            *slot = Some((now, f));
+            self.activity.flov_latch_flits += 1;
+        } else {
+            let in_port = crate::types::Port::from_dir(travel.opposite());
+            let vc_flat = self.cfg.vc_index(flit.vnet as usize, flit.vc as usize);
+            let slot = r.slot(in_port.index(), vc_flat);
+            let was_empty = r.inputs[slot].buf.is_empty();
+            r.inputs[slot].buf.push(flit);
+            if was_empty && flit.kind.is_head() {
+                r.inputs[slot].head_since = now;
+            }
+            r.port_occupancy[in_port.index()] += 1;
+            self.activity.buffer_writes += 1;
+        }
+        self.note_progress();
+    }
+
+    fn deliver_credit(&mut self, target: NodeId, travel: Dir, c: crate::link::CreditMsg) {
+        let now = self.cycle;
+        if self.routers[target as usize].power.is_flov() {
+            // Relay upstream: one extra cycle per sleeping hop.
+            if self.neighbor(target, travel).is_some() {
+                self.activity.credit_msgs += 1;
+                self.activity.credit_relays += 1;
+                let e = self.edge(target, travel);
+                self.channels[e].send_credit(now + 1, c);
+            }
+            // At a mesh edge the credit has no consumer left; drop it.
+        } else {
+            let out_port = crate::types::Port::from_dir(travel.opposite());
+            let vc_flat = self.cfg.vc_index(c.vnet as usize, c.vc as usize);
+            let logical = self.logical_neighbor(target, travel.opposite());
+            let r = &mut self.routers[target as usize];
+            let slot = r.slot(out_port.index(), vc_flat);
+            assert!(
+                r.out_credits[slot].available() < self.cfg.buf_depth,
+                "credit overflow at router {target} port {out_port:?} vnet {} vc {} \
+                 (cycle {now}, router state {:?}, logical downstream {logical:?})",
+                c.vnet,
+                c.vc,
+                r.power,
+            );
+            r.out_credits[slot].refund();
+        }
+    }
+
+    /// Ring exit node for a packet entering the ring at `from` with
+    /// destination `dst`: the first node after `from` (ring order) whose
+    /// router is powered — where the packet re-enters the mesh — or `dst`
+    /// itself if it comes first or nothing is powered (full ring ride).
+    pub fn ring_exit_for(&self, from: NodeId, dst: NodeId) -> NodeId {
+        let ring = self.ring.as_ref().expect("ring not enabled");
+        let mut cur = ring.successor(from);
+        while cur != from {
+            if cur == dst || self.routers[cur as usize].power.is_powered() {
+                return cur;
+            }
+            cur = ring.successor(cur);
+        }
+        dst
+    }
+
+    /// Queue a flit onto the bypass ring at `node`, stamping its exit node
+    /// into the (ring-unused) `vc` field. Flits are staged per packet and
+    /// released to the ring station only once the tail arrives, so packets
+    /// stay contiguous (flits of different packets interleave on the
+    /// ejection channel).
+    fn ring_ingress(&mut self, node: NodeId, mut flit: Flit, exit: NodeId) {
+        debug_assert!(exit != node);
+        flit.vc = exit as u8;
+        let is_tail = flit.kind.is_tail();
+        let stage = &mut self.ring_stage[node as usize];
+        match stage.iter_mut().find(|(p, _)| *p == flit.packet) {
+            Some((_, fs)) => fs.push(flit),
+            None => stage.push((flit.packet, vec![flit])),
+        }
+        if is_tail {
+            let pos = stage.iter().position(|(p, _)| *p == flit.packet).unwrap();
+            let (_, fs) = stage.swap_remove(pos);
+            let ring = self.ring.as_mut().unwrap();
+            for f in fs {
+                ring.enqueue(node, f);
+            }
+        }
+        self.note_progress();
+    }
+
+    /// Ring phase: advance the bypass ring one cycle; ejections complete
+    /// packets at NICs, mesh entries queue for transfer injection.
+    fn ring_phase(&mut self) {
+        if self.ring.is_none() {
+            return;
+        }
+        let now = self.cycle;
+        let mut out = std::mem::take(&mut self.ring_out);
+        out.clear();
+        {
+            let ring = self.ring.as_mut().unwrap();
+            ring.step(now, |node, flit| flit.vc as NodeId == node, &mut out);
+            self.activity.ring_flits = ring.flits_forwarded;
+        }
+        for d in out.drain(..) {
+            match d {
+                RingDelivery::Eject(node, flit) => {
+                    self.activity.flits_delivered += 1;
+                    self.routers[node as usize].touch_local(now);
+                    if let Some(done) = self.nics[node as usize].receive(flit, now, node) {
+                        self.activity.packets_delivered += 1;
+                        self.in_flight_packets -= 1;
+                        self.stats.record(&done);
+                    }
+                    self.note_progress();
+                }
+                RingDelivery::MeshEntry(node, flit) => {
+                    self.ring_transfer[node as usize].push_back(flit);
+                    self.note_progress();
+                }
+            }
+        }
+        self.ring_out = out;
+    }
+
+    /// Transfer + bypass injection (one flit per node per cycle each way):
+    /// ring-to-mesh transfers enter the reserved transfer VC of the local
+    /// port; gated nodes serialize NIC packets straight onto the ring.
+    fn ring_injection_phase(&mut self) {
+        if self.ring.is_none() {
+            return;
+        }
+        let now = self.cycle;
+        for node in 0..self.nodes() as NodeId {
+            // (a) Ring-to-mesh transfer at powered routers.
+            if self.routers[node as usize].power.is_powered()
+                && !self.ring_transfer[node as usize].is_empty()
+            {
+                let front = *self.ring_transfer[node as usize].front().unwrap();
+                let open = self.transfer_open[node as usize];
+                let ok_packet = match open {
+                    Some(p) => p == front.packet,
+                    None => front.kind.is_head(),
+                };
+                if ok_packet {
+                    let vc = (self.cfg.regular_vcs - 1) as u8; // reserved transfer VC
+                    let flat = self.cfg.vc_index(front.vnet as usize, vc as usize);
+                    let r = &mut self.routers[node as usize];
+                    let slot = r.slot(crate::types::Port::Local.index(), flat);
+                    if r.inputs[slot].buf.free() > 0 {
+                        let mut f = self.ring_transfer[node as usize].pop_front().unwrap();
+                        f.vc = vc;
+                        let was_empty = r.inputs[slot].buf.is_empty();
+                        r.inputs[slot].buf.push(f);
+                        if was_empty && f.kind.is_head() {
+                            r.inputs[slot].head_since = now;
+                        }
+                        r.port_occupancy[crate::types::Port::Local.index()] += 1;
+                        self.activity.buffer_writes += 1;
+                        self.transfer_open[node as usize] =
+                            if f.kind.is_tail() { None } else { Some(f.packet) };
+                        self.note_progress();
+                    }
+                }
+            }
+            // (b) Bypass injection at gated nodes: one NIC packet per cycle
+            // rides the ring (the station is NIC-side memory; the ring
+            // itself still serializes at one flit per cycle).
+            if !self.routers[node as usize].power.is_powered() {
+                let vnets = self.cfg.vnets;
+                let rr0 = self.nics[node as usize].vnet_rr;
+                for i in 0..vnets {
+                    let vn = (rr0 + i) % vnets;
+                    let Some(pkt) = self.nics[node as usize].queues[vn].pop_front() else {
+                        continue;
+                    };
+                    self.nics[node as usize].vnet_rr = (vn + 1) % vnets;
+                    let exit = self.ring_exit_for(node, pkt.dst);
+                    for idx in 0..pkt.len {
+                        self.ring_ingress(node, pkt.flit(idx, now), exit);
+                        self.activity.flits_injected += 1;
+                    }
+                    self.activity.packets_injected += 1;
+                    self.routers[node as usize].touch_local(now);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Phase 7 bookkeeping: residency and the deadlock watchdog.
+    fn accounting_phase(&mut self) {
+        for (i, r) in self.routers.iter().enumerate() {
+            if r.power.is_powered() {
+                self.residency[i].powered += 1;
+            } else {
+                self.residency[i].gated += 1;
+            }
+        }
+        if self.cfg.watchdog_cycles > 0
+            && self.in_flight_packets > 0
+            && self.cycle - self.last_progress > self.cfg.watchdog_cycles
+        {
+            panic!(
+                "watchdog: no progress for {} cycles at cycle {} with {} packets in flight \
+                 ({} flits in network); power states: {:?}",
+                self.cfg.watchdog_cycles,
+                self.cycle,
+                self.in_flight_packets,
+                self.flits_in_network(),
+                self.routers.iter().map(|r| r.power).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+/// A complete simulation: the network core plus a mechanism and a workload.
+pub struct Simulation {
+    pub core: NetworkCore,
+    pub mech: Box<dyn PowerMechanism>,
+    pub workload: Box<dyn Workload>,
+}
+
+impl Simulation {
+    pub fn new(
+        cfg: NocConfig,
+        mech: Box<dyn PowerMechanism>,
+        workload: Box<dyn Workload>,
+    ) -> Simulation {
+        Simulation { core: NetworkCore::new(cfg), mech, workload }
+    }
+
+    /// Set the measurement window start (warmup end).
+    pub fn measure_from(&mut self, cycle: Cycle) {
+        self.core.stats.measure_from = cycle;
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        let core = &mut self.core;
+        let cycle = core.cycle;
+        // Phase 1: workload.
+        self.workload
+            .set_feedback(core.activity.packets_delivered, core.in_flight_packets);
+        self.workload.update_cores(cycle, &mut core.core_active);
+        let mut buf = std::mem::take(&mut core.gen_buf);
+        buf.clear();
+        self.workload.generate(cycle, &core.core_active, &mut buf);
+        for req in buf.drain(..) {
+            core.submit(req);
+        }
+        core.gen_buf = buf;
+        // Phase 2: FLOV latches.
+        core.latch_phase();
+        // Phase 2b: the NoRD bypass ring (if enabled).
+        core.ring_phase();
+        // Phase 3: link delivery.
+        core.delivery_phase();
+        // Phase 4: mechanism control.
+        self.mech.step(core);
+        // Phase 5: NIC injection (plus ring transfers / bypass injection).
+        pipeline::injection_phase(core, self.mech.as_ref());
+        core.ring_injection_phase();
+        // Phase 6: router pipelines.
+        pipeline::pipeline_phase(core, self.mech.as_ref());
+        // Phase 7: accounting.
+        core.accounting_phase();
+        core.cycle += 1;
+    }
+
+    /// Run for `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Run until the workload reports done and the network is empty, or
+    /// `max_cycles` elapses. Returns the cycle count reached.
+    pub fn run_until_done(&mut self, max_cycles: u64) -> Cycle {
+        while self.core.cycle < max_cycles {
+            if self.workload.done(self.core.activity.packets_delivered) && self.core.is_empty() {
+                break;
+            }
+            self.step();
+        }
+        self.core.cycle
+    }
+
+    /// Keep cycling (the workload keeps running) until every in-flight
+    /// packet is delivered or `max_extra` cycles pass. Used at the end of
+    /// measured runs so late packets count.
+    pub fn drain(&mut self, max_extra: u64) {
+        let deadline = self.core.cycle + max_extra;
+        while !self.core.is_empty() && self.core.cycle < deadline {
+            self.step();
+        }
+    }
+}
+
+pub use pipeline::build_route_ctx;

@@ -1,0 +1,368 @@
+//! The 3-stage router pipeline (RC | VA+SA | ST) and NIC injection.
+//!
+//! Timing model: a head flit visible in an input buffer at cycle `a` does
+//! route compute during `a`, may win VA+SA from `a + 1`, traverses the
+//! switch the cycle after its SA win and the link after that — so a flit
+//! winning SA at `t` becomes visible downstream at `t + 2 + link_latency`,
+//! and the unloaded per-hop latency is `pipeline_stages + link_latency`.
+//! Body flits stream behind the head at one flit per cycle per VC.
+
+use super::NetworkCore;
+use crate::link::CreditMsg;
+use crate::nic::InjectState;
+use crate::router::VcOwner;
+use crate::routing::RouteCtx;
+use crate::traits::PowerMechanism;
+use crate::types::{NodeId, Port, NUM_PORTS};
+
+/// Build the routing context a mechanism sees for a head flit at `at`.
+pub fn build_route_ctx(
+    core: &NetworkCore,
+    at: NodeId,
+    in_port: Port,
+    dst: NodeId,
+    escape: bool,
+) -> RouteCtx {
+    RouteCtx {
+        k: core.cfg.k,
+        at: core.coord(at),
+        in_port,
+        dst: core.coord(dst),
+        escape,
+        neighbors: core.psr(at),
+    }
+}
+
+/// Phase 5: one flit per node per cycle from the NIC source queues into the
+/// local input port, subject to the mechanism's injection gate (Router
+/// Parking stalls injection during reconfiguration).
+pub(super) fn injection_phase(core: &mut NetworkCore, mech: &dyn PowerMechanism) {
+    let now = core.cycle;
+    let vnets = core.cfg.vnets;
+    for node in 0..core.nodes() as NodeId {
+        if !core.nics[node as usize].pending() {
+            continue;
+        }
+        if !core.routers[node as usize].power.is_powered() {
+            continue; // router gated; the mechanism is responsible for waking it
+        }
+        // The injection gate (Router Parking's reconfiguration stall) blocks
+        // *starting* packets; committed serializations must finish so the
+        // network can drain.
+        let gate_open = mech.injection_allowed(core, node);
+        if !gate_open && core.nics[node as usize].in_progress.iter().all(|p| p.is_none()) {
+            core.stalled_injection_cycles += 1;
+            continue;
+        }
+        let rr0 = core.nics[node as usize].vnet_rr;
+        for i in 0..vnets {
+            let vn = (rr0 + i) % vnets;
+            // Start a new serialization if this vnet is between packets.
+            if core.nics[node as usize].in_progress[vn].is_none() {
+                if !gate_open || core.nics[node as usize].queues[vn].is_empty() {
+                    continue;
+                }
+                let reg = core.cfg.regular_vcs;
+                let mut chosen = None;
+                for j in 0..reg {
+                    let vc = (now as usize + j) % reg;
+                    let flat = core.cfg.vc_index(vn, vc);
+                    let r = &core.routers[node as usize];
+                    if r.inputs[r.slot(Port::Local.index(), flat)].buf.free() > 0 {
+                        chosen = Some(vc);
+                        break;
+                    }
+                }
+                let Some(vc) = chosen else { continue };
+                let pkt = core.nics[node as usize].queues[vn].pop_front().unwrap();
+                core.nics[node as usize].in_progress[vn] =
+                    Some(InjectState { pkt, next: 0, vc: vc as u8 });
+            }
+            // Push the next flit of the in-progress packet if there is room.
+            let st = core.nics[node as usize].in_progress[vn].unwrap();
+            let flat = core.cfg.vc_index(vn, st.vc as usize);
+            let slot = {
+                let r = &core.routers[node as usize];
+                r.slot(Port::Local.index(), flat)
+            };
+            if core.routers[node as usize].inputs[slot].buf.free() == 0 {
+                continue;
+            }
+            let mut f = st.pkt.flit(st.next, now);
+            f.vc = st.vc;
+            let r = &mut core.routers[node as usize];
+            let was_empty = r.inputs[slot].buf.is_empty();
+            r.inputs[slot].buf.push(f);
+            if was_empty && f.kind.is_head() {
+                r.inputs[slot].head_since = now;
+            }
+            r.port_occupancy[Port::Local.index()] += 1;
+            r.touch_local(now);
+            core.activity.buffer_writes += 1;
+            core.activity.flits_injected += 1;
+            if st.next == 0 {
+                core.activity.packets_injected += 1;
+            }
+            let nic = &mut core.nics[node as usize];
+            if st.next + 1 == st.pkt.len {
+                nic.in_progress[vn] = None;
+            } else {
+                nic.in_progress[vn] = Some(InjectState { next: st.next + 1, ..st });
+            }
+            nic.vnet_rr = (vn + 1) % vnets;
+            core.note_progress();
+            break; // one flit per node per cycle
+        }
+    }
+}
+
+/// Phase 6: VA then SA/ST for every powered router, in id order.
+pub(super) fn pipeline_phase(core: &mut NetworkCore, mech: &dyn PowerMechanism) {
+    for node in 0..core.nodes() as NodeId {
+        if !core.routers[node as usize].power.is_powered() {
+            continue;
+        }
+        va_stage(core, mech, node);
+        sa_stage(core, node);
+    }
+}
+
+/// VC allocation (with route compute folded in): for each input VC whose
+/// front is an unallocated head flit past its RC cycle, compute the route
+/// (re-evaluated every cycle until granted, so decisions always use current
+/// power states), walk the FLOV chain, and try to claim a downstream VC.
+fn va_stage(core: &mut NetworkCore, mech: &dyn PowerMechanism, node: NodeId) {
+    let now = core.cycle;
+    let total_vcs = core.cfg.total_vcs();
+    let nslots = NUM_PORTS * total_vcs;
+    let start = (now as usize).wrapping_mul(7) % nslots;
+    for off in 0..nslots {
+        let s = (start + off) % nslots;
+        let port = s / total_vcs;
+        if core.routers[node as usize].port_occupancy[port] == 0 {
+            continue;
+        }
+        let (dst, vnet, mut escape, head_since);
+        {
+            let invc = &core.routers[node as usize].inputs[s];
+            if invc.alloc.is_some() {
+                continue;
+            }
+            let Some(f) = invc.buf.front() else { continue };
+            debug_assert!(f.kind.is_head(), "non-head flit at front without an allocation");
+            head_since = invc.head_since;
+            if now < head_since + 1 {
+                continue; // still in the RC stage
+            }
+            dst = f.dst;
+            vnet = f.vnet as usize;
+            escape = f.escape;
+        }
+        // Duato timeout recovery: divert long-blocked packets to the escape
+        // sub-network.
+        if !escape && core.cfg.escape_vcs > 0 && now - head_since > core.cfg.escape_timeout as u64 {
+            escape = true;
+            core.escape_diversions += 1;
+            core.routers[node as usize].inputs[s].buf.front_mut().unwrap().escape = true;
+        }
+        let in_port = Port::from_index(port);
+        let ctx = build_route_ctx(core, node, in_port, dst, escape);
+        let mut routed = mech.route(core, &ctx);
+        if routed.is_none() && !escape && core.cfg.escape_vcs > 0 {
+            // The regular routing function has no viable output at all
+            // (e.g. FLOV's U-turn trap with both turn candidates gated):
+            // divert to the escape sub-network immediately — it guarantees
+            // a path — instead of burning the whole deadlock timeout.
+            escape = true;
+            core.escape_diversions += 1;
+            core.routers[node as usize].inputs[s].buf.front_mut().unwrap().escape = true;
+            routed = mech.route(core, &RouteCtx { escape: true, ..ctx });
+        }
+        let Some(out) = routed else { continue };
+        debug_assert!(
+            escape || out == Port::Local || out != in_port,
+            "mechanism routed a non-escape U-turn at router {node}"
+        );
+        let cand_range = if escape {
+            let e = core.cfg.escape_vc().expect("escape flit but no escape VC configured");
+            (e, 1)
+        } else {
+            (0, core.cfg.regular_vcs)
+        };
+        if out == Port::Local {
+            debug_assert!(
+                dst == node || core.ring.is_some(),
+                "local ejection routed for a non-local flit without a ring"
+            );
+            // Ejection may use any VC of the vnet (the NIC always drains).
+            try_grant(core, node, s, port, Port::Local.index(), vnet, 0, core.cfg.vcs_per_vnet());
+            continue;
+        }
+        let d = out.dir().unwrap();
+        debug_assert!(core.neighbor(node, d).is_some(), "mechanism routed off the mesh at {node}");
+        let walk = core.chain_walk(node, d, dst);
+        if let Some(sleeper) = walk.dst_on_chain {
+            // Destination router is power-gated: hold the packet and ask the
+            // mechanism to wake it.
+            core.request_wakeup(sleeper);
+            continue;
+        }
+        if walk.blocked || walk.powered.is_none() {
+            continue; // retry next cycle; handshakes resolve this
+        }
+        try_grant(core, node, s, port, out.index(), vnet, cand_range.0, cand_range.1);
+    }
+}
+
+/// Claim a free downstream VC among `[first, first + count)` of `vnet` on
+/// output `op`, rotating the scan origin for fairness.
+#[allow(clippy::too_many_arguments)] // hot path: flat args beat a struct here
+fn try_grant(
+    core: &mut NetworkCore,
+    node: NodeId,
+    s: usize,
+    in_port: usize,
+    op: usize,
+    vnet: usize,
+    first: usize,
+    count: usize,
+) {
+    let now = core.cycle as usize;
+    for j in 0..count {
+        let vc = first + (now + j) % count;
+        let flat = core.cfg.vc_index(vnet, vc);
+        let oslot = {
+            let r = &core.routers[node as usize];
+            r.slot(op, flat)
+        };
+        if core.routers[node as usize].out_vc_state[oslot] == VcOwner::Free {
+            let r = &mut core.routers[node as usize];
+            r.out_vc_state[oslot] = VcOwner::Owned { in_port: in_port as u8, in_vc: s as u16 };
+            r.inputs[s].alloc = Some((op as u8, vc as u8));
+            core.activity.va_grants += 1;
+            return;
+        }
+    }
+}
+
+/// Separable switch allocation: stage 1 picks one VC per input port
+/// (round-robin), stage 2 picks one input port per output port
+/// (round-robin); winners traverse the switch.
+fn sa_stage(core: &mut NetworkCore, node: NodeId) {
+    let now = core.cycle;
+    let total_vcs = core.cfg.total_vcs();
+    let mut cand: [Option<(usize, usize, u8)>; NUM_PORTS] = [None; NUM_PORTS];
+    #[allow(clippy::needless_range_loop)] // index mirrors the hardware port id
+    for p in 0..NUM_PORTS {
+        if core.routers[node as usize].port_occupancy[p] == 0 {
+            continue;
+        }
+        let mut mask: u64 = 0;
+        {
+            let r = &core.routers[node as usize];
+            for v in 0..total_vcs {
+                let s = p * total_vcs + v;
+                let invc = &r.inputs[s];
+                let Some((op, ovc)) = invc.alloc else { continue };
+                let Some(f) = invc.buf.front() else { continue };
+                if f.kind.is_head() && now < invc.head_since + 1 {
+                    continue;
+                }
+                if op as usize != Port::Local.index() {
+                    let flat = core.cfg.vc_index(f.vnet as usize, ovc as usize);
+                    if !r.out_credits[r.slot(op as usize, flat)].has_credit() {
+                        continue;
+                    }
+                }
+                mask |= 1 << v;
+            }
+        }
+        if mask == 0 {
+            continue;
+        }
+        let r = &mut core.routers[node as usize];
+        let v = r.sa_in[p].grant(|i| mask & (1 << i) != 0).unwrap();
+        let (op, ovc) = r.inputs[p * total_vcs + v].alloc.unwrap();
+        cand[p] = Some((p * total_vcs + v, op as usize, ovc));
+    }
+    for op in 0..NUM_PORTS {
+        let mut mask: u64 = 0;
+        for (p, c) in cand.iter().enumerate() {
+            if c.is_some_and(|(_, o, _)| o == op) {
+                mask |= 1 << p;
+            }
+        }
+        if mask == 0 {
+            continue;
+        }
+        let p = core.routers[node as usize].sa_out[op].grant(|i| mask & (1 << i) != 0).unwrap();
+        let (s, _, ovc) = cand[p].unwrap();
+        st_traverse(core, node, p, s, op, ovc);
+    }
+}
+
+/// Switch traversal for one SA winner: move the flit onto the output link,
+/// consume the downstream credit, refund the upstream credit for the freed
+/// input slot, and close the wormhole on tails.
+fn st_traverse(core: &mut NetworkCore, node: NodeId, in_port: usize, s: usize, op: usize, ovc: u8) {
+    let now = core.cycle;
+    let link_lat = core.cfg.link_latency as u64;
+    let mut f = {
+        let r = &mut core.routers[node as usize];
+        let f = r.inputs[s].buf.pop().unwrap();
+        r.port_occupancy[in_port] -= 1;
+        f
+    };
+    core.activity.buffer_reads += 1;
+    core.activity.xbar_traversals += 1;
+    core.activity.sa_grants += 1;
+    f.vc = ovc;
+    if op != Port::Local.index() && core.cfg.is_escape_vc(ovc as usize) {
+        f.escape = true;
+    }
+    f.hops_router += 1;
+    f.hops_link += 1;
+    core.activity.link_flits += 1;
+    let arrival = now + link_lat + 2; // ST next cycle, then the wire
+    let vnet = f.vnet as usize;
+    let is_tail = f.kind.is_tail();
+    if op == Port::Local.index() {
+        core.eject[node as usize].send_flit(arrival, f);
+    } else {
+        let d = Port::from_index(op).dir().unwrap();
+        let flat = core.cfg.vc_index(vnet, ovc as usize);
+        {
+            let r = &mut core.routers[node as usize];
+            let oslot = r.slot(op, flat);
+            r.out_credits[oslot].consume();
+        }
+        core.link_util[node as usize * 4 + d.index()] += 1;
+        core.channel_mut(node, d).send_flit(arrival, f);
+    }
+    // Credit for the freed input slot flows back upstream (not for the
+    // local port: the NIC observes buffer space directly).
+    if in_port != Port::Local.index() {
+        let d_up = Port::from_index(in_port).dir().unwrap();
+        if core.neighbor(node, d_up).is_some() {
+            let (vn, vc) = core.cfg.vc_split(s % core.cfg.total_vcs());
+            core.channel_mut(node, d_up).send_credit(now + 3, CreditMsg { vnet: vn as u8, vc: vc as u8 });
+            core.activity.credit_msgs += 1;
+        }
+    }
+    {
+        let r = &mut core.routers[node as usize];
+        if is_tail {
+            let flat = core.cfg.vc_index(vnet, ovc as usize);
+            let oslot = r.slot(op, flat);
+            r.out_vc_state[oslot] = VcOwner::Free;
+            r.inputs[s].alloc = None;
+        }
+        if let Some(nf) = r.inputs[s].buf.front() {
+            if nf.kind.is_head() {
+                debug_assert!(is_tail, "head flit queued behind an open wormhole");
+                r.inputs[s].head_since = now;
+            }
+        }
+    }
+    core.note_progress();
+}

@@ -1,0 +1,292 @@
+//! Kernel behavior tests that need access to network internals: pipeline
+//! timing, wormhole streaming, credit back-pressure, FLOV latch streaming,
+//! VA gating during handshakes.
+
+use super::*;
+use crate::baseline::AlwaysOnYx;
+use crate::routing::{yx_route, RouteCtx};
+use crate::traits::{PacketRequest, ScriptedWorkload, SilentWorkload};
+use crate::types::Port;
+
+/// A mechanism that executes scripted power transitions at fixed cycles and
+/// routes YX. Lets tests construct precise power-state scenarios without a
+/// protocol in the way.
+struct ManualMech {
+    /// `(cycle, node, action)`; actions: 0=begin_drain, 1=enter_sleep,
+    /// 2=begin_wakeup, 3=complete_wakeup, 4=abort_drain.
+    script: Vec<(Cycle, NodeId, u8)>,
+    next: usize,
+}
+
+impl ManualMech {
+    fn new(mut script: Vec<(Cycle, NodeId, u8)>) -> ManualMech {
+        script.sort_by_key(|e| e.0);
+        ManualMech { script, next: 0 }
+    }
+}
+
+impl PowerMechanism for ManualMech {
+    fn name(&self) -> &'static str {
+        "manual"
+    }
+
+    fn step(&mut self, core: &mut NetworkCore) {
+        while self.next < self.script.len() && self.script[self.next].0 <= core.cycle {
+            let (_, node, action) = self.script[self.next];
+            match action {
+                0 => core.begin_drain(node),
+                1 => core.enter_sleep(node),
+                2 => core.begin_wakeup(node),
+                3 => core.complete_wakeup(node),
+                4 => core.abort_drain(node),
+                _ => unreachable!(),
+            }
+            self.next += 1;
+        }
+    }
+
+    fn route(&self, _core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
+        Some(yx_route(ctx.at, ctx.dst))
+    }
+}
+
+fn small_cfg() -> NocConfig {
+    NocConfig::small_test()
+}
+
+#[test]
+fn wormhole_streams_one_flit_per_cycle() {
+    // A single long packet across one hop: tail arrives len-1 cycles after
+    // the head.
+    let cfg = NocConfig { synth_packet_len: 6, ..small_cfg() };
+    let w = ScriptedWorkload::new(vec![(0, PacketRequest { src: 0, dst: 1, vnet: 0, len: 6 })]);
+    let mut sim = Simulation::new(cfg, Box::new(AlwaysOnYx), Box::new(w));
+    sim.run_until_done(1_000);
+    let s = &sim.core.stats;
+    assert_eq!(s.packets, 1);
+    assert_eq!(s.breakdown.serialization, 5);
+    // Head path: 2 routers + 2 links = 8 cycles; tail 5 later; inject 1.
+    assert!(s.avg_latency() <= 15.0, "latency {}", s.avg_latency());
+}
+
+#[test]
+fn credit_backpressure_limits_vc_throughput() {
+    // Saturate one VC path: throughput per VC is bounded by
+    // buf_depth / credit-round-trip, total by VC count.
+    let cfg = small_cfg();
+    let mut events = Vec::new();
+    for i in 0..200u64 {
+        events.push((i, PacketRequest { src: 0, dst: 3, vnet: 0, len: 4 }));
+    }
+    let w = ScriptedWorkload::new(events);
+    let mut sim = Simulation::new(cfg, Box::new(AlwaysOnYx), Box::new(w));
+    let end = sim.run_until_done(20_000);
+    assert!(end < 20_000);
+    // 800 flits over a single row path; the row link is the bottleneck at
+    // <= 1 flit/cycle, so at least 800 cycles passed.
+    assert!(sim.core.cycle >= 800, "finished impossibly fast: {}", sim.core.cycle);
+}
+
+#[test]
+fn flits_fly_over_sleeping_router_in_one_cycle_each() {
+    // Manually gate router 1 on the path 0 -> 2 along row 0 and verify the
+    // FLOV hop count and the latency advantage.
+    let cfg = small_cfg();
+    let script = vec![(5u64, 1u16, 0u8), (40, 1, 1)];
+    let w = ScriptedWorkload::new(vec![(
+        100,
+        PacketRequest { src: 0, dst: 2, vnet: 0, len: 4 },
+    )]);
+    let mut sim = Simulation::new(cfg, Box::new(ManualMech::new(script)), Box::new(w));
+    let end = sim.run_until_done(5_000);
+    assert!(end < 5_000);
+    let s = &sim.core.stats;
+    assert_eq!(s.packets, 1);
+    assert_eq!(s.flov_hop_sum, 1, "expected one FLOV hop");
+    assert_eq!(s.hop_sum, 2, "src and dst routers only");
+    // 2 routers (6 cy) + 3 links (3 cy) + 1 latch (1 cy) + serial 3 ~ 13-14.
+    assert!(s.avg_latency() <= 16.0, "latency {}", s.avg_latency());
+}
+
+#[test]
+fn back_to_back_flits_stream_through_latch() {
+    // All four flits of one packet cross the sleeping router consecutively:
+    // the latch sustains 1 flit/cycle with no conflicts (asserted inside).
+    let cfg = small_cfg();
+    let script = vec![(5u64, 1u16, 0u8), (40, 1, 1), (5, 2, 0), (40, 2, 1)];
+    let w = ScriptedWorkload::new(vec![(
+        100,
+        PacketRequest { src: 0, dst: 3, vnet: 0, len: 4 },
+    )]);
+    let mut sim = Simulation::new(cfg, Box::new(ManualMech::new(script)), Box::new(w));
+    let end = sim.run_until_done(5_000);
+    assert!(end < 5_000);
+    assert_eq!(sim.core.stats.flov_hop_sum, 2);
+    assert_eq!(sim.core.activity.flov_latch_flits, 8); // 4 flits x 2 latches
+}
+
+#[test]
+fn va_blocks_toward_draining_router_until_it_sleeps() {
+    // Router 1 starts draining just before the packet wants to cross it:
+    // the packet must wait for the Sleep transition, then fly over.
+    let cfg = small_cfg();
+    let script = vec![(99u64, 1u16, 0u8), (130, 1, 1)];
+    let w = ScriptedWorkload::new(vec![(
+        100,
+        PacketRequest { src: 0, dst: 2, vnet: 0, len: 4 },
+    )]);
+    let mut sim = Simulation::new(cfg, Box::new(ManualMech::new(script)), Box::new(w));
+    let end = sim.run_until_done(5_000);
+    assert!(end < 5_000);
+    let s = &sim.core.stats;
+    // It crossed via the latch (after the sleep at cycle 130), so total
+    // latency reflects the ~30-cycle hold.
+    assert_eq!(s.flov_hop_sum, 1);
+    assert!(s.avg_latency() >= 35.0, "did not wait for the drain: {}", s.avg_latency());
+}
+
+#[test]
+fn wakeup_request_raised_for_sleeping_destination() {
+    let cfg = small_cfg();
+    // Sleep router 2, then send a packet *to* node 2; the core must raise a
+    // wakeup request (the manual mechanism ignores it, so the packet waits).
+    let script = vec![(5u64, 2u16, 0u8), (40, 2, 1)];
+    let w = ScriptedWorkload::new(vec![(
+        100,
+        PacketRequest { src: 0, dst: 2, vnet: 0, len: 4 },
+    )]);
+    let mut sim = Simulation::new(
+        NocConfig { watchdog_cycles: 0, ..cfg },
+        Box::new(ManualMech::new(script)),
+        Box::new(w),
+    );
+    sim.run(300);
+    assert!(
+        sim.core.wakeup_requests().contains(&2),
+        "no wakeup request for the sleeping destination"
+    );
+    assert_eq!(sim.core.activity.packets_delivered, 0);
+    // Wake it manually; delivery completes.
+    sim.core.take_wakeup_requests(&mut Vec::new());
+    sim.core.begin_wakeup(2);
+    for _ in 0..20 {
+        sim.step();
+    }
+    sim.core.complete_wakeup(2);
+    let end = sim.run_until_done(5_000);
+    assert!(end < 5_000);
+    assert_eq!(sim.core.activity.packets_delivered, 1);
+}
+
+#[test]
+fn credit_relay_crosses_sleeping_router() {
+    // With router 1 asleep, stream enough packets 0 -> 2 that credits must
+    // return across the sleeper (buffer depth 6 < 40 flits).
+    let cfg = small_cfg();
+    let script = vec![(5u64, 1u16, 0u8), (40, 1, 1)];
+    let mut events = Vec::new();
+    for i in 0..10u64 {
+        events.push((100 + i * 2, PacketRequest { src: 0, dst: 2, vnet: 0, len: 4 }));
+    }
+    let w = ScriptedWorkload::new(events);
+    let mut sim = Simulation::new(cfg, Box::new(ManualMech::new(script)), Box::new(w));
+    let end = sim.run_until_done(10_000);
+    assert!(end < 10_000);
+    assert_eq!(sim.core.activity.packets_delivered, 10);
+    assert!(
+        sim.core.activity.credit_relays > 0,
+        "credits never relayed across the sleeper"
+    );
+}
+
+#[test]
+fn quiescence_predicates_track_traffic() {
+    let cfg = small_cfg();
+    let w = ScriptedWorkload::new(vec![(10, PacketRequest { src: 0, dst: 3, vnet: 0, len: 4 })]);
+    let mut sim = Simulation::new(cfg, Box::new(AlwaysOnYx), Box::new(w));
+    assert!(sim.core.fully_quiescent(1));
+    sim.run(14); // packet in flight through router 1's row
+    assert!(
+        !sim.core.fully_quiescent(1),
+        "router 1 should see inbound traffic mid-transfer"
+    );
+    sim.run_until_done(5_000);
+    assert!(sim.core.fully_quiescent(1));
+    assert!(sim.core.fully_quiescent(2));
+}
+
+#[test]
+fn watchdog_fires_on_artificial_stall() {
+    // Put a router to sleep *with the manual mechanism never waking it* and
+    // address traffic to it; the watchdog must detect the stall.
+    let cfg = NocConfig { watchdog_cycles: 2_000, ..small_cfg() };
+    let script = vec![(5u64, 2u16, 0u8), (40, 2, 1)];
+    let w = ScriptedWorkload::new(vec![(
+        100,
+        PacketRequest { src: 0, dst: 2, vnet: 0, len: 4 },
+    )]);
+    let mut sim = Simulation::new(cfg, Box::new(ManualMech::new(script)), Box::new(w));
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.run(10_000);
+    }));
+    assert!(res.is_err(), "watchdog did not fire");
+}
+
+#[test]
+fn injection_respects_one_flit_per_cycle() {
+    let cfg = small_cfg();
+    let mut events = Vec::new();
+    for _ in 0..5 {
+        events.push((0u64, PacketRequest { src: 0, dst: 5, vnet: 0, len: 4 }));
+    }
+    let w = ScriptedWorkload::new(events);
+    let mut sim = Simulation::new(cfg, Box::new(AlwaysOnYx), Box::new(w));
+    // 20 flits at 1 flit/cycle: after 10 cycles, at most 10 injected.
+    sim.run(10);
+    assert!(
+        sim.core.activity.flits_injected <= 10,
+        "{} flits injected in 10 cycles",
+        sim.core.activity.flits_injected
+    );
+    sim.run_until_done(5_000);
+    assert_eq!(sim.core.activity.flits_injected, 20);
+}
+
+#[test]
+fn silent_network_stays_silent() {
+    let mut sim = Simulation::new(small_cfg(), Box::new(AlwaysOnYx), Box::new(SilentWorkload));
+    sim.run(1_000);
+    assert_eq!(sim.core.activity.flits_injected, 0);
+    assert_eq!(sim.core.flits_in_network(), 0);
+    assert_eq!(sim.core.activity.buffer_writes, 0);
+    assert!(sim.core.is_empty());
+}
+
+#[test]
+fn escape_diversion_on_unroutable_is_immediate() {
+    // A mechanism that always stalls regular packets forces immediate
+    // escape diversion (tested with YX escape = still YX, so delivery works).
+    struct Staller;
+    impl PowerMechanism for Staller {
+        fn name(&self) -> &'static str {
+            "staller"
+        }
+        fn step(&mut self, _core: &mut NetworkCore) {}
+        fn route(&self, _core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
+            if ctx.escape {
+                Some(yx_route(ctx.at, ctx.dst))
+            } else {
+                None // never route regular packets
+            }
+        }
+    }
+    let w = ScriptedWorkload::new(vec![(0, PacketRequest { src: 0, dst: 5, vnet: 0, len: 4 })]);
+    let mut sim = Simulation::new(small_cfg(), Box::new(Staller), Box::new(w));
+    let end = sim.run_until_done(3_000);
+    assert!(end < 3_000, "escape diversion did not rescue the packet");
+    assert_eq!(sim.core.escape_diversions, 1);
+    assert_eq!(sim.core.stats.escape_packets, 1);
+    // Diversion was immediate: total latency stays near the minimum, far
+    // below the 128-cycle timeout.
+    assert!(sim.core.stats.avg_latency() < 40.0, "latency {}", sim.core.stats.avg_latency());
+}

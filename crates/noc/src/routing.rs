@@ -1,0 +1,152 @@
+//! Routing interface shared by all mechanisms, plus baseline YX routing
+//! (Table I: "Baseline Routing: YX Routing").
+
+use crate::types::{Coord, Dir, Port, PowerState};
+
+/// Everything a routing function may consult for one head flit at one
+/// powered router. Deliberately local: coordinates, destination, the input
+/// port, the escape flag, and the *physical neighbor* power states (the
+/// router's PSR view) — matching the paper's claim that FLOV routing needs
+/// no global network information.
+#[derive(Clone, Copy, Debug)]
+pub struct RouteCtx {
+    /// Mesh radix.
+    pub k: u16,
+    /// Router doing the route computation.
+    pub at: Coord,
+    /// Port the packet arrived on (`Local` for freshly injected packets).
+    pub in_port: Port,
+    /// Destination coordinate.
+    pub dst: Coord,
+    /// True once the packet is in the escape sub-network.
+    pub escape: bool,
+    /// Power state of the physical neighbor in each direction
+    /// (`None` at mesh edges). This is the PSR register contents.
+    pub neighbors: [Option<PowerState>; 4],
+}
+
+impl RouteCtx {
+    /// True if the physical neighbor in `d` exists and is powered on
+    /// (Active or Draining).
+    #[inline]
+    pub fn neighbor_powered(&self, d: Dir) -> bool {
+        self.neighbors[d.index()].is_some_and(|s| s.is_powered())
+    }
+
+    /// True if a neighbor exists in `d`.
+    #[inline]
+    pub fn neighbor_exists(&self, d: Dir) -> bool {
+        self.neighbors[d.index()].is_some()
+    }
+}
+
+/// Dimension-ordered YX routing: traverse Y first, then X.
+///
+/// Pure function of (current, destination); deadlock-free on a mesh because
+/// the only turns it takes are from Y-travel into X-travel.
+#[inline]
+pub fn yx_route(at: Coord, dst: Coord) -> Port {
+    if at == dst {
+        Port::Local
+    } else if dst.y > at.y {
+        Port::North
+    } else if dst.y < at.y {
+        Port::South
+    } else if dst.x > at.x {
+        Port::East
+    } else {
+        Port::West
+    }
+}
+
+/// XY routing (dual of YX); used by tests and ablations.
+#[inline]
+pub fn xy_route(at: Coord, dst: Coord) -> Port {
+    if at == dst {
+        Port::Local
+    } else if dst.x > at.x {
+        Port::East
+    } else if dst.x < at.x {
+        Port::West
+    } else if dst.y > at.y {
+        Port::North
+    } else {
+        Port::South
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yx_reaches_destination() {
+        let k = 8;
+        for s in 0..64u16 {
+            for d in 0..64u16 {
+                let mut at = Coord::of(s, k);
+                let dst = Coord::of(d, k);
+                let mut hops = 0;
+                loop {
+                    let p = yx_route(at, dst);
+                    if p == Port::Local {
+                        break;
+                    }
+                    at = at.neighbor(p.dir().unwrap(), k).expect("yx walked off the mesh");
+                    hops += 1;
+                    assert!(hops <= 14, "yx not minimal");
+                }
+                assert_eq!(at, dst);
+                assert_eq!(hops, Coord::of(s, k).manhattan(dst));
+            }
+        }
+    }
+
+    #[test]
+    fn yx_goes_y_first() {
+        let at = Coord::new(2, 2);
+        let dst = Coord::new(5, 6);
+        assert_eq!(yx_route(at, dst), Port::North);
+        let dst2 = Coord::new(5, 2);
+        assert_eq!(yx_route(at, dst2), Port::East);
+    }
+
+    #[test]
+    fn xy_goes_x_first() {
+        let at = Coord::new(2, 2);
+        let dst = Coord::new(5, 6);
+        assert_eq!(xy_route(at, dst), Port::East);
+        let dst2 = Coord::new(2, 6);
+        assert_eq!(xy_route(at, dst2), Port::North);
+    }
+
+    #[test]
+    fn local_when_arrived() {
+        let c = Coord::new(3, 3);
+        assert_eq!(yx_route(c, c), Port::Local);
+        assert_eq!(xy_route(c, c), Port::Local);
+    }
+
+    #[test]
+    fn ctx_neighbor_predicates() {
+        let ctx = RouteCtx {
+            k: 8,
+            at: Coord::new(0, 0),
+            in_port: Port::Local,
+            dst: Coord::new(3, 3),
+            escape: false,
+            neighbors: [
+                Some(PowerState::Active),
+                Some(PowerState::Sleep),
+                None,
+                Some(PowerState::Draining),
+            ],
+        };
+        assert!(ctx.neighbor_powered(Dir::North));
+        assert!(!ctx.neighbor_powered(Dir::East)); // asleep
+        assert!(!ctx.neighbor_powered(Dir::South)); // edge
+        assert!(ctx.neighbor_powered(Dir::West)); // draining counts as powered
+        assert!(ctx.neighbor_exists(Dir::East));
+        assert!(!ctx.neighbor_exists(Dir::South));
+    }
+}

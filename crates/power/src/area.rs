@@ -1,0 +1,95 @@
+//! Area-overhead model reproducing the paper's §V-A analysis.
+//!
+//! The paper quantifies the FLOV additions — 4 muxes, 4 demuxes, 4 output
+//! latches, two 4-entry 2-bit PSR sets, the HSC FSM and its 6-bit
+//! inter-router wires, and CCL modifications — at 2.8e-3 mm², i.e. 3% of
+//! the baseline router area in 32 nm, with HSC wiring alone ~0.1%.
+
+use serde::{Deserialize, Serialize};
+
+/// Area model of one router at 32 nm \[mm^2\].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Baseline 5-port 3-stage VC router (buffers, crossbar, allocators).
+    pub baseline_router_mm2: f64,
+    /// One 128-bit output latch.
+    pub latch_mm2: f64,
+    /// One 128-bit 2:1 mux or 1:2 demux.
+    pub mux_mm2: f64,
+    /// Power State Registers: bits total (2 sets x 4 entries x 2 bits).
+    pub psr_bits: u32,
+    /// Area per register bit.
+    pub per_bit_mm2: f64,
+    /// HSC FSM + CCL modifications.
+    pub hsc_fsm_mm2: f64,
+    /// HSC inter-router wiring (6 bits per neighbor).
+    pub hsc_wires_mm2: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            baseline_router_mm2: 0.0933,
+            latch_mm2: 3.2e-4,
+            mux_mm2: 1.35e-4,
+            psr_bits: 16,
+            per_bit_mm2: 1.0e-6,
+            hsc_fsm_mm2: 4.0e-4,
+            hsc_wires_mm2: 9.3e-5, // ~0.1% of the baseline router
+        }
+    }
+}
+
+impl AreaModel {
+    /// Number of HSC wire bits to each adjacent neighbor (paper §V-A):
+    /// 4 bits of power-state change notification (current + logical
+    /// neighbor), 1 draining bit, 1 physical-neighbor assertion bit.
+    pub const HSC_WIRE_BITS: u32 = 6;
+
+    /// Total area of the FLOV additions per router.
+    pub fn flov_overhead_mm2(&self) -> f64 {
+        let latches = 4.0 * self.latch_mm2;
+        let muxes = 8.0 * self.mux_mm2; // 4 muxes + 4 demuxes
+        let psr = self.psr_bits as f64 * self.per_bit_mm2;
+        latches + muxes + psr + self.hsc_fsm_mm2 + self.hsc_wires_mm2
+    }
+
+    /// Overhead as a fraction of the baseline router area.
+    pub fn flov_overhead_fraction(&self) -> f64 {
+        self.flov_overhead_mm2() / self.baseline_router_mm2
+    }
+
+    /// HSC wiring as a fraction of the baseline router area.
+    pub fn hsc_wire_fraction(&self) -> f64 {
+        self.hsc_wires_mm2 / self.baseline_router_mm2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_matches_paper_quantization() {
+        let m = AreaModel::default();
+        // Paper: 2.8e-3 mm^2, 3% of baseline router area.
+        let mm2 = m.flov_overhead_mm2();
+        assert!((mm2 - 2.8e-3).abs() < 0.2e-3, "overhead {mm2} mm^2");
+        let frac = m.flov_overhead_fraction();
+        assert!((frac - 0.03).abs() < 0.005, "overhead fraction {frac}");
+    }
+
+    #[test]
+    fn hsc_wires_are_a_tenth_of_a_percent() {
+        let m = AreaModel::default();
+        let f = m.hsc_wire_fraction();
+        assert!((f - 0.001).abs() < 0.0005, "hsc wire fraction {f}");
+    }
+
+    #[test]
+    fn psr_is_sixteen_bits() {
+        // 2 sets x 4 entries x 2 bits (paper §V-A).
+        assert_eq!(AreaModel::default().psr_bits, 16);
+        assert_eq!(AreaModel::HSC_WIRE_BITS, 6);
+    }
+}

@@ -1,0 +1,25 @@
+//! # flov-power — DSENT-style power, energy and area model
+//!
+//! Converts `flov-noc` activity counters and power-state residency into the
+//! static / dynamic / total power numbers of the paper's evaluation, at the
+//! Table I technology point (32 nm, 2 GHz, 16-byte flits, 1 mm links,
+//! 17.7 pJ gating overhead), plus the §V-A area-overhead analysis.
+//!
+//! ```
+//! use flov_power::{compute, GatedResidual, PowerParams};
+//! use flov_noc::activity::{ActivityCounters, Residency};
+//!
+//! let params = PowerParams::dsent_32nm();
+//! let residency = vec![Residency { powered: 1000, gated: 0 }; 64];
+//! let report = compute(&params, 8, &ActivityCounters::default(), &residency,
+//!                      1000, GatedResidual::FullyOff);
+//! assert!(report.static_w > 0.5); // ~1 W for an idle always-on 8x8 mesh
+//! ```
+
+pub mod area;
+pub mod model;
+pub mod params;
+
+pub use area::AreaModel;
+pub use model::{compute, directed_links, residency_delta, DynamicEnergy, GatedResidual, PowerReport};
+pub use params::PowerParams;

@@ -1,0 +1,22 @@
+//! # flov-workloads — traffic generation for the FLOV evaluation
+//!
+//! * [`patterns`] — synthetic spatial patterns (Uniform Random, Tornado,
+//!   Transpose, Bit-Complement, Neighbor, Hotspot);
+//! * [`gating`] — core power-gating scenarios (static fractions, scheduled
+//!   re-randomizations for the Fig. 10 reconfiguration experiment);
+//! * [`synthetic`] — Bernoulli injection from active cores over a pattern
+//!   (the paper's §VI-B workloads);
+//! * [`parsec`] — a synthetic full-system traffic model standing in for
+//!   gem5 + PARSEC 2.1 (see DESIGN.md §2 for the substitution argument):
+//!   nine benchmark profiles, three coherence vnets, MCs at the corners,
+//!   phased idle-core consolidation, and work-based completion.
+
+pub mod gating;
+pub mod parsec;
+pub mod patterns;
+pub mod synthetic;
+
+pub use gating::GatingSchedule;
+pub use parsec::{benchmark, memory_controllers, BenchProfile, ParsecWorkload, PARSEC_BENCHMARKS};
+pub use patterns::Pattern;
+pub use synthetic::SyntheticWorkload;

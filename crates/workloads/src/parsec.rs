@@ -1,0 +1,345 @@
+//! Synthetic full-system traffic modeled on PARSEC 2.1 running on a 64-core
+//! CMP — the substitution for gem5 documented in DESIGN.md §2.
+//!
+//! What the NoC sees from a real PARSEC run, and what this module
+//! reproduces:
+//!
+//! * a benchmark uses `threads < 64` cores; the OS consolidates threads and
+//!   power-gates the idle cores — the premise of both FLOV and RP;
+//! * thread migration / phase behavior re-shuffles *which* cores are idle
+//!   every `phase_interval` cycles (this is what forces RP reconfigurations);
+//! * coherence traffic runs on three virtual networks (request / response /
+//!   coherence-control) with a bimodal size mix: 1-flit control packets and
+//!   5-flit cache-line data packets (64 B line + header over 16 B flits);
+//! * a `mem_fraction` of requests target the four memory controllers at the
+//!   mesh corners; the rest is core-to-core coherence;
+//! * each benchmark has a fixed amount of *work* (packets); a run finishes
+//!   when all of it is delivered, so runtime differences between mechanisms
+//!   translate into the paper's performance-degradation numbers.
+
+use flov_noc::rng::Rng;
+use flov_noc::traits::{PacketRequest, Workload};
+use flov_noc::types::{Coord, Cycle, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Profile of one benchmark: the knobs that matter to the interconnect.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchProfile {
+    pub name: &'static str,
+    /// Worker threads, i.e. active cores (the rest are gated).
+    pub threads: u16,
+    /// Packet-generation probability per active core per cycle.
+    pub inj_rate: f64,
+    /// Fraction of request traffic aimed at the memory controllers.
+    pub mem_fraction: f64,
+    /// Cycles between idle-set re-shuffles (thread migration events).
+    pub phase_interval: Cycle,
+    /// Total packets of work.
+    pub work_packets: u64,
+}
+
+/// The nine PARSEC 2.1 benchmarks used in the paper's evaluation, with
+/// synthetic-but-representative interconnect profiles (communication
+/// intensity ordered per the PARSEC characterization: canneal and
+/// fluidanimate communication-heavy, swaptions/blackscholes compute-bound).
+pub const PARSEC_BENCHMARKS: [BenchProfile; 9] = [
+    BenchProfile { name: "blackscholes", threads: 16, inj_rate: 0.008, mem_fraction: 0.70, phase_interval: 20_000, work_packets: 12_000 },
+    BenchProfile { name: "bodytrack", threads: 24, inj_rate: 0.016, mem_fraction: 0.60, phase_interval: 12_000, work_packets: 20_000 },
+    BenchProfile { name: "canneal", threads: 20, inj_rate: 0.028, mem_fraction: 0.80, phase_interval: 15_000, work_packets: 30_000 },
+    BenchProfile { name: "dedup", threads: 28, inj_rate: 0.018, mem_fraction: 0.50, phase_interval: 9_000, work_packets: 24_000 },
+    BenchProfile { name: "ferret", threads: 24, inj_rate: 0.018, mem_fraction: 0.50, phase_interval: 10_000, work_packets: 22_000 },
+    BenchProfile { name: "fluidanimate", threads: 32, inj_rate: 0.022, mem_fraction: 0.60, phase_interval: 12_000, work_packets: 28_000 },
+    BenchProfile { name: "swaptions", threads: 16, inj_rate: 0.006, mem_fraction: 0.40, phase_interval: 25_000, work_packets: 10_000 },
+    BenchProfile { name: "vips", threads: 24, inj_rate: 0.016, mem_fraction: 0.55, phase_interval: 12_000, work_packets: 20_000 },
+    BenchProfile { name: "x264", threads: 28, inj_rate: 0.020, mem_fraction: 0.50, phase_interval: 8_000, work_packets: 24_000 },
+];
+
+/// Look up a profile by name.
+pub fn benchmark(name: &str) -> Option<BenchProfile> {
+    PARSEC_BENCHMARKS.iter().copied().find(|b| b.name == name)
+}
+
+/// Memory-controller nodes: the four mesh corners (Table I: "4 MCs at 4
+/// corners").
+pub fn memory_controllers(k: u16) -> [NodeId; 4] {
+    [
+        Coord::new(0, 0).id(k),
+        Coord::new(k - 1, 0).id(k),
+        Coord::new(0, k - 1).id(k),
+        Coord::new(k - 1, k - 1).id(k),
+    ]
+}
+
+/// Virtual networks of the coherence protocol.
+pub const VNET_REQUEST: u8 = 0;
+pub const VNET_RESPONSE: u8 = 1;
+pub const VNET_CONTROL: u8 = 2;
+
+/// Control packets are one flit; data packets carry a 64 B cache line
+/// (+ header) over 16 B flits.
+pub const CONTROL_LEN: u16 = 1;
+pub const DATA_LEN: u16 = 5;
+
+/// The PARSEC-proxy workload.
+pub struct ParsecWorkload {
+    pub profile: BenchProfile,
+    #[allow(dead_code)]
+    k: u16,
+    rng: Rng,
+    generated: u64,
+    next_phase: Cycle,
+    active_set: Vec<NodeId>,
+    mcs: [NodeId; 4],
+    /// Response traffic scheduled for future cycles (a data reply follows
+    /// each request after a modeled service latency).
+    pending_replies: std::collections::BinaryHeap<std::cmp::Reverse<(Cycle, NodeId, NodeId)>>,
+    /// Closed-loop throttle: packets still in flight (from feedback).
+    in_flight: u64,
+    /// Maximum outstanding packets before generation pauses — the aggregate
+    /// MSHR/MLP limit of the active cores. This is what converts network
+    /// stalls (e.g. RP reconfiguration) into lost execution time.
+    pub max_outstanding: u64,
+}
+
+impl ParsecWorkload {
+    pub fn new(k: u16, profile: BenchProfile, seed: u64) -> ParsecWorkload {
+        assert!(profile.threads as usize <= (k as usize) * (k as usize));
+        ParsecWorkload {
+            profile,
+            k,
+            rng: Rng::new(seed ^ 0x9A85EC),
+            generated: 0,
+            next_phase: 0,
+            active_set: Vec::new(),
+            mcs: memory_controllers(k),
+            pending_replies: std::collections::BinaryHeap::new(),
+            in_flight: 0,
+            // ~8 outstanding packets per thread (a few MSHRs' worth of
+            // request+reply traffic).
+            max_outstanding: profile.threads as u64 * 8,
+        }
+    }
+
+    /// Choose which cores run threads this phase: MCs always on, plus a
+    /// random consolidated set of `threads` cores.
+    fn reshuffle(&mut self, active: &mut [bool]) {
+        let n = active.len();
+        let mut cores: Vec<NodeId> =
+            (0..n as NodeId).filter(|c| !self.mcs.contains(c)).collect();
+        self.rng.shuffle(&mut cores);
+        let want = (self.profile.threads as usize).min(cores.len());
+        active.iter_mut().for_each(|a| *a = false);
+        for &mc in &self.mcs {
+            active[mc as usize] = true;
+        }
+        self.active_set.clear();
+        for &c in cores.iter().take(want) {
+            active[c as usize] = true;
+            self.active_set.push(c);
+        }
+        self.active_set.sort_unstable();
+    }
+
+    /// True once all work has been generated.
+    pub fn all_generated(&self) -> bool {
+        self.generated >= self.profile.work_packets
+    }
+}
+
+impl Workload for ParsecWorkload {
+    fn update_cores(&mut self, cycle: Cycle, active: &mut [bool]) -> bool {
+        if cycle >= self.next_phase && !self.all_generated() {
+            self.reshuffle(active);
+            self.next_phase = cycle + self.profile.phase_interval;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn generate(&mut self, cycle: Cycle, _active: &[bool], out: &mut Vec<PacketRequest>) {
+        // Release due replies first (they count toward the work budget,
+        // already reserved at request time).
+        while let Some(&std::cmp::Reverse((due, src, dst))) = self.pending_replies.peek() {
+            if due > cycle {
+                break;
+            }
+            self.pending_replies.pop();
+            out.push(PacketRequest { src, dst, vnet: VNET_RESPONSE, len: DATA_LEN });
+        }
+        if self.all_generated() || self.active_set.is_empty() {
+            return;
+        }
+        // Closed loop: cores stall once too many misses are outstanding.
+        if self.in_flight >= self.max_outstanding {
+            return;
+        }
+        for i in 0..self.active_set.len() {
+            let src = self.active_set[i];
+            if !self.rng.chance(self.profile.inj_rate) {
+                continue;
+            }
+            if self.all_generated() {
+                break;
+            }
+            let to_mem = self.rng.chance(self.profile.mem_fraction);
+            let target = if to_mem {
+                // Memory interleaving: a random MC.
+                self.mcs[self.rng.below(4) as usize]
+            } else {
+                // Coherence: another active core (or a control message).
+                if self.active_set.len() < 2 {
+                    continue;
+                }
+                loop {
+                    let d = *self.rng.pick(&self.active_set);
+                    if d != src {
+                        break d;
+                    }
+                }
+            };
+            // Request now; data response after a service latency.
+            out.push(PacketRequest { src, dst: target, vnet: VNET_REQUEST, len: CONTROL_LEN });
+            let service = 30 + self.rng.below(60);
+            self.pending_replies
+                .push(std::cmp::Reverse((cycle + service, target, src)));
+            self.generated += 2;
+            // Occasionally a third-party coherence control message
+            // (invalidation / ack) rides the control vnet.
+            if !to_mem
+                && self.generated < self.profile.work_packets
+                && self.rng.chance(0.5)
+            {
+                out.push(PacketRequest { src: target, dst: src, vnet: VNET_CONTROL, len: CONTROL_LEN });
+                self.generated += 1;
+            }
+        }
+    }
+
+    fn set_feedback(&mut self, _delivered: u64, in_flight: u64) {
+        self.in_flight = in_flight;
+    }
+
+    fn done(&self, delivered_packets: u64) -> bool {
+        self.all_generated()
+            && self.pending_replies.is_empty()
+            && delivered_packets >= self.generated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_benchmarks_defined() {
+        assert_eq!(PARSEC_BENCHMARKS.len(), 9);
+        let mut names: Vec<&str> = PARSEC_BENCHMARKS.iter().map(|b| b.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+        assert!(benchmark("canneal").is_some());
+        assert!(benchmark("nonexistent").is_none());
+    }
+
+    #[test]
+    fn mcs_are_corners() {
+        assert_eq!(memory_controllers(8), [0, 7, 56, 63]);
+    }
+
+    #[test]
+    fn thread_count_respected_and_mcs_always_on() {
+        let prof = benchmark("blackscholes").unwrap();
+        let mut w = ParsecWorkload::new(8, prof, 1);
+        let mut active = vec![true; 64];
+        assert!(w.update_cores(0, &mut active));
+        let on = active.iter().filter(|&&a| a).count();
+        // threads + up to 4 MCs (MCs are not thread hosts).
+        assert_eq!(on, prof.threads as usize + 4);
+        for mc in memory_controllers(8) {
+            assert!(active[mc as usize]);
+        }
+    }
+
+    #[test]
+    fn phases_reshuffle_idle_set() {
+        let prof = benchmark("x264").unwrap();
+        let mut w = ParsecWorkload::new(8, prof, 3);
+        let mut active = vec![true; 64];
+        w.update_cores(0, &mut active);
+        let first = active.clone();
+        assert!(!w.update_cores(prof.phase_interval - 1, &mut active));
+        assert!(w.update_cores(prof.phase_interval, &mut active));
+        assert_ne!(active, first, "phase change did not reshuffle");
+        assert_eq!(
+            active.iter().filter(|&&a| a).count(),
+            first.iter().filter(|&&a| a).count()
+        );
+    }
+
+    #[test]
+    fn work_budget_is_finite_and_respected() {
+        let prof = BenchProfile { work_packets: 500, ..benchmark("canneal").unwrap() };
+        let mut w = ParsecWorkload::new(8, prof, 7);
+        let mut active = vec![true; 64];
+        let mut out = Vec::new();
+        let mut total = 0u64;
+        for c in 0..200_000 {
+            w.update_cores(c, &mut active);
+            out.clear();
+            w.generate(c, &active, &mut out);
+            total += out.len() as u64;
+            if w.all_generated() && w.pending_replies.is_empty() {
+                break;
+            }
+        }
+        // The budget may overshoot by at most one transaction (3 packets).
+        assert!(total <= 503, "{total} packets generated");
+        assert!(total >= 500, "only {total} packets generated");
+        assert!(w.done(total));
+    }
+
+    #[test]
+    fn traffic_classes_are_well_formed() {
+        let prof = benchmark("dedup").unwrap();
+        let mut w = ParsecWorkload::new(8, prof, 11);
+        let mut active = vec![true; 64];
+        let mut out = Vec::new();
+        for c in 0..20_000 {
+            w.update_cores(c, &mut active);
+            w.generate(c, &active, &mut out);
+        }
+        assert!(out.len() > 100);
+        let mut saw = [false; 3];
+        for p in &out {
+            saw[p.vnet as usize] = true;
+            match p.vnet {
+                VNET_REQUEST | VNET_CONTROL => assert_eq!(p.len, CONTROL_LEN),
+                VNET_RESPONSE => assert_eq!(p.len, DATA_LEN),
+                _ => panic!("unknown vnet"),
+            }
+            assert_ne!(p.src, p.dst);
+        }
+        assert!(saw.iter().all(|&s| s), "not all vnets exercised: {saw:?}");
+        // A healthy share of traffic touches the MCs.
+        let mcs = memory_controllers(8);
+        let mem = out.iter().filter(|p| mcs.contains(&p.src) || mcs.contains(&p.dst)).count();
+        assert!(mem as f64 > out.len() as f64 * 0.3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let prof = benchmark("vips").unwrap();
+            let mut w = ParsecWorkload::new(8, prof, seed);
+            let mut active = vec![true; 64];
+            let mut out = Vec::new();
+            for c in 0..5_000 {
+                w.update_cores(c, &mut active);
+                w.generate(c, &active, &mut out);
+            }
+            out
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

@@ -1,0 +1,123 @@
+//! Synthetic traffic patterns (BookSim-compatible definitions).
+
+use flov_noc::rng::Rng;
+use flov_noc::types::{Coord, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A spatial traffic pattern: maps a source to a destination.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Uniformly random destination (re-drawn among active nodes).
+    UniformRandom,
+    /// `dst = ((x + ceil(k/2) - 1) mod k, y)`: every node sends almost half
+    /// way around its row — the paper's second synthetic workload.
+    Tornado,
+    /// `dst = (y, x)`.
+    Transpose,
+    /// `dst = (k*k - 1) - src`.
+    BitComplement,
+    /// `dst = ((x + 1) mod k, y)`.
+    Neighbor,
+    /// With probability `p_hot` (percent) the destination is `hotspot`;
+    /// otherwise uniform random.
+    Hotspot { hotspot: NodeId, p_hot_pct: u8 },
+}
+
+impl Pattern {
+    /// Compute the destination for `src` in a `k x k` mesh. Deterministic
+    /// patterns ignore `rng`. May return `src` itself (callers skip those).
+    pub fn dest(&self, src: NodeId, k: u16, rng: &mut Rng) -> NodeId {
+        let n = k as u64 * k as u64;
+        let c = Coord::of(src, k);
+        match *self {
+            Pattern::UniformRandom => rng.below(n) as NodeId,
+            Pattern::Tornado => {
+                let shift = k.div_ceil(2) - 1;
+                Coord::new((c.x + shift) % k, c.y).id(k)
+            }
+            Pattern::Transpose => Coord::new(c.y, c.x).id(k),
+            Pattern::BitComplement => (n - 1) as NodeId - src,
+            Pattern::Neighbor => Coord::new((c.x + 1) % k, c.y).id(k),
+            Pattern::Hotspot { hotspot, p_hot_pct } => {
+                if rng.below(100) < p_hot_pct as u64 {
+                    hotspot
+                } else {
+                    rng.below(n) as NodeId
+                }
+            }
+        }
+    }
+
+    /// Short name for result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pattern::UniformRandom => "uniform",
+            Pattern::Tornado => "tornado",
+            Pattern::Transpose => "transpose",
+            Pattern::BitComplement => "bitcomp",
+            Pattern::Neighbor => "neighbor",
+            Pattern::Hotspot { .. } => "hotspot",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tornado_is_same_row_half_way() {
+        let k = 8;
+        let mut rng = Rng::new(1);
+        for src in 0..64u16 {
+            let d = Pattern::Tornado.dest(src, k, &mut rng);
+            assert_eq!(d / k, src / k, "tornado left its row");
+            assert_eq!(d % k, (src % k + 3) % k); // ceil(8/2)-1 = 3
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let k = 8;
+        let mut rng = Rng::new(1);
+        for src in 0..64u16 {
+            let d = Pattern::Transpose.dest(src, k, &mut rng);
+            assert_eq!(Pattern::Transpose.dest(d, k, &mut rng), src);
+        }
+    }
+
+    #[test]
+    fn bit_complement_is_involution() {
+        let k = 8;
+        let mut rng = Rng::new(1);
+        for src in 0..64u16 {
+            let d = Pattern::BitComplement.dest(src, k, &mut rng);
+            assert_eq!(Pattern::BitComplement.dest(d, k, &mut rng), src);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_the_mesh() {
+        let mut rng = Rng::new(7);
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            seen[Pattern::UniformRandom.dest(0, 4, &mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hotspot_concentrates() {
+        let mut rng = Rng::new(3);
+        let p = Pattern::Hotspot { hotspot: 5, p_hot_pct: 50 };
+        let hits = (0..4000).filter(|_| p.dest(0, 8, &mut rng) == 5).count();
+        assert!(hits > 1500 && hits < 2500, "hotspot hits {hits}");
+    }
+
+    #[test]
+    fn neighbor_wraps() {
+        let mut rng = Rng::new(1);
+        assert_eq!(Pattern::Neighbor.dest(7, 8, &mut rng), 0); // (7,0) -> (0,0)
+        assert_eq!(Pattern::Neighbor.dest(0, 8, &mut rng), 1);
+    }
+}

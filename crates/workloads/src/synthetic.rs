@@ -1,0 +1,239 @@
+//! The synthetic workload of the paper's §VI-B: Bernoulli packet injection
+//! at a fixed rate (flits/cycle/node) from every *active* core, over a
+//! spatial pattern, with a core-gating scenario.
+
+use crate::gating::GatingSchedule;
+use crate::patterns::Pattern;
+use flov_noc::rng::Rng;
+use flov_noc::traits::{PacketRequest, Workload};
+use flov_noc::types::{Cycle, NodeId};
+
+/// Synthetic traffic generator.
+pub struct SyntheticWorkload {
+    pub pattern: Pattern,
+    /// Injection rate in flits/cycle/node (per *active* node; total offered
+    /// load scales with the active fraction, as in the paper).
+    pub rate: f64,
+    /// Flits per packet (Table I: 4).
+    pub pkt_len: u16,
+    /// Virtual network used for synthetic traffic.
+    pub vnet: u8,
+    /// Stop generating at this cycle (the run then drains).
+    pub stop_at: Cycle,
+    gating: GatingSchedule,
+    rng: Rng,
+    k: u16,
+    active_cache: Vec<NodeId>,
+    cache_dirty: bool,
+}
+
+impl SyntheticWorkload {
+    pub fn new(
+        k: u16,
+        pattern: Pattern,
+        rate: f64,
+        pkt_len: u16,
+        stop_at: Cycle,
+        gating: GatingSchedule,
+        seed: u64,
+    ) -> SyntheticWorkload {
+        SyntheticWorkload {
+            pattern,
+            rate,
+            pkt_len,
+            vnet: 0,
+            stop_at,
+            gating,
+            rng: Rng::new(seed),
+            k,
+            active_cache: Vec::new(),
+            cache_dirty: true,
+        }
+    }
+
+    fn refresh_cache(&mut self, active: &[bool]) {
+        self.active_cache.clear();
+        self.active_cache
+            .extend((0..active.len() as NodeId).filter(|&n| active[n as usize]));
+        self.cache_dirty = false;
+    }
+}
+
+impl Workload for SyntheticWorkload {
+    fn update_cores(&mut self, cycle: Cycle, active: &mut [bool]) -> bool {
+        let changed = self.gating.apply(cycle, active);
+        if changed {
+            self.cache_dirty = true;
+        }
+        changed
+    }
+
+    fn generate(&mut self, cycle: Cycle, active: &[bool], out: &mut Vec<PacketRequest>) {
+        if cycle >= self.stop_at {
+            return;
+        }
+        if self.cache_dirty {
+            self.refresh_cache(active);
+        }
+        let p = self.rate / self.pkt_len as f64;
+        let k = self.k;
+        for i in 0..self.active_cache.len() {
+            let src = self.active_cache[i];
+            if !self.rng.chance(p) {
+                continue;
+            }
+            let dst = match self.pattern {
+                Pattern::UniformRandom => {
+                    // Uniform over the *other active* nodes.
+                    if self.active_cache.len() < 2 {
+                        continue;
+                    }
+                    loop {
+                        let d = *self.rng.pick(&self.active_cache);
+                        if d != src {
+                            break d;
+                        }
+                    }
+                }
+                _ => {
+                    let d = self.pattern.dest(src, k, &mut self.rng);
+                    // Deterministic patterns: if the partner is gated (or
+                    // self), the pair does not communicate this cycle.
+                    if d == src || !active[d as usize] {
+                        continue;
+                    }
+                    d
+                }
+            };
+            out.push(PacketRequest { src, dst, vnet: self.vnet, len: self.pkt_len });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_packets(w: &mut SyntheticWorkload, nodes: usize, cycles: u64) -> Vec<PacketRequest> {
+        let mut active = vec![true; nodes];
+        let mut out = Vec::new();
+        for c in 0..cycles {
+            w.update_cores(c, &mut active);
+            w.generate(c, &active, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn rate_is_respected() {
+        let mut w = SyntheticWorkload::new(
+            8,
+            Pattern::UniformRandom,
+            0.08,
+            4,
+            u64::MAX,
+            GatingSchedule::none(),
+            1,
+        );
+        let out = gen_packets(&mut w, 64, 10_000);
+        // Expected flits = 0.08 * 64 nodes * 10_000 cycles = 51_200.
+        let flits: u64 = out.iter().map(|p| p.len as u64).sum();
+        let expect = 51_200.0;
+        assert!(
+            (flits as f64 - expect).abs() < expect * 0.05,
+            "flits {flits} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn gated_cores_neither_send_nor_receive() {
+        let mut w = SyntheticWorkload::new(
+            8,
+            Pattern::UniformRandom,
+            0.1,
+            4,
+            u64::MAX,
+            GatingSchedule::static_fraction(64, 0.5, 3, &[]),
+            1,
+        );
+        let mut active = vec![true; 64];
+        let mut out = Vec::new();
+        for c in 0..2_000 {
+            w.update_cores(c, &mut active);
+            w.generate(c, &active, &mut out);
+        }
+        assert!(!out.is_empty());
+        for p in &out {
+            assert!(active[p.src as usize], "gated source {}", p.src);
+            assert!(active[p.dst as usize], "gated destination {}", p.dst);
+            assert_ne!(p.src, p.dst);
+        }
+    }
+
+    #[test]
+    fn tornado_pairs_skip_gated_partners() {
+        let mut w = SyntheticWorkload::new(
+            8,
+            Pattern::Tornado,
+            0.5,
+            4,
+            u64::MAX,
+            GatingSchedule::static_fraction(64, 0.4, 5, &[]),
+            2,
+        );
+        let mut active = vec![true; 64];
+        let mut out = Vec::new();
+        for c in 0..1_000 {
+            w.update_cores(c, &mut active);
+            w.generate(c, &active, &mut out);
+        }
+        for p in &out {
+            assert!(active[p.src as usize] && active[p.dst as usize]);
+            assert_eq!(p.dst / 8, p.src / 8, "tornado pair left its row");
+        }
+    }
+
+    #[test]
+    fn generation_stops_at_stop_cycle() {
+        let mut w = SyntheticWorkload::new(
+            4,
+            Pattern::UniformRandom,
+            1.0,
+            4,
+            100,
+            GatingSchedule::none(),
+            1,
+        );
+        let mut active = vec![true; 16];
+        let mut out = Vec::new();
+        for c in 0..100 {
+            w.generate(c, &active, &mut out);
+        }
+        let n_before = out.len();
+        assert!(n_before > 0);
+        for c in 100..200 {
+            w.update_cores(c, &mut active);
+            w.generate(c, &active, &mut out);
+        }
+        assert_eq!(out.len(), n_before);
+    }
+
+    #[test]
+    fn load_scales_with_active_fraction() {
+        let count = |fraction: f64| {
+            let mut w = SyntheticWorkload::new(
+                8,
+                Pattern::UniformRandom,
+                0.05,
+                4,
+                u64::MAX,
+                GatingSchedule::static_fraction(64, fraction, 11, &[]),
+                1,
+            );
+            gen_packets(&mut w, 64, 5_000).len() as f64
+        };
+        let full = count(0.0);
+        let half = count(0.5);
+        assert!((half / full - 0.5).abs() < 0.08, "half/full = {}", half / full);
+    }
+}

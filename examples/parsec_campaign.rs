@@ -1,0 +1,65 @@
+//! Full-system campaign: run the nine PARSEC-proxy benchmarks to completion
+//! under Baseline, Router Parking and gFLOV; print per-benchmark runtime
+//! and energy, normalized to Baseline — the workflow behind the paper's
+//! headline "18% total / 22% static energy savings vs RP".
+//!
+//! Run with: `cargo run --release --example parsec_campaign [bench...]`
+
+use flov_bench::{run_all, RunSpec};
+use flov_workloads::PARSEC_BENCHMARKS;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benches: Vec<&str> = if args.is_empty() {
+        PARSEC_BENCHMARKS.iter().map(|b| b.name).collect()
+    } else {
+        PARSEC_BENCHMARKS
+            .iter()
+            .map(|b| b.name)
+            .filter(|n| args.iter().any(|a| a == n))
+            .collect()
+    };
+    assert!(!benches.is_empty(), "no matching benchmarks");
+    let mechs = ["Baseline", "RP", "gFLOV"];
+
+    let specs: Vec<RunSpec> = benches
+        .iter()
+        .flat_map(|&b| mechs.iter().map(move |&m| RunSpec::parsec(m, b, 0xF10F)))
+        .collect();
+    let results = run_all(&specs);
+
+    println!(
+        "{:>14} {:>9}  {:>8} {:>9} {:>9} {:>8}",
+        "benchmark", "mech", "runtime", "static E", "total E", "cycles"
+    );
+    let mut rp_tot = 0.0f64;
+    let mut rp_sta = 0.0f64;
+    let mut n = 0.0f64;
+    for (bi, &b) in benches.iter().enumerate() {
+        let base = &results[bi * 3];
+        for (mi, &m) in mechs.iter().enumerate() {
+            let r = &results[bi * 3 + mi];
+            println!(
+                "{:>14} {:>9}  {:>8.3} {:>9.3} {:>9.3} {:>8}",
+                b,
+                m,
+                r.runtime_cycles as f64 / base.runtime_cycles as f64,
+                r.power.static_j() / base.power.static_j(),
+                r.power.total_j() / base.power.total_j(),
+                r.runtime_cycles,
+            );
+        }
+        let rp = &results[bi * 3 + 1];
+        let fl = &results[bi * 3 + 2];
+        rp_tot += (fl.power.total_j() / rp.power.total_j()).ln();
+        rp_sta += (fl.power.static_j() / rp.power.static_j()).ln();
+        n += 1.0;
+    }
+    println!(
+        "\ngFLOV vs RP (geomean over {} benchmarks): total energy {:+.1}%, static energy {:+.1}%",
+        benches.len(),
+        ((rp_tot / n).exp() - 1.0) * 100.0,
+        ((rp_sta / n).exp() - 1.0) * 100.0,
+    );
+    println!("(paper: -18% total, -22% static)");
+}

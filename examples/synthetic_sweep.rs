@@ -1,0 +1,54 @@
+//! Synthetic sweep: the paper's Fig. 6 methodology on a configurable axis —
+//! sweep the fraction of power-gated cores under a chosen traffic pattern
+//! and injection rate, printing one row per point for all four mechanisms.
+//!
+//! Run with:
+//!   cargo run --release --example synthetic_sweep
+//!   cargo run --release --example synthetic_sweep -- tornado 0.08
+//!
+//! (first arg: uniform|tornado|transpose|bitcomp|neighbor, second: rate)
+
+use flov_bench::figures::SYNTH_MECHS;
+use flov_bench::{run_all, RunSpec};
+use flov_workloads::Pattern;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pattern = match args.first().map(String::as_str) {
+        None | Some("uniform") => Pattern::UniformRandom,
+        Some("tornado") => Pattern::Tornado,
+        Some("transpose") => Pattern::Transpose,
+        Some("bitcomp") => Pattern::BitComplement,
+        Some("neighbor") => Pattern::Neighbor,
+        Some(other) => {
+            eprintln!("unknown pattern {other:?}");
+            std::process::exit(1);
+        }
+    };
+    let rate: f64 = args.get(1).map(|s| s.parse().expect("rate")).unwrap_or(0.02);
+
+    println!("sweep: {} traffic at {rate} flits/cycle/node (10k warmup, 100k cycles)\n", pattern.name());
+    println!(
+        "{:>7}  {:>10} {:>9} {:>9} {:>9}   {:>10} {:>9} {:>9} {:>9}",
+        "gated%", "lat:Base", "lat:RP", "lat:rF", "lat:gF", "totW:Base", "totW:RP", "totW:rF", "totW:gF"
+    );
+    for fraction in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8] {
+        let specs: Vec<RunSpec> = SYNTH_MECHS
+            .iter()
+            .map(|m| RunSpec::synthetic_paper(m, pattern, rate, fraction, 0xF10F))
+            .collect();
+        let rs = run_all(&specs);
+        println!(
+            "{:>7.0}  {:>10.2} {:>9.2} {:>9.2} {:>9.2}   {:>10.1} {:>9.1} {:>9.1} {:>9.1}",
+            fraction * 100.0,
+            rs[0].avg_latency,
+            rs[1].avg_latency,
+            rs[2].avg_latency,
+            rs[3].avg_latency,
+            rs[0].power.total_w * 1e3,
+            rs[1].power.total_w * 1e3,
+            rs[2].power.total_w * 1e3,
+            rs[3].power.total_w * 1e3,
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Targeted tests for specific handshake-protocol paths: drain aborts,
+//! drain timeouts, gFLOV's wakeup-defer rule, and re-gating cycles.
+
+use flov_core::{Flov, FlovMode, FlovParams};
+use flov_noc::network::Simulation;
+use flov_noc::traits::{PacketRequest, ScriptedWorkload};
+use flov_noc::types::{NodeId, PowerState};
+use flov_noc::NocConfig;
+
+fn cfg() -> NocConfig {
+    NocConfig::small_test() // 4x4, 1 vnet
+}
+
+fn flov_sim(
+    mode: FlovMode,
+    events: Vec<(u64, PacketRequest)>,
+    cores: Vec<(u64, NodeId, bool)>,
+) -> Simulation {
+    let c = cfg();
+    let mech = Flov::new(mode, FlovParams::for_config(&c), c.nodes());
+    let w = ScriptedWorkload::new(events).with_core_events(cores);
+    Simulation::new(c, Box::new(mech), Box::new(w))
+}
+
+#[test]
+fn drain_aborts_when_core_reactivates() {
+    // Core 5 gates at 0, reactivates at 30 — mid-drain (idle threshold 16,
+    // so draining starts ~16 and cannot finish a handshake window before
+    // the abort).
+    let mut sim = flov_sim(FlovMode::Generalized, vec![], vec![(0, 5, false), (30, 5, true)]);
+    let mut saw_draining = false;
+    for _ in 0..200 {
+        sim.step();
+        if sim.core.power(5) == PowerState::Draining {
+            saw_draining = true;
+        }
+    }
+    assert!(saw_draining, "router never entered Draining");
+    assert_eq!(sim.core.power(5), PowerState::Active, "drain did not abort");
+}
+
+#[test]
+fn drain_aborts_when_traffic_queues_at_nic() {
+    // Core 5 gates at 0; at cycle 25 a packet is generated *from* node 5
+    // (e.g. a late coherence reply): the pending NIC aborts the drain, the
+    // packet is delivered, and only then does the router gate.
+    let mut sim = flov_sim(
+        FlovMode::Generalized,
+        vec![(25, PacketRequest { src: 5, dst: 10, vnet: 0, len: 4 })],
+        vec![(0, 5, false)],
+    );
+    let end = sim.run_until_done(10_000);
+    assert!(end < 10_000);
+    assert_eq!(sim.core.activity.packets_delivered, 1);
+    sim.run(2_000);
+    assert_eq!(sim.core.power(5), PowerState::Sleep, "router failed to re-gate");
+}
+
+#[test]
+fn gflov_defers_wakeup_next_to_draining_logical_neighbor() {
+    // Gate 5 and 6 (same row, adjacent): both sleep under gFLOV. Then
+    // reactivate 5's core while 9... simpler: force the defer window by
+    // gating a third router late so it drains while 5 wants to wake.
+    let mut sim = flov_sim(
+        FlovMode::Generalized,
+        vec![],
+        vec![(0, 5, false), (0, 6, false), (3_000, 4, false), (3_010, 5, true)],
+    );
+    sim.run(2_500);
+    assert_eq!(sim.core.power(5), PowerState::Sleep);
+    assert_eq!(sim.core.power(6), PowerState::Sleep);
+    // At 3_000 core 4 gates (will drain); at 3_010 core 5 reactivates. If 4
+    // is Draining when 5 wants to wake, 5 must defer until 4 resolves.
+    // Either way, by the end 5 must be Active and 4 asleep.
+    sim.run(3_000);
+    assert_eq!(sim.core.power(5), PowerState::Active, "router 5 failed to wake");
+    assert_eq!(sim.core.power(4), PowerState::Sleep, "router 4 failed to gate");
+    // Invariant held throughout (checked by protocol tests); here we just
+    // confirm the end state is consistent.
+}
+
+#[test]
+fn multiple_gate_wake_cycles_are_stable() {
+    // Toggle one core five times; the router follows every time.
+    let mut cores = Vec::new();
+    for i in 0..5u64 {
+        cores.push((i * 2_000, 9u16, false));
+        cores.push((i * 2_000 + 1_000, 9u16, true));
+    }
+    let mut sim = flov_sim(FlovMode::Generalized, vec![], cores);
+    let mut sleeps = 0;
+    let mut last = PowerState::Active;
+    for _ in 0..11_000 {
+        sim.step();
+        let p = sim.core.power(9);
+        if p == PowerState::Sleep && last != PowerState::Sleep {
+            sleeps += 1;
+        }
+        last = p;
+    }
+    assert!(sleeps >= 4, "only {sleeps} sleep entries over 5 gate cycles");
+    assert_eq!(sim.core.power(9), PowerState::Active);
+    // Each sleep entry and wake exit costs one gating event.
+    assert!(sim.core.activity.gating_events >= 8);
+}
+
+#[test]
+fn rflov_id_arbitration_smaller_id_wins() {
+    // Gate two adjacent cores simultaneously under rFLOV: only one router
+    // may sleep, and the in-order scan gives it to the smaller id.
+    let mut sim = flov_sim(
+        FlovMode::Restricted,
+        vec![],
+        vec![(0, 5, false), (0, 6, false)],
+    );
+    sim.run(2_000);
+    assert_eq!(sim.core.power(5), PowerState::Sleep, "smaller id should win the drain");
+    assert_eq!(sim.core.power(6), PowerState::Active, "larger id must stay active");
+}
+
+#[test]
+fn aon_core_gating_changes_nothing() {
+    // Gating a core in the always-on column must not gate its router.
+    let mut sim = flov_sim(FlovMode::Generalized, vec![], vec![(0, 3, false), (0, 7, false)]);
+    sim.run(2_000);
+    assert_eq!(sim.core.power(3), PowerState::Active); // (3,0): AON column
+    assert_eq!(sim.core.power(7), PowerState::Active); // (3,1): AON column
+}
+
+#[test]
+fn through_traffic_does_not_block_draining_forever() {
+    // Router 5 (1,1) gates at cycle 0; a steady stream crosses its row.
+    // Draining blocks new transmissions *to* 5 but traffic can route
+    // around / through until the sleep completes, after which it flies
+    // over. The stream must never stall and 5 must eventually sleep.
+    let mut events = Vec::new();
+    for i in 0..120u64 {
+        events.push((i * 25, PacketRequest { src: 4, dst: 7, vnet: 0, len: 4 }));
+    }
+    let mut sim = flov_sim(FlovMode::Generalized, events, vec![(0, 5, false), (0, 6, false)]);
+    let end = sim.run_until_done(20_000);
+    assert!(end < 20_000);
+    assert_eq!(sim.core.activity.packets_delivered, 120);
+    assert_eq!(sim.core.power(5), PowerState::Sleep);
+    assert_eq!(sim.core.power(6), PowerState::Sleep);
+    // Most of the stream should have used the fly-over row path.
+    assert!(sim.core.activity.flov_latch_flits > 200);
+}

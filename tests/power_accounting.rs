@@ -1,0 +1,118 @@
+//! Cross-crate power-accounting consistency: simulator activity feeding the
+//! power model produces internally consistent, correctly ordered energy.
+
+use flov_bench::{run, RunSpec, WorkloadSpec};
+use flov_noc::NocConfig;
+use flov_power::PowerParams;
+use flov_workloads::Pattern;
+
+fn spec(mech: &str, rate: f64, fraction: f64) -> RunSpec {
+    RunSpec {
+        cfg: NocConfig::paper_table1(),
+        mechanism: mech.into(),
+        workload: WorkloadSpec::Synthetic {
+            pattern: Pattern::UniformRandom,
+            rate,
+            gated_fraction: fraction,
+            seed: 99,
+            changes: vec![],
+        },
+        warmup: 3_000,
+        cycles: 18_000,
+        drain: 60_000,
+        timeline_width: 0,
+        power_params: PowerParams::default(),
+    }
+}
+
+#[test]
+fn total_is_static_plus_dynamic() {
+    for mech in ["Baseline", "RP", "rFLOV", "gFLOV"] {
+        let r = run(&spec(mech, 0.04, 0.4));
+        let p = &r.power;
+        assert!((p.total_w - (p.static_w + p.dynamic_w)).abs() < 1e-12);
+        assert!((p.total_j() - (p.static_j() + p.dynamic_j())).abs() < 1e-15);
+        assert!(p.static_w > 0.0 && p.dynamic_w > 0.0);
+    }
+}
+
+#[test]
+fn dynamic_power_scales_with_injection_rate() {
+    let lo = run(&spec("Baseline", 0.02, 0.0));
+    let hi = run(&spec("Baseline", 0.08, 0.0));
+    let ratio = hi.power.dynamic_w / lo.power.dynamic_w;
+    assert!(
+        (3.0..5.0).contains(&ratio),
+        "4x rate should give ~4x dynamic power, got {ratio:.2}x"
+    );
+    // Static power is rate-independent for the always-on baseline.
+    assert!((hi.power.static_w - lo.power.static_w).abs() < 1e-9);
+}
+
+#[test]
+fn static_power_ordering_at_high_gating() {
+    // Paper Fig. 9 at high gated fractions: gFLOV < RP(aggressive) < rFLOV
+    // < Baseline.
+    let base = run(&spec("Baseline", 0.02, 0.8));
+    let rp = run(&spec("RP-aggressive", 0.02, 0.8));
+    let rf = run(&spec("rFLOV", 0.02, 0.8));
+    let gf = run(&spec("gFLOV", 0.02, 0.8));
+    assert!(gf.power.static_w < rp.power.static_w, "gFLOV {} !< RP {}", gf.power.static_w, rp.power.static_w);
+    assert!(rp.power.static_w < rf.power.static_w, "RP {} !< rFLOV {}", rp.power.static_w, rf.power.static_w);
+    assert!(rf.power.static_w < base.power.static_w);
+}
+
+#[test]
+fn rp_dynamic_power_exceeds_flov_due_to_detours() {
+    // Paper Fig. 6(b): RP's non-minimal rerouting costs dynamic power;
+    // FLOV's latch hops are far cheaper than full router hops.
+    let rp = run(&spec("RP", 0.04, 0.5));
+    let gf = run(&spec("gFLOV", 0.04, 0.5));
+    assert!(
+        rp.power.dynamic_w > gf.power.dynamic_w,
+        "RP dynamic {} should exceed gFLOV {}",
+        rp.power.dynamic_w,
+        gf.power.dynamic_w
+    );
+}
+
+#[test]
+fn flov_dynamic_beats_baseline_at_high_gating() {
+    // Paper: "At higher fractions of power-gated cores, the FLOV mechanism
+    // consumes less dynamic power than Baseline due to avoiding the router
+    // pipeline execution."
+    let base = run(&spec("Baseline", 0.04, 0.7));
+    let gf = run(&spec("gFLOV", 0.04, 0.7));
+    assert!(
+        gf.power.dynamic_w < base.power.dynamic_w,
+        "gFLOV dynamic {} should beat baseline {}",
+        gf.power.dynamic_w,
+        base.power.dynamic_w
+    );
+}
+
+#[test]
+fn gating_events_recorded_and_costed() {
+    // Static gating transitions happen right after cycle 0, so measure the
+    // whole run (no warmup) to capture them.
+    let gf = run(&RunSpec { warmup: 0, ..spec("gFLOV", 0.02, 0.6) });
+    assert!(gf.gating_events > 0);
+    let expected = gf.gating_events as f64 * 17.7e-12;
+    assert!((gf.power.dynamic_energy.gating - expected).abs() < 1e-15);
+}
+
+#[test]
+fn flov_latch_energy_only_for_flov() {
+    let gf = run(&spec("gFLOV", 0.04, 0.6));
+    let rp = run(&spec("RP", 0.04, 0.6));
+    assert!(gf.power.dynamic_energy.flov_latches > 0.0);
+    assert_eq!(rp.power.dynamic_energy.flov_latches, 0.0);
+}
+
+#[test]
+fn energy_window_is_the_measured_region() {
+    let r = run(&spec("Baseline", 0.02, 0.0));
+    // 18_000 total - 3_000 warmup = 15_000 cycles at 2 GHz = 7.5 us.
+    assert_eq!(r.power.cycles, 15_000);
+    assert!((r.power.seconds - 7.5e-6).abs() < 1e-12);
+}
