@@ -1,0 +1,152 @@
+//! Offline stand-in for `criterion`, covering the surface this
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, and `Bencher::iter`.
+//!
+//! Instead of criterion's statistical machinery, each benchmark runs a
+//! short warm-up followed by `sample_size` timed samples and reports the
+//! per-iteration mean plus min/max sample spread (and elements/sec when a
+//! throughput is set). Good enough to spot order-of-magnitude
+//! regressions; not a substitute for real confidence intervals.
+
+use std::time::{Duration, Instant};
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup { _c: self, name, sample_size: 10, throughput: None }
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::new(), budget: self.sample_size };
+        f(&mut b);
+        let mean = if b.samples.is_empty() {
+            Duration::ZERO
+        } else {
+            b.samples.iter().sum::<Duration>() / b.samples.len() as u32
+        };
+        let lo = b.samples.iter().min().copied().unwrap_or_default();
+        let hi = b.samples.iter().max().copied().unwrap_or_default();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!("  ({:.3e} /s)", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        eprintln!(
+            "{}/{id}: mean {mean:?} [min {lo:?}, max {hi:?}, n={}]{rate}",
+            self.name,
+            b.samples.len(),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f()); // warm-up, untimed
+        for _ in 0..self.budget {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_requested_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(100));
+        let mut calls = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        // warm-up + 5 timed samples
+        assert_eq!(calls, 6);
+    }
+
+    criterion_group!(smoke, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("noop");
+        g.sample_size(2);
+        g.bench_function("id", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn macros_expand_and_run() {
+        smoke();
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline stand-in for `rayon`, covering the slice of the API this
+//! workspace uses: `specs.par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! Work is distributed over `std::thread::scope` workers pulling indices
+//! from a shared atomic counter (simulations vary widely in cost, so
+//! self-scheduling beats static chunking), and results are reassembled in
+//! input order — matching rayon's `collect()` ordering guarantee that the
+//! experiment harness relies on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `.par_iter()` on slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(parallel_map(self.items, &self.f))
+    }
+}
+
+/// The number of worker threads used for parallel maps.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn parallel_map<'a, T: Sync, R: Send>(items: &'a [T], f: &(impl Fn(&'a T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("rayon shim: worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("rayon shim: missing slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u64> = Vec::new();
+        let out: Vec<u64> = none.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u64];
+        let out: Vec<u64> = one[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_is_self_scheduled() {
+        let items: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = items
+            .par_iter()
+            .map(|&x| {
+                // Make early items much more expensive than late ones.
+                let spin = if x < 4 { 100_000 } else { 10 };
+                let mut acc = x;
+                for i in 0..spin {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+                x
+            })
+            .collect();
+        assert_eq!(out, items);
+    }
+}

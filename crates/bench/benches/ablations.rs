@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use flov_bench::ablations;
+use flov_bench::Engine;
 use std::hint::black_box;
 
 const CYCLES: u64 = 5_000;
@@ -11,7 +12,7 @@ fn ab_escape_timeout(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_escape_timeout");
     g.sample_size(10);
     g.bench_function("4-point sweep (reduced)", |b| {
-        b.iter(|| black_box(ablations::ablate_escape_timeout(CYCLES)))
+        b.iter(|| black_box(ablations::ablate_escape_timeout(&Engine::without_cache(), CYCLES)))
     });
     g.finish();
 }
@@ -20,7 +21,7 @@ fn ab_idle_threshold(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_idle_threshold");
     g.sample_size(10);
     g.bench_function("4-point sweep (reduced)", |b| {
-        b.iter(|| black_box(ablations::ablate_idle_threshold(CYCLES)))
+        b.iter(|| black_box(ablations::ablate_idle_threshold(&Engine::without_cache(), CYCLES)))
     });
     g.finish();
 }
@@ -29,7 +30,7 @@ fn ab_rp_stall(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_rp_stall");
     g.sample_size(10);
     g.bench_function("3-point sweep (reduced)", |b| {
-        b.iter(|| black_box(ablations::ablate_rp_stall(CYCLES * 4)))
+        b.iter(|| black_box(ablations::ablate_rp_stall(&Engine::without_cache(), CYCLES * 4)))
     });
     g.finish();
 }
@@ -38,10 +39,10 @@ fn ab_buffers_vcs(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_buffers_and_vcs");
     g.sample_size(10);
     g.bench_function("buffer depth sweep (reduced)", |b| {
-        b.iter(|| black_box(ablations::ablate_buffer_depth(CYCLES)))
+        b.iter(|| black_box(ablations::ablate_buffer_depth(&Engine::without_cache(), CYCLES)))
     });
     g.bench_function("vc count sweep (reduced)", |b| {
-        b.iter(|| black_box(ablations::ablate_vc_count(CYCLES)))
+        b.iter(|| black_box(ablations::ablate_vc_count(&Engine::without_cache(), CYCLES)))
     });
     g.finish();
 }
@@ -50,13 +51,20 @@ fn ab_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_policies");
     g.sample_size(10);
     g.bench_function("rp policy sweep (reduced)", |b| {
-        b.iter(|| black_box(ablations::ablate_rp_policy(CYCLES)))
+        b.iter(|| black_box(ablations::ablate_rp_policy(&Engine::without_cache(), CYCLES)))
     });
     g.bench_function("handshake rtt sweep (reduced)", |b| {
-        b.iter(|| black_box(ablations::ablate_handshake_rtt(CYCLES)))
+        b.iter(|| black_box(ablations::ablate_handshake_rtt(&Engine::without_cache(), CYCLES)))
     });
     g.finish();
 }
 
-criterion_group!(ablations_group, ab_escape_timeout, ab_idle_threshold, ab_rp_stall, ab_buffers_vcs, ab_policies);
+criterion_group!(
+    ablations_group,
+    ab_escape_timeout,
+    ab_idle_threshold,
+    ab_rp_stall,
+    ab_buffers_vcs,
+    ab_policies
+);
 criterion_main!(ablations_group);

@@ -8,8 +8,13 @@ use flov_bench::figures::{
     fig_breakdown, fig_parsec, fig_static, fig_synthetic, fig_timeline, overhead, table1,
     SynthScale,
 };
+use flov_bench::Engine;
 use flov_workloads::Pattern;
 use std::hint::black_box;
+
+fn engine() -> Engine {
+    Engine::without_cache()
+}
 
 fn bench_scale() -> SynthScale {
     SynthScale {
@@ -26,7 +31,7 @@ fn fig6_uniform(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6_uniform_random");
     g.sample_size(10);
     g.bench_function("latency+power sweep (reduced)", |b| {
-        b.iter(|| black_box(fig_synthetic(Pattern::UniformRandom, &bench_scale())))
+        b.iter(|| black_box(fig_synthetic(&engine(), Pattern::UniformRandom, &bench_scale())))
     });
     g.finish();
 }
@@ -35,7 +40,7 @@ fn fig7_tornado(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7_tornado");
     g.sample_size(10);
     g.bench_function("latency+power sweep (reduced)", |b| {
-        b.iter(|| black_box(fig_synthetic(Pattern::Tornado, &bench_scale())))
+        b.iter(|| black_box(fig_synthetic(&engine(), Pattern::Tornado, &bench_scale())))
     });
     g.finish();
 }
@@ -44,10 +49,10 @@ fn fig8ab_breakdown(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8ab_latency_breakdown");
     g.sample_size(10);
     g.bench_function("uniform (reduced)", |b| {
-        b.iter(|| black_box(fig_breakdown(Pattern::UniformRandom, &bench_scale())))
+        b.iter(|| black_box(fig_breakdown(&engine(), Pattern::UniformRandom, &bench_scale())))
     });
     g.bench_function("tornado (reduced)", |b| {
-        b.iter(|| black_box(fig_breakdown(Pattern::Tornado, &bench_scale())))
+        b.iter(|| black_box(fig_breakdown(&engine(), Pattern::Tornado, &bench_scale())))
     });
     g.finish();
 }
@@ -58,6 +63,7 @@ fn fig8cd_parsec(c: &mut Criterion) {
     g.bench_function("swaptions x 4 mechanisms", |b| {
         b.iter(|| {
             black_box(fig_parsec(
+                &engine(),
                 &["swaptions"],
                 0xF10F,
                 &["Baseline", "RP", "rFLOV", "gFLOV"],
@@ -71,7 +77,7 @@ fn fig9_static(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig9_static_power");
     g.sample_size(10);
     g.bench_function("static power sweep (reduced)", |b| {
-        b.iter(|| black_box(fig_static(&bench_scale())))
+        b.iter(|| black_box(fig_static(&engine(), &bench_scale())))
     });
     g.finish();
 }
@@ -81,7 +87,7 @@ fn fig10_reconfig(c: &mut Criterion) {
     g.sample_size(10);
     let scale = SynthScale { cycles: 20_000, ..bench_scale() };
     g.bench_function("gFLOV vs RP timeline (reduced)", |b| {
-        b.iter(|| black_box(fig_timeline(&scale)))
+        b.iter(|| black_box(fig_timeline(&engine(), &scale)))
     });
     g.finish();
 }

@@ -7,9 +7,9 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use flov_core::mechanism;
 use flov_core::routing::{flov_route_escape, flov_route_regular};
 use flov_noc::network::Simulation;
+use flov_noc::rng::Rng;
 use flov_noc::router::arbiter::RoundRobin;
 use flov_noc::routing::{yx_route, RouteCtx};
-use flov_noc::rng::Rng;
 use flov_noc::types::{Coord, Dir, Port, PowerState};
 use flov_noc::NocConfig;
 use flov_workloads::{GatingSchedule, Pattern, SyntheticWorkload};
@@ -96,13 +96,9 @@ fn arbiter_micro(c: &mut Criterion) {
     g.sample_size(20);
     g.throughput(Throughput::Elements(1));
     let mut rr = RoundRobin::new(12);
-    g.bench_function("round_robin_12way_dense", |b| {
-        b.iter(|| black_box(rr.grant(|_| true)))
-    });
+    g.bench_function("round_robin_12way_dense", |b| b.iter(|| black_box(rr.grant(|_| true))));
     let mut rr2 = RoundRobin::new(12);
-    g.bench_function("round_robin_12way_sparse", |b| {
-        b.iter(|| black_box(rr2.grant(|i| i == 7)))
-    });
+    g.bench_function("round_robin_12way_sparse", |b| b.iter(|| black_box(rr2.grant(|i| i == 7))));
     g.finish();
 }
 

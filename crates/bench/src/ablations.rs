@@ -1,41 +1,36 @@
 //! Ablation studies for the design choices DESIGN.md calls out:
 //! escape-timeout threshold, idle-detection threshold, Router Parking's
 //! Phase-I stall length, buffer depth, VC count, and RP parking policy.
-//! Each returns a [`Table`]; the `ablations` binary prints them all and the
+//! Each returns a [`Table`]; `flov ablations` prints them all and the
 //! criterion bench exercises them at reduced scale.
+//!
+//! Sweeps whose knob lives in the [`RunSpec`] go through the [`Engine`]
+//! (and therefore the result cache). Sweeps that tweak mechanism-internal
+//! parameters the spec cannot see (`min_stall`, `handshake_rtt`) call
+//! [`run_with`] directly — caching them by spec would conflate distinct
+//! experiments under one key.
 
+use crate::engine::Engine;
 use crate::report::{f2, mw, Table};
+use crate::run_with;
 use crate::spec::{RunSpec, WorkloadSpec};
-use crate::{run, run_with};
 use flov_core::{Flov, FlovParams, RouterParking, RpMode};
-use flov_noc::NocConfig;
-use flov_power::PowerParams;
 use flov_workloads::Pattern;
 
 /// Common scenario for the ablations: UR at the paper's low rate, 50%
 /// cores gated.
 fn base_spec(cycles: u64) -> RunSpec {
-    RunSpec {
-        cfg: NocConfig::paper_table1(),
-        mechanism: "gFLOV".into(),
-        workload: WorkloadSpec::Synthetic {
-            pattern: Pattern::UniformRandom,
-            rate: 0.02,
-            gated_fraction: 0.5,
-            seed: 0xF10F,
-            changes: vec![],
-        },
-        warmup: cycles / 10,
-        cycles,
-        drain: cycles * 2,
-        timeline_width: 0,
-        power_params: PowerParams::default(),
-    }
+    RunSpec::builder()
+        .gated_fraction(0.5)
+        .warmup(cycles / 10)
+        .cycles(cycles)
+        .drain(cycles * 2)
+        .build()
 }
 
 /// Escape-timeout sensitivity: too low floods the single escape VC, too
 /// high leaves blocked packets waiting (pre-diversion latency).
-pub fn ablate_escape_timeout(cycles: u64) -> Table {
+pub fn ablate_escape_timeout(engine: &Engine, cycles: u64) -> Table {
     let mut t = Table::new(
         "ablation: escape timeout (gFLOV, UR 0.02, 50% gated)",
         &["timeout [cy]", "avg lat", "max lat", "escape pkts", "diversions"],
@@ -43,7 +38,7 @@ pub fn ablate_escape_timeout(cycles: u64) -> Table {
     for timeout in [16u32, 64, 128, 512] {
         let mut spec = base_spec(cycles);
         spec.cfg.escape_timeout = timeout;
-        let r = run(&spec);
+        let r = engine.run_one(&spec);
         t.row(vec![
             timeout.to_string(),
             f2(r.avg_latency),
@@ -57,7 +52,7 @@ pub fn ablate_escape_timeout(cycles: u64) -> Table {
 
 /// Idle-detection threshold: how long a router waits for local silence
 /// before draining. Lower = more sleep residency but more gating churn.
-pub fn ablate_idle_threshold(cycles: u64) -> Table {
+pub fn ablate_idle_threshold(_engine: &Engine, cycles: u64) -> Table {
     let mut t = Table::new(
         "ablation: idle-detect threshold before draining (gFLOV)",
         &["threshold [cy]", "avg lat", "gating events", "static [mW]", "total [mW]"],
@@ -81,7 +76,7 @@ pub fn ablate_idle_threshold(cycles: u64) -> Table {
 
 /// Router Parking Phase-I stall length: the paper measures >700 cycles;
 /// what would a faster Fabric Manager buy?
-pub fn ablate_rp_stall(cycles: u64) -> Table {
+pub fn ablate_rp_stall(_engine: &Engine, cycles: u64) -> Table {
     let mut t = Table::new(
         "ablation: RP Phase-I minimum stall (UR 0.02, 10% gated, 2 reconfigs)",
         &["min stall [cy]", "avg lat", "max lat", "stalled node-cycles"],
@@ -112,7 +107,7 @@ pub fn ablate_rp_stall(cycles: u64) -> Table {
 /// Buffer-depth sensitivity under gFLOV: credit round trips across FLOV
 /// chains grow with chain length, so shallow buffers throttle fly-over
 /// throughput (the paper's round-trip-credit-latency discussion).
-pub fn ablate_buffer_depth(cycles: u64) -> Table {
+pub fn ablate_buffer_depth(engine: &Engine, cycles: u64) -> Table {
     let mut t = Table::new(
         "ablation: input buffer depth (gFLOV, UR 0.08, 50% gated)",
         &["depth [flits]", "avg lat", "throughput [f/cy]", "contention"],
@@ -123,19 +118,14 @@ pub fn ablate_buffer_depth(cycles: u64) -> Table {
         if let WorkloadSpec::Synthetic { ref mut rate, .. } = spec.workload {
             *rate = 0.08;
         }
-        let r = run(&spec);
-        t.row(vec![
-            depth.to_string(),
-            f2(r.avg_latency),
-            f2(r.throughput),
-            f2(r.breakdown[3]),
-        ]);
+        let r = engine.run_one(&spec);
+        t.row(vec![depth.to_string(), f2(r.avg_latency), f2(r.throughput), f2(r.breakdown[3])]);
     }
     t
 }
 
 /// VC-count sensitivity: regular VCs per vnet.
-pub fn ablate_vc_count(cycles: u64) -> Table {
+pub fn ablate_vc_count(engine: &Engine, cycles: u64) -> Table {
     let mut t = Table::new(
         "ablation: regular VCs per vnet (gFLOV, UR 0.08, 50% gated)",
         &["regular VCs", "avg lat", "throughput [f/cy]"],
@@ -146,29 +136,26 @@ pub fn ablate_vc_count(cycles: u64) -> Table {
         if let WorkloadSpec::Synthetic { ref mut rate, .. } = spec.workload {
             *rate = 0.08;
         }
-        let r = run(&spec);
+        let r = engine.run_one(&spec);
         t.row(vec![vcs.to_string(), f2(r.avg_latency), f2(r.throughput)]);
     }
     t
 }
 
 /// RP parking policy: aggressive vs adaptive at both paper rates.
-pub fn ablate_rp_policy(cycles: u64) -> Table {
+pub fn ablate_rp_policy(engine: &Engine, cycles: u64) -> Table {
     let mut t = Table::new(
         "ablation: RP parking policy (UR, 50% gated)",
         &["rate", "policy", "avg lat", "static [mW]", "total [mW]"],
     );
     for rate in [0.02f64, 0.08] {
-        for (name, mech) in [
-            ("aggressive", "RP-aggressive"),
-            ("adaptive", "RP"),
-        ] {
+        for (name, mech) in [("aggressive", "RP-aggressive"), ("adaptive", "RP")] {
             let mut spec = base_spec(cycles);
             spec.mechanism = mech.into();
             if let WorkloadSpec::Synthetic { rate: ref mut r, .. } = spec.workload {
                 *r = rate;
             }
-            let r = run(&spec);
+            let r = engine.run_one(&spec);
             t.row(vec![
                 format!("{rate}"),
                 name.into(),
@@ -182,7 +169,7 @@ pub fn ablate_rp_policy(cycles: u64) -> Table {
 }
 
 /// gFLOV handshake-window sensitivity (the drain/wake signal RTT model).
-pub fn ablate_handshake_rtt(cycles: u64) -> Table {
+pub fn ablate_handshake_rtt(_engine: &Engine, cycles: u64) -> Table {
     let mut t = Table::new(
         "ablation: handshake RTT window (gFLOV, UR 0.02, 50% gated)",
         &["rtt [cy]", "avg lat", "gating events", "static [mW]"],
@@ -205,15 +192,15 @@ pub fn ablate_handshake_rtt(cycles: u64) -> Table {
 }
 
 /// Run every ablation at the given scale.
-pub fn all(cycles: u64) -> Vec<Table> {
+pub fn all(engine: &Engine, cycles: u64) -> Vec<Table> {
     vec![
-        ablate_escape_timeout(cycles),
-        ablate_idle_threshold(cycles),
-        ablate_rp_stall(cycles),
-        ablate_buffer_depth(cycles),
-        ablate_vc_count(cycles),
-        ablate_rp_policy(cycles),
-        ablate_handshake_rtt(cycles),
+        ablate_escape_timeout(engine, cycles),
+        ablate_idle_threshold(engine, cycles),
+        ablate_rp_stall(engine, cycles),
+        ablate_buffer_depth(engine, cycles),
+        ablate_vc_count(engine, cycles),
+        ablate_rp_policy(engine, cycles),
+        ablate_handshake_rtt(engine, cycles),
     ]
 }
 
@@ -223,13 +210,13 @@ mod tests {
 
     #[test]
     fn escape_timeout_ablation_has_rows() {
-        let t = ablate_escape_timeout(6_000);
+        let t = ablate_escape_timeout(&Engine::without_cache(), 6_000);
         assert_eq!(t.rows.len(), 4);
     }
 
     #[test]
     fn rp_stall_ablation_orders_latency() {
-        let t = ablate_rp_stall(20_000);
+        let t = ablate_rp_stall(&Engine::without_cache(), 20_000);
         // Longer stalls => more stalled node-cycles.
         let stalled: Vec<u64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
         assert!(stalled[0] < stalled[2], "stall cycles not increasing: {stalled:?}");
@@ -237,7 +224,7 @@ mod tests {
 
     #[test]
     fn deeper_buffers_do_not_hurt() {
-        let t = ablate_buffer_depth(6_000);
+        let t = ablate_buffer_depth(&Engine::without_cache(), 6_000);
         let lat: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
         assert!(lat[3] <= lat[0] * 1.1, "depth-8 latency {} vs depth-2 {}", lat[3], lat[0]);
     }

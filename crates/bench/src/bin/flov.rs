@@ -1,0 +1,437 @@
+//! `flov` — the single command-line front end for every experiment in
+//! this reproduction. One subcommand per paper table/figure plus the
+//! beyond-the-paper studies, a one-off simulator (`sim`), a batch runner
+//! over serialized specs (`sweep`), and result-cache maintenance.
+//!
+//! Every subcommand runs through the caching sweep [`Engine`]: results
+//! persist under `results/cache/` keyed by the content of each spec, so
+//! re-generating a figure costs one cache read per run instead of one
+//! simulation.
+//!
+//! Usage: `cargo run --release -p flov-bench --bin flov -- <subcommand>`
+//!
+//! Global flags (valid after any subcommand):
+//!   --quick        reduced-scale sweep (benches/smoke)
+//!   --cache-dir D  cache location (default $FLOV_CACHE_DIR or results/cache)
+//!   --no-cache     always simulate; touch no files
+//!   --quiet        suppress stderr progress + engine summary
+
+use flov_bench::engine::Engine;
+use flov_bench::figures::{
+    fig_breakdown, fig_parsec, fig_static, fig_synthetic, fig_timeline, overhead, parsec_default,
+    table1, SynthScale,
+};
+use flov_bench::{ablations, studies, ResultCache, RunResult, RunSpec};
+use flov_core::mechanism;
+use flov_noc::network::Simulation;
+use flov_noc::render;
+use flov_workloads::{GatingSchedule, Pattern, SyntheticWorkload};
+
+const USAGE: &str = "\
+flov — FLOV reproduction experiment runner
+
+usage: flov <subcommand> [options]
+
+paper figures and tables:
+  fig6        Uniform Random latency/power sweep       (was: fig6)
+  fig7        Tornado latency/power sweep              (was: fig7)
+  fig8ab      latency breakdown, UR + Tornado          (was: fig8ab)
+  fig8cd      PARSEC full-system + headline summary    (was: fig8cd)
+  fig9        static power vs gated fraction           (was: fig9)
+  fig10       reconfiguration timeline                 (was: fig10)
+  table1      testbed parameters                       (was: table1)
+  overhead    router area/overhead analysis            (was: overhead)
+
+studies:
+  ablations   design-choice sensitivity sweeps         (was: ablations)
+  nord        NoRD vs FLOV critique, 2 experiments     (was: nord)
+  related     six-mechanism landscape                  (was: related)
+  scaling     4x4..16x16 mesh scaling                  (was: scaling)
+
+tools:
+  parsec      selectable PARSEC subset
+              [--bench NAME]... [--mech NAME]... [--seed S]
+  sim         one-off simulation with a full report    (was: flov-sim)
+              [--mech M] [--pattern P] [--rate R] [--gated F] [--cycles N]
+              [--warmup N] [--seed S] [--k K] [--parsec BENCH] [--json] [--map]
+  sweep       run a batch of serialized RunSpecs
+              --spec FILE.json (one spec or an array); JSON results on stdout
+  cache       result-cache maintenance: stats | clear
+
+global flags: [--quick] [--cache-dir DIR] [--no-cache] [--quiet]
+";
+
+fn usage() -> ! {
+    eprint!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// The value following `flag`, if present.
+fn flag_value(argv: &[String], flag: &str) -> Option<String> {
+    argv.iter().position(|a| a == flag).map(|i| {
+        argv.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a value");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// Every value of a repeatable `flag`.
+fn flag_values(argv: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        if argv[i] == flag {
+            match argv.get(i + 1) {
+                Some(v) => out.push(v.clone()),
+                None => {
+                    eprintln!("error: {flag} needs a value");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn parse_pattern(name: &str) -> Pattern {
+    match name {
+        "uniform" => Pattern::UniformRandom,
+        "tornado" => Pattern::Tornado,
+        "transpose" => Pattern::Transpose,
+        "bitcomp" => Pattern::BitComplement,
+        "neighbor" => Pattern::Neighbor,
+        _ => {
+            eprintln!(
+                "error: unknown pattern {name:?} (uniform|tornado|transpose|bitcomp|neighbor)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_or_die<T: std::str::FromStr>(what: &str, v: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid {what}: {v:?}");
+        std::process::exit(2);
+    })
+}
+
+/// Every name `RunSpec::resolve` + `mechanism::by_name` can build (the
+/// resolve step supplies NoRD's ring and PowerPunch's VC rearrangement).
+const MECH_NAMES: [&str; 7] =
+    ["Baseline", "RP", "RP-aggressive", "rFLOV", "gFLOV", "NoRD", "PowerPunch"];
+
+fn check_mech(name: &str) {
+    if !MECH_NAMES.contains(&name) {
+        eprintln!("error: unknown mechanism {name:?} (one of: {})", MECH_NAMES.join("|"));
+        std::process::exit(2);
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else { usage() };
+    let rest = &argv[1..];
+
+    let quick = argv.iter().any(|a| a == "--quick");
+    let quiet = argv.iter().any(|a| a == "--quiet");
+    let no_cache = argv.iter().any(|a| a == "--no-cache");
+    let cache_dir = flag_value(&argv, "--cache-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(ResultCache::default_dir);
+
+    let mut engine = if no_cache {
+        Engine::without_cache().verbose()
+    } else {
+        Engine::with_cache_dir(&cache_dir)
+    };
+    if quiet {
+        engine = engine.quiet();
+    }
+
+    match cmd.as_str() {
+        "fig6" | "fig7" => {
+            let pattern = if cmd == "fig6" { Pattern::UniformRandom } else { Pattern::Tornado };
+            let scale = SynthScale::from_args();
+            for (i, t) in fig_synthetic(&engine, pattern, &scale).iter().enumerate() {
+                t.emit(&format!("{cmd}_{i}"));
+            }
+        }
+        "fig8ab" => {
+            let scale = SynthScale::from_args();
+            fig_breakdown(&engine, Pattern::UniformRandom, &scale).emit("fig8a");
+            fig_breakdown(&engine, Pattern::Tornado, &scale).emit("fig8b");
+        }
+        "fig8cd" => {
+            let (benches, mechs) = parsec_default();
+            let benches: Vec<&str> = if quick { benches[..2].to_vec() } else { benches };
+            let (table, s) = fig_parsec(&engine, &benches, 0xF10F, &mechs);
+            table.emit("fig8cd");
+            println!("== headline summary (geometric means over {} benchmarks) ==", benches.len());
+            println!(
+                "paper: FLOV vs RP       total energy  -18%   | measured: {:+.1}%",
+                s.flov_vs_rp_total * 100.0
+            );
+            println!(
+                "paper: FLOV vs RP       static energy -22%   | measured: {:+.1}%",
+                s.flov_vs_rp_static * 100.0
+            );
+            println!(
+                "paper: FLOV vs Baseline static energy -43%   | measured: {:+.1}%",
+                s.flov_vs_base_static * 100.0
+            );
+            println!(
+                "paper: FLOV vs Baseline runtime       +1%    | measured: {:+.1}%",
+                s.flov_vs_base_runtime * 100.0
+            );
+        }
+        "fig9" => {
+            fig_static(&engine, &SynthScale::from_args()).emit("fig9");
+        }
+        "fig10" => {
+            fig_timeline(&engine, &SynthScale::from_args()).emit("fig10");
+        }
+        "table1" => {
+            table1().emit("table1");
+        }
+        "overhead" => {
+            overhead().emit("overhead");
+        }
+        "ablations" => {
+            let cycles = if quick { 12_000 } else { 100_000 };
+            for (i, t) in ablations::all(&engine, cycles).iter().enumerate() {
+                t.emit(&format!("ablation_{i}"));
+            }
+        }
+        "nord" => {
+            let tables = studies::nord_study(&engine, quick);
+            tables[0].emit("nord_sweep");
+            tables[1].emit("nord_scaling");
+            println!("Expected: NoRD's static power is the lowest (gates everything, no AON");
+            println!("column) but its latency diverges with k — the paper's scalability point.");
+        }
+        "related" => {
+            studies::related_landscape(&engine, quick).emit("related");
+            println!("Reading guide: NoRD = lowest static, worst latency (ring trips).");
+            println!(
+                "PowerPunch = good latency, but wake/sleep churn (gating events, 17.7 pJ each)"
+            );
+            println!("and punched paths stay powered. gFLOV = near-NoRD static at near-Baseline");
+            println!("latency with zero per-packet wakeups — the paper's positioning.");
+        }
+        "scaling" => {
+            studies::mesh_scaling(&engine, quick).emit("scaling");
+            println!("Expected shape: RP's stall node-cycles and latency penalty grow with k;");
+            println!("gFLOV's latency stays near Baseline at every size (local handshakes).");
+        }
+        "parsec" => {
+            let (default_benches, default_mechs) = parsec_default();
+            let bench_args = flag_values(rest, "--bench");
+            let mech_args = flag_values(rest, "--mech");
+            let benches: Vec<&str> = if bench_args.is_empty() {
+                if quick {
+                    default_benches[..2].to_vec()
+                } else {
+                    default_benches
+                }
+            } else {
+                bench_args.iter().map(|s| s.as_str()).collect()
+            };
+            let mut mechs: Vec<&str> = if mech_args.is_empty() {
+                default_mechs
+            } else {
+                mech_args.iter().map(|s| s.as_str()).collect()
+            };
+            mechs.iter().for_each(|m| check_mech(m));
+            // The normalization column needs Baseline even when the user
+            // only asked for one mechanism.
+            if !mechs.contains(&"Baseline") {
+                mechs.insert(0, "Baseline");
+            }
+            let seed =
+                flag_value(rest, "--seed").map(|v| parse_or_die("--seed", &v)).unwrap_or(0xF10F);
+            let (table, _) = fig_parsec(&engine, &benches, seed, &mechs);
+            table.emit("parsec");
+        }
+        "sim" => sim(&engine, rest),
+        "sweep" => {
+            let path = flag_value(rest, "--spec").unwrap_or_else(|| {
+                eprintln!("error: sweep needs --spec FILE.json");
+                std::process::exit(2);
+            });
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            // Accept a single spec object or an array of specs.
+            let specs: Vec<RunSpec> = match serde_json::from_str::<Vec<RunSpec>>(&text) {
+                Ok(s) => s,
+                Err(_) => match serde_json::from_str::<RunSpec>(&text) {
+                    Ok(s) => vec![s],
+                    Err(e) => {
+                        eprintln!("error: {path} is not a RunSpec or a list of them: {e}");
+                        std::process::exit(1);
+                    }
+                },
+            };
+            let results: Vec<RunResult> = engine.run_batch(&specs);
+            println!("{}", serde_json::to_string_pretty(&results).expect("results serialize"));
+        }
+        "cache" => {
+            let cache = ResultCache::new(&cache_dir);
+            match rest.first().map(|s| s.as_str()) {
+                Some("stats") => {
+                    let s = cache.stats();
+                    println!("cache dir   {}", cache.dir().display());
+                    println!("entries     {}", s.entries);
+                    println!("total size  {} bytes", s.total_bytes);
+                }
+                Some("clear") => {
+                    let n = cache.clear().unwrap_or_else(|e| {
+                        eprintln!("error: clearing cache: {e}");
+                        std::process::exit(1);
+                    });
+                    println!("removed {n} entries from {}", cache.dir().display());
+                }
+                _ => usage(),
+            }
+        }
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("error: unknown subcommand {other:?}\n");
+            usage();
+        }
+    }
+}
+
+/// `flov sim` — one-off simulation with a human-readable report, JSON
+/// output for scripting, and an optional steady-state mesh map.
+fn sim(engine: &Engine, rest: &[String]) {
+    let mut mech = "gFLOV".to_string();
+    let mut pattern = Pattern::UniformRandom;
+    let mut rate = 0.02f64;
+    let mut gated = 0.5f64;
+    let mut cycles = 100_000u64;
+    let mut warmup = 10_000u64;
+    let mut seed = 0xF10Fu64;
+    let mut k = 8u16;
+    let mut parsec: Option<String> = None;
+    let mut json = false;
+    let mut map = false;
+    let mut i = 0;
+    while i < rest.len() {
+        let val = |i: &mut usize| -> String {
+            *i += 1;
+            rest.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("error: {} needs a value", rest[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match rest[i].as_str() {
+            "--mech" => mech = val(&mut i),
+            "--pattern" => pattern = parse_pattern(&val(&mut i)),
+            "--rate" => rate = parse_or_die("--rate", &val(&mut i)),
+            "--gated" => gated = parse_or_die("--gated", &val(&mut i)),
+            "--cycles" => cycles = parse_or_die("--cycles", &val(&mut i)),
+            "--warmup" => warmup = parse_or_die("--warmup", &val(&mut i)),
+            "--seed" => seed = parse_or_die("--seed", &val(&mut i)),
+            "--k" => k = parse_or_die("--k", &val(&mut i)),
+            "--parsec" => parsec = Some(val(&mut i)),
+            "--json" => json = true,
+            "--map" => map = true,
+            // Global flags were already consumed in main.
+            "--quick" | "--no-cache" | "--quiet" => {}
+            "--cache-dir" => {
+                val(&mut i);
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    check_mech(&mech);
+    let mut b = RunSpec::builder().mechanism(&mech).k(k).seed(seed);
+    b = match &parsec {
+        Some(bench) => b.parsec(bench),
+        None => b
+            .pattern(pattern)
+            .rate(rate)
+            .gated_fraction(gated)
+            .warmup(warmup)
+            .cycles(cycles)
+            .drain(cycles),
+    };
+    let spec = b.build();
+    let r = engine.run_one(&spec);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&r).expect("result serializes"));
+    } else {
+        println!("mechanism        {}", r.mechanism);
+        println!("packets          {}", r.packets);
+        println!("avg latency      {:.2} cycles (max {})", r.avg_latency, r.max_latency);
+        let (p50, p95, p99) = r.latency_percentiles;
+        println!("  percentiles    p50<={p50} p95<={p95} p99<={p99}");
+        println!(
+            "  breakdown      router {:.2} | link {:.2} | serial {:.2} | contention {:.2} | flov {:.2}",
+            r.breakdown[0], r.breakdown[1], r.breakdown[2], r.breakdown[3], r.breakdown[4]
+        );
+        println!(
+            "avg hops         {:.2} routers + {:.2} flov latches",
+            r.avg_hops, r.avg_flov_hops
+        );
+        println!("throughput       {:.4} flits/cycle", r.throughput);
+        println!(
+            "escape           {} packets ({} diversions)",
+            r.escape_packets, r.escape_diversions
+        );
+        println!("static power     {:.1} mW", r.power.static_w * 1e3);
+        println!("dynamic power    {:.1} mW", r.power.dynamic_w * 1e3);
+        println!("total power      {:.1} mW", r.power.total_w * 1e3);
+        println!(
+            "total energy     {:.3} uJ over {} cycles",
+            r.power.total_j() * 1e6,
+            r.power.cycles
+        );
+        println!("gating events    {}", r.gating_events);
+        println!("stalled inj      {} node-cycles", r.stalled_injection_cycles);
+        if parsec.is_some() {
+            println!(
+                "per-class lat    req {:.1} ({} pkts) | data {:.1} ({}) | ctrl {:.1} ({})",
+                r.vnet_latency[0].1,
+                r.vnet_latency[0].0,
+                r.vnet_latency[1].1,
+                r.vnet_latency[1].0,
+                r.vnet_latency[2].1,
+                r.vnet_latency[2].0
+            );
+        }
+    }
+    if map {
+        // Re-run briefly to render the steady-state map (the engine run
+        // consumed its simulation).
+        let cfg = spec.cfg.clone();
+        let m = mechanism::by_name(&mech, &cfg).expect("mechanism");
+        let w = SyntheticWorkload::new(
+            cfg.k,
+            pattern,
+            rate,
+            cfg.synth_packet_len,
+            20_000,
+            GatingSchedule::static_fraction(cfg.nodes(), gated, seed, &[]),
+            seed ^ 0xABCD,
+        );
+        let mut sim = Simulation::new(cfg, m, Box::new(w));
+        sim.run(20_000);
+        println!(
+            "\npower map (A=active, a=active router/gated core, d=draining, w=waking, .=asleep):"
+        );
+        print!("{}", render::power_map(&sim.core));
+        let (max, mean, gini) = render::link_util_summary(&sim.core);
+        println!("link utilization: max {max}, mean {mean:.1}, gini {gini:.3}");
+        println!("east-link heatmap (0-9 relative):");
+        print!("{}", render::eastlink_heatmap(&sim.core));
+        sim.drain(100_000);
+    }
+}

@@ -1,0 +1,160 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Every completed simulation is persisted as
+//! `results/cache/<key>.json`, where `<key>` is a 128-bit hash of the
+//! run's *canonical spec JSON* plus the engine's kernel-version salt.
+//! Canonical means: declaration-ordered map keys and shortest-roundtrip
+//! float formatting (see the workspace `serde_json` shim), so equal specs
+//! always hash identically. Bumping [`crate::engine::KERNEL_VERSION`]
+//! changes every key, which is how simulator-behavior changes invalidate
+//! stale results without touching the cache directory.
+
+use crate::spec::{RunResult, RunSpec};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// What one cache file holds: enough to audit a result without re-running
+/// it (the spec is stored alongside, not just its hash).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CacheEntry {
+    pub kernel_version: u32,
+    pub spec: RunSpec,
+    pub result: RunResult,
+}
+
+/// Summary of what's on disk, for `flov cache stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheStats {
+    pub entries: usize,
+    pub total_bytes: u64,
+}
+
+/// A directory of content-addressed [`CacheEntry`] files.
+#[derive(Clone, Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+/// 64-bit FNV-1a over `bytes`, from a caller-chosen basis.
+fn fnv1a(basis: u64, bytes: &[u8]) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl ResultCache {
+    /// A cache rooted at `dir` (created lazily on first write).
+    pub fn new(dir: impl Into<PathBuf>) -> ResultCache {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The default location: `$FLOV_CACHE_DIR`, or `results/cache`.
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os("FLOV_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results/cache"))
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The content address of a run: 128-bit hex over the canonical spec
+    /// JSON, salted by the kernel version. Two independent FNV-1a streams
+    /// (distinct bases, salt mixed in differently) make accidental
+    /// collisions across a realistic sweep negligible.
+    pub fn key(canonical_spec_json: &str, kernel_version: u32) -> String {
+        let bytes = canonical_spec_json.as_bytes();
+        let salt = kernel_version as u64;
+        let h1 = fnv1a(0xcbf29ce484222325 ^ salt, bytes);
+        let h2 = fnv1a(0x6c62272e07bb0142 ^ salt.rotate_left(32), bytes);
+        format!("{h1:016x}{h2:016x}")
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Fetch the result stored under `key`, verifying the salt. Corrupt
+    /// or mismatched entries read as misses (and will be overwritten).
+    pub fn get(&self, key: &str, kernel_version: u32) -> Option<RunResult> {
+        let text = fs::read_to_string(self.path_for(key)).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        (entry.kernel_version == kernel_version).then_some(entry.result)
+    }
+
+    /// Persist `entry` under `key` atomically (tmp file + rename), so a
+    /// crashed or concurrent run never leaves a half-written entry.
+    pub fn put(&self, key: &str, entry: &CacheEntry) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let tmp = self.dir.join(format!(".{key}.tmp-{}", std::process::id()));
+        {
+            let json = serde_json::to_string(entry).expect("cache entry serializes");
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.path_for(key))
+    }
+
+    /// Count the entries (and bytes) currently on disk.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        let Ok(rd) = fs::read_dir(&self.dir) else { return s };
+        for e in rd.flatten() {
+            let p = e.path();
+            if p.extension().is_some_and(|x| x == "json") {
+                s.entries += 1;
+                s.total_bytes += e.metadata().map(|m| m.len()).unwrap_or(0);
+            }
+        }
+        s
+    }
+
+    /// Delete every entry; returns how many were removed.
+    pub fn clear(&self) -> std::io::Result<usize> {
+        let mut n = 0;
+        let Ok(rd) = fs::read_dir(&self.dir) else { return Ok(0) };
+        for e in rd.flatten() {
+            let p = e.path();
+            if p.extension().is_some_and(|x| x == "json") {
+                fs::remove_file(&p)?;
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canonical(spec: &RunSpec) -> String {
+        serde_json::to_string(spec).unwrap()
+    }
+
+    #[test]
+    fn key_is_stable_and_salt_sensitive() {
+        let json = canonical(&RunSpec::builder().seed(1).build());
+        let a = ResultCache::key(&json, 1);
+        let b = ResultCache::key(&json, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(a, ResultCache::key(&json, 2), "salt must change the key");
+        let other = canonical(&RunSpec::builder().seed(2).build());
+        assert_ne!(a, ResultCache::key(&other, 1), "spec must change the key");
+    }
+
+    #[test]
+    fn equal_specs_share_a_key() {
+        let a = RunSpec::builder().mechanism("rFLOV").rate(0.08).build();
+        let b = RunSpec::builder().rate(0.08).mechanism("rFLOV").build();
+        assert_eq!(ResultCache::key(&canonical(&a), 1), ResultCache::key(&canonical(&b), 1),);
+    }
+}

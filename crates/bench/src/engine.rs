@@ -1,0 +1,262 @@
+//! The sweep engine: deduplicating, caching, parallel batch execution.
+//!
+//! Callers submit batches of [`RunSpec`]s; the engine resolves each spec
+//! to canonical form, deduplicates identical specs, serves previously
+//! executed runs from the content-addressed [`ResultCache`], simulates
+//! the rest across a thread pool (streaming progress to stderr), persists
+//! every fresh result, and hands back one [`RunResult`] per submitted
+//! spec, in order. Every figure generator, study, and the `flov` CLI run
+//! through here — a figure regenerated twice costs one simulation sweep.
+
+use crate::cache::{CacheEntry, ResultCache};
+use crate::progress::Progress;
+use crate::spec::{RunResult, RunSpec};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Salt mixed into every cache key. Bump this whenever a simulator or
+/// power-model change alters results, so stale cache entries (same spec,
+/// different behavior) stop matching.
+pub const KERNEL_VERSION: u32 = 1;
+
+/// Cumulative accounting across every batch an engine has run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Specs submitted to `run_batch`, including duplicates.
+    pub submitted: usize,
+    /// Distinct specs after canonicalization.
+    pub unique: usize,
+    /// Unique specs served from the result cache.
+    pub cached: usize,
+    /// Unique specs actually simulated.
+    pub simulated: usize,
+}
+
+/// See the module docs. Construct with [`Engine::new`] (caching, default
+/// directory), [`Engine::with_cache_dir`], or [`Engine::without_cache`].
+pub struct Engine {
+    cache: Option<ResultCache>,
+    kernel_version: u32,
+    verbose: bool,
+    submitted: AtomicUsize,
+    unique: AtomicUsize,
+    cached: AtomicUsize,
+    simulated: AtomicUsize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Caching engine rooted at [`ResultCache::default_dir`]
+    /// (`$FLOV_CACHE_DIR` or `results/cache`), with progress output.
+    pub fn new() -> Engine {
+        Engine::with_cache_dir(ResultCache::default_dir())
+    }
+
+    /// Caching engine rooted at `dir`, with progress output.
+    pub fn with_cache_dir(dir: impl Into<PathBuf>) -> Engine {
+        Engine {
+            cache: Some(ResultCache::new(dir)),
+            kernel_version: KERNEL_VERSION,
+            verbose: true,
+            submitted: AtomicUsize::new(0),
+            unique: AtomicUsize::new(0),
+            cached: AtomicUsize::new(0),
+            simulated: AtomicUsize::new(0),
+        }
+    }
+
+    /// Engine that always simulates and never touches the filesystem;
+    /// silent. Used by tests, benches, and `--no-cache`.
+    pub fn without_cache() -> Engine {
+        Engine {
+            cache: None,
+            kernel_version: KERNEL_VERSION,
+            verbose: false,
+            submitted: AtomicUsize::new(0),
+            unique: AtomicUsize::new(0),
+            cached: AtomicUsize::new(0),
+            simulated: AtomicUsize::new(0),
+        }
+    }
+
+    /// Override the cache-key salt (tests exercise invalidation with this).
+    pub fn with_kernel_version(mut self, v: u32) -> Engine {
+        self.kernel_version = v;
+        self
+    }
+
+    /// Suppress the stderr progress line and batch summary.
+    pub fn quiet(mut self) -> Engine {
+        self.verbose = false;
+        self
+    }
+
+    /// Re-enable progress output (e.g. on a `without_cache` engine).
+    pub fn verbose(mut self) -> Engine {
+        self.verbose = true;
+        self
+    }
+
+    /// The cache this engine reads and writes, if any.
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
+    /// Cumulative stats across every batch run so far.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            unique: self.unique.load(Ordering::Relaxed),
+            cached: self.cached.load(Ordering::Relaxed),
+            simulated: self.simulated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Convenience for a single spec.
+    pub fn run_one(&self, spec: &RunSpec) -> RunResult {
+        self.run_batch(std::slice::from_ref(spec)).pop().expect("one spec in, one result out")
+    }
+
+    /// Execute a batch: one result per submitted spec, in submission
+    /// order. Duplicate specs are simulated once; cache hits are served
+    /// without simulating; fresh results are persisted before return.
+    pub fn run_batch(&self, specs: &[RunSpec]) -> Vec<RunResult> {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let resolved: Vec<RunSpec> = specs.iter().map(|s| s.resolved()).collect();
+        let keys: Vec<String> = resolved
+            .iter()
+            .map(|s| {
+                let json = serde_json::to_string(s).expect("spec serializes");
+                ResultCache::key(&json, self.kernel_version)
+            })
+            .collect();
+
+        // Deduplicate by content address, keeping first-seen order.
+        let mut slot_by_key: HashMap<&str, usize> = HashMap::new();
+        let mut assignment = Vec::with_capacity(specs.len());
+        let mut uniques: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            let slot = *slot_by_key.entry(key).or_insert_with(|| {
+                uniques.push(i);
+                uniques.len() - 1
+            });
+            assignment.push(slot);
+        }
+
+        // Probe the cache; whatever misses gets simulated.
+        let progress = Progress::new(uniques.len(), self.verbose);
+        let mut slots: Vec<Option<RunResult>> = vec![None; uniques.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        for (slot, &i) in uniques.iter().enumerate() {
+            match self.cache.as_ref().and_then(|c| c.get(&keys[i], self.kernel_version)) {
+                Some(result) => {
+                    slots[slot] = Some(result);
+                    progress.tick(true);
+                }
+                None => misses.push(slot),
+            }
+        }
+        let n_cached = uniques.len() - misses.len();
+
+        let computed: Vec<RunResult> = misses
+            .par_iter()
+            .map(|&slot| {
+                let i = uniques[slot];
+                let result = crate::run(&resolved[i]);
+                if let Some(cache) = &self.cache {
+                    let entry = CacheEntry {
+                        kernel_version: self.kernel_version,
+                        spec: resolved[i].clone(),
+                        result: result.clone(),
+                    };
+                    if let Err(e) = cache.put(&keys[i], &entry) {
+                        eprintln!("[flov] warning: could not persist {}: {e}", &keys[i]);
+                    }
+                }
+                progress.tick(false);
+                result
+            })
+            .collect();
+        for (&slot, result) in misses.iter().zip(computed) {
+            slots[slot] = Some(result);
+        }
+        progress.clear_line();
+
+        self.submitted.fetch_add(specs.len(), Ordering::Relaxed);
+        self.unique.fetch_add(uniques.len(), Ordering::Relaxed);
+        self.cached.fetch_add(n_cached, Ordering::Relaxed);
+        self.simulated.fetch_add(misses.len(), Ordering::Relaxed);
+        if self.verbose {
+            // Keep this line's shape stable: CI greps it to assert hit rates.
+            eprintln!(
+                "[flov] engine: {} specs ({} unique): {} cached, {} simulated",
+                specs.len(),
+                uniques.len(),
+                n_cached,
+                misses.len(),
+            );
+        }
+
+        assignment
+            .into_iter()
+            .map(|slot| slots[slot].clone().expect("every unique slot filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(mech: &str, fraction: f64) -> RunSpec {
+        RunSpec::builder()
+            .mechanism(mech)
+            .k(4)
+            .gated_fraction(fraction)
+            .warmup(500)
+            .cycles(3_000)
+            .drain(10_000)
+            .build()
+    }
+
+    #[test]
+    fn dedup_simulates_each_unique_spec_once() {
+        let e = Engine::without_cache();
+        let specs =
+            vec![tiny("gFLOV", 0.0), tiny("gFLOV", 0.5), tiny("gFLOV", 0.0), tiny("gFLOV", 0.0)];
+        let results = e.run_batch(&specs);
+        assert_eq!(results.len(), 4);
+        let s = e.stats();
+        assert_eq!(s, EngineStats { submitted: 4, unique: 2, cached: 0, simulated: 2 });
+        // Duplicates get the same numbers, in submission order.
+        assert_eq!(results[0].avg_latency, results[2].avg_latency);
+        assert_eq!(results[0].packets, results[3].packets);
+        assert_ne!(results[0].power.static_w, results[1].power.static_w);
+    }
+
+    #[test]
+    fn batch_preserves_submission_order() {
+        let e = Engine::without_cache();
+        let specs: Vec<RunSpec> =
+            ["Baseline", "RP", "gFLOV"].iter().map(|m| tiny(m, 0.4)).collect();
+        let results = e.run_batch(&specs);
+        let mechs: Vec<&str> = results.iter().map(|r| r.mechanism.as_str()).collect();
+        assert_eq!(mechs, ["Baseline", "RP", "gFLOV"]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let e = Engine::without_cache();
+        assert!(e.run_batch(&[]).is_empty());
+        assert_eq!(e.stats(), EngineStats::default());
+    }
+}

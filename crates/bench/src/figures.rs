@@ -1,10 +1,11 @@
-//! One generator per paper table/figure. The `src/bin/fig*.rs` binaries run
-//! these at paper scale; the criterion benches run them at reduced scale so
-//! `cargo bench` exercises every generator.
+//! One generator per paper table/figure. The `flov` CLI runs these at
+//! paper scale through a caching [`Engine`]; the criterion benches run
+//! them at reduced scale (cacheless) so `cargo bench` exercises every
+//! generator.
 
+use crate::engine::Engine;
 use crate::report::{f2, f3, mw, Table};
-use crate::spec::{RunResult, RunSpec, WorkloadSpec};
-use crate::{run, run_all};
+use crate::spec::{RunResult, RunSpec};
 use flov_noc::NocConfig;
 use flov_power::{AreaModel, PowerParams};
 use flov_workloads::{Pattern, PARSEC_BENCHMARKS};
@@ -68,38 +69,30 @@ fn synth_spec(
     fraction: f64,
     scale: &SynthScale,
 ) -> RunSpec {
-    RunSpec {
-        cfg: NocConfig::paper_table1(),
-        mechanism: mech.into(),
-        workload: WorkloadSpec::Synthetic {
-            pattern,
-            rate,
-            gated_fraction: fraction,
-            seed: scale.seed,
-            changes: vec![],
-        },
-        warmup: scale.warmup,
-        cycles: scale.cycles,
-        drain: scale.drain,
-        timeline_width: 0,
-        power_params: PowerParams::default(),
-    }
+    RunSpec::builder()
+        .mechanism(mech)
+        .pattern(pattern)
+        .rate(rate)
+        .gated_fraction(fraction)
+        .seed(scale.seed)
+        .warmup(scale.warmup)
+        .cycles(scale.cycles)
+        .drain(scale.drain)
+        .build()
 }
 
 /// Figs. 6 & 7: for each injection rate, three tables — average latency,
 /// dynamic power, total power — across gated fractions and mechanisms.
-pub fn fig_synthetic(pattern: Pattern, scale: &SynthScale) -> Vec<Table> {
+pub fn fig_synthetic(engine: &Engine, pattern: Pattern, scale: &SynthScale) -> Vec<Table> {
     let mut tables = Vec::new();
     for &rate in &scale.rates {
         let specs: Vec<RunSpec> = scale
             .fractions
             .iter()
-            .flat_map(|&f| {
-                SYNTH_MECHS.iter().map(move |&m| (f, m))
-            })
+            .flat_map(|&f| SYNTH_MECHS.iter().map(move |&m| (f, m)))
             .map(|(f, m)| synth_spec(m, pattern, rate, f, scale))
             .collect();
-        let results = run_all(&specs);
+        let results = engine.run_batch(&specs);
         let chunk = SYNTH_MECHS.len();
         // A sweep point can have no measurable traffic (e.g. Tornado at 80%
         // gating may leave no active pair): render latency as "n/a".
@@ -137,7 +130,7 @@ pub fn fig_synthetic(pattern: Pattern, scale: &SynthScale) -> Vec<Table> {
 
 /// Fig. 8(a)/(b): latency breakdown (router / link / serialization /
 /// contention / FLOV) per mechanism and gated fraction, at the lower rate.
-pub fn fig_breakdown(pattern: Pattern, scale: &SynthScale) -> Table {
+pub fn fig_breakdown(engine: &Engine, pattern: Pattern, scale: &SynthScale) -> Table {
     let rate = scale.rates[0];
     let specs: Vec<RunSpec> = scale
         .fractions
@@ -145,7 +138,7 @@ pub fn fig_breakdown(pattern: Pattern, scale: &SynthScale) -> Table {
         .flat_map(|&f| SYNTH_MECHS.iter().map(move |&m| (f, m)))
         .map(|(f, m)| synth_spec(m, pattern, rate, f, scale))
         .collect();
-    let results = run_all(&specs);
+    let results = engine.run_batch(&specs);
     let mut t = Table::new(
         &format!(
             "latency breakdown [cycles/packet] — {} traffic, {} flits/cycle/node",
@@ -176,7 +169,7 @@ pub fn fig_breakdown(pattern: Pattern, scale: &SynthScale) -> Table {
 
 /// Fig. 9: static power vs gated fraction (aggressive RP; workload- and
 /// rate-independent for FLOV by construction).
-pub fn fig_static(scale: &SynthScale) -> Table {
+pub fn fig_static(engine: &Engine, scale: &SynthScale) -> Table {
     let rate = scale.rates[0];
     let specs: Vec<RunSpec> = scale
         .fractions
@@ -184,7 +177,7 @@ pub fn fig_static(scale: &SynthScale) -> Table {
         .flat_map(|&f| STATIC_MECHS.iter().map(move |&m| (f, m)))
         .map(|(f, m)| synth_spec(m, Pattern::UniformRandom, rate, f, scale))
         .collect();
-    let results = run_all(&specs);
+    let results = engine.run_batch(&specs);
     let mut headers = vec!["gated %".to_string()];
     headers.extend(STATIC_MECHS.iter().map(|m| m.to_string()));
     let mut t = Table {
@@ -205,30 +198,26 @@ pub fn fig_static(scale: &SynthScale) -> Table {
 
 /// Fig. 10: average-latency timeline under gating reconfigurations at 50%
 /// and 60% of the run, UR traffic at 0.02, 10% gated — gFLOV vs RP.
-pub fn fig_timeline(scale: &SynthScale) -> Table {
+pub fn fig_timeline(engine: &Engine, scale: &SynthScale) -> Table {
     let changes = vec![scale.cycles / 2, scale.cycles * 6 / 10];
     let bucket = (scale.cycles / 50).max(100);
     let mechs = ["gFLOV", "RP"];
     let specs: Vec<RunSpec> = mechs
         .iter()
-        .map(|&m| RunSpec {
-            cfg: NocConfig::paper_table1(),
-            mechanism: m.into(),
-            workload: WorkloadSpec::Synthetic {
-                pattern: Pattern::UniformRandom,
-                rate: 0.02,
-                gated_fraction: 0.1,
-                seed: scale.seed,
-                changes: changes.clone(),
-            },
-            warmup: scale.warmup,
-            cycles: scale.cycles,
-            drain: scale.drain,
-            timeline_width: bucket,
-            power_params: PowerParams::default(),
+        .map(|&m| {
+            RunSpec::builder()
+                .mechanism(m)
+                .gated_fraction(0.1)
+                .seed(scale.seed)
+                .changes(changes.clone())
+                .warmup(scale.warmup)
+                .cycles(scale.cycles)
+                .drain(scale.drain)
+                .timeline_width(bucket)
+                .build()
         })
         .collect();
-    let results = run_all(&specs);
+    let results = engine.run_batch(&specs);
     let mut t = Table::new(
         &format!(
             "avg packet latency [cycles] over time (reconfigurations at {} and {})",
@@ -266,13 +255,18 @@ pub struct ParsecSummary {
 
 /// Fig. 8(c)/(d): full-system PARSEC-proxy runs — runtime and energy,
 /// normalized to Baseline. Returns the table and the headline summary.
-pub fn fig_parsec(benches: &[&str], seed: u64, mechs: &[&str]) -> (Table, ParsecSummary) {
+pub fn fig_parsec(
+    engine: &Engine,
+    benches: &[&str],
+    seed: u64,
+    mechs: &[&str],
+) -> (Table, ParsecSummary) {
     let specs: Vec<RunSpec> = benches
         .iter()
         .flat_map(|&b| mechs.iter().map(move |&m| (b, m)))
         .map(|(b, m)| RunSpec::parsec(m, b, seed))
         .collect();
-    let results = run_all(&specs);
+    let results = engine.run_batch(&specs);
     let chunk = mechs.len();
     let mut t = Table::new(
         "PARSEC full-system: runtime and energy normalized to Baseline",
@@ -324,10 +318,7 @@ pub fn fig_parsec(benches: &[&str], seed: u64, mechs: &[&str]) -> (Table, Parsec
 
 /// The default benchmark set (all nine) and mechanisms for Fig. 8(c)/(d).
 pub fn parsec_default() -> (Vec<&'static str>, Vec<&'static str>) {
-    (
-        PARSEC_BENCHMARKS.iter().map(|b| b.name).collect(),
-        vec!["Baseline", "RP", "rFLOV", "gFLOV"],
-    )
+    (PARSEC_BENCHMARKS.iter().map(|b| b.name).collect(), vec!["Baseline", "RP", "rFLOV", "gFLOV"])
 }
 
 /// Table I: the simulation testbed parameters.
@@ -338,7 +329,10 @@ pub fn table1() -> Table {
     let rows: Vec<(&str, String)> = vec![
         ("Network Topology", format!("{}x{} Mesh", cfg.k, cfg.k)),
         ("Input Buffer Depth", format!("{} flits", cfg.buf_depth)),
-        ("Router", format!("{}-stage ({} cycles) router", cfg.pipeline_stages, cfg.pipeline_stages)),
+        (
+            "Router",
+            format!("{}-stage ({} cycles) router", cfg.pipeline_stages, cfg.pipeline_stages),
+        ),
         (
             "Virtual Channel",
             format!(
@@ -347,7 +341,10 @@ pub fn table1() -> Table {
             ),
         ),
         ("Packet Size", format!("{} flits/packet for synthetic workload", cfg.synth_packet_len)),
-        ("Memory Hierarchy", "32KB L1 I/D $, 8MB L2 $, MESI, 4 MCs at 4 corners (traffic model)".into()),
+        (
+            "Memory Hierarchy",
+            "32KB L1 I/D $, 8MB L2 $, MESI, 4 MCs at 4 corners (traffic model)".into(),
+        ),
         ("Technology", "32nm".into()),
         ("Clock Frequency", format!("{} GHz", cfg.clock_hz / 1e9)),
         ("Link", format!("1mm, {} cycle, 16B width", cfg.link_latency)),
@@ -375,12 +372,13 @@ pub fn overhead() -> Table {
     t.row(vec!["HSC wires per neighbor".into(), format!("{} bits", AreaModel::HSC_WIRE_BITS)]);
     t.row(vec![
         "HSC wiring area".into(),
-        format!("{:.1e} mm^2 ({:.2}% of baseline router)", m.hsc_wires_mm2, m.hsc_wire_fraction() * 100.0),
+        format!(
+            "{:.1e} mm^2 ({:.2}% of baseline router)",
+            m.hsc_wires_mm2,
+            m.hsc_wire_fraction() * 100.0
+        ),
     ]);
-    t.row(vec![
-        "FLOV additions total".into(),
-        format!("{:.2e} mm^2", m.flov_overhead_mm2()),
-    ]);
+    t.row(vec!["FLOV additions total".into(), format!("{:.2e} mm^2", m.flov_overhead_mm2())]);
     t.row(vec![
         "relative to baseline router".into(),
         format!("{:.1}%", m.flov_overhead_fraction() * 100.0),
@@ -391,7 +389,7 @@ pub fn overhead() -> Table {
 
 /// Quick sanity run used by a few benches and tests.
 pub fn smoke(mech: &str) -> RunResult {
-    run(&synth_spec(mech, Pattern::UniformRandom, 0.02, 0.3, &SynthScale::quick()))
+    crate::run(&synth_spec(mech, Pattern::UniformRandom, 0.02, 0.3, &SynthScale::quick()))
 }
 
 #[cfg(test)]
@@ -400,7 +398,8 @@ mod tests {
 
     #[test]
     fn fig_synthetic_quick_has_expected_shape() {
-        let tables = fig_synthetic(Pattern::UniformRandom, &SynthScale::quick());
+        let tables =
+            fig_synthetic(&Engine::without_cache(), Pattern::UniformRandom, &SynthScale::quick());
         assert_eq!(tables.len(), 3); // one rate x 3 metrics
         for t in &tables {
             assert_eq!(t.rows.len(), 3); // three fractions

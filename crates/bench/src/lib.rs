@@ -1,19 +1,27 @@
 //! # flov-bench — the experiment harness
 //!
-//! One entry point, [`run`], executes a fully specified simulation and
-//! returns every number the paper's figures need (latency + breakdown,
-//! static/dynamic/total power, runtime, timeline). The `src/bin/fig*.rs`
-//! binaries drive sweeps over it — one binary per paper table/figure — and
-//! print both an aligned table and CSV. Sweeps are embarrassingly parallel
-//! and use rayon; each individual simulation is deterministic.
+//! [`run`] executes one fully specified simulation and returns every
+//! number the paper's figures need (latency + breakdown,
+//! static/dynamic/total power, runtime, timeline). Batches go through the
+//! [`Engine`], which deduplicates specs, runs them in parallel, and
+//! persists results in a content-addressed cache so repeated sweeps are
+//! served from disk. The `flov` CLI (`src/bin/flov.rs`) exposes one
+//! subcommand per paper table/figure plus the studies; each prints an
+//! aligned table and CSV. Every individual simulation is deterministic.
 
 pub mod ablations;
+pub mod cache;
+pub mod engine;
 pub mod figures;
+pub mod progress;
 pub mod report;
 pub mod spec;
+pub mod studies;
 
+pub use cache::{CacheEntry, CacheStats, ResultCache};
+pub use engine::{Engine, EngineStats, KERNEL_VERSION};
 pub use report::{csv_escape, Table};
-pub use spec::{RunResult, RunSpec, WorkloadSpec};
+pub use spec::{RunResult, RunSpec, RunSpecBuilder, WorkloadSpec};
 
 use flov_core::mechanism;
 use flov_noc::network::Simulation;
@@ -21,17 +29,10 @@ use flov_noc::stats::IntervalSample;
 use flov_noc::traits::Workload;
 use flov_power::GatedResidual;
 use flov_workloads::{GatingSchedule, ParsecWorkload, SyntheticWorkload};
-use rayon::prelude::*;
 
 /// Execute one simulation per `spec`, resolving the mechanism by name.
 pub fn run(spec: &RunSpec) -> RunResult {
-    let mut spec = spec.clone();
-    if spec.mechanism == "NoRD" {
-        spec.cfg.enable_ring = true; // NoRD requires the bypass ring
-    }
-    if spec.mechanism == "PowerPunch" {
-        spec.cfg = flov_core::punch_config(&spec.cfg); // no escape VCs
-    }
+    let spec = spec.resolved();
     let mech = mechanism::by_name(&spec.mechanism, &spec.cfg)
         .unwrap_or_else(|| panic!("unknown mechanism {:?}", spec.mechanism));
     run_with(&spec, mech)
@@ -46,13 +47,7 @@ pub fn run_with(spec: &RunSpec, mech: Box<dyn flov_noc::PowerMechanism>) -> RunR
             let gating = if changes.is_empty() {
                 GatingSchedule::static_fraction(cfg.nodes(), *gated_fraction, *seed, &[])
             } else {
-                GatingSchedule::rerandomized_at(
-                    cfg.nodes(),
-                    *gated_fraction,
-                    *seed,
-                    changes,
-                    &[],
-                )
+                GatingSchedule::rerandomized_at(cfg.nodes(), *gated_fraction, *seed, changes, &[])
             };
             Box::new(SyntheticWorkload::new(
                 cfg.k,
@@ -135,9 +130,11 @@ pub fn run_with(spec: &RunSpec, mech: Box<dyn flov_noc::PowerMechanism>) -> RunR
     }
 }
 
-/// Run many specs in parallel (rayon), preserving order.
+/// Run many specs in parallel, preserving order. Equivalent to a batch on
+/// an [`Engine::without_cache`]: deduplicated, but never cached — use an
+/// [`Engine`] when results should persist across invocations.
 pub fn run_all(specs: &[RunSpec]) -> Vec<RunResult> {
-    specs.par_iter().map(run).collect()
+    Engine::without_cache().run_batch(specs)
 }
 
 /// Convenience: the paper's synthetic sweep axes.
@@ -156,27 +153,16 @@ pub fn timeline_rows(t: &[IntervalSample]) -> Vec<(u64, f64, u64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flov_noc::NocConfig;
-    use flov_power::PowerParams;
-    use flov_workloads::Pattern;
 
     fn quick_spec(mech: &str, fraction: f64) -> RunSpec {
-        RunSpec {
-            cfg: NocConfig::paper_table1(),
-            mechanism: mech.into(),
-            workload: WorkloadSpec::Synthetic {
-                pattern: Pattern::UniformRandom,
-                rate: 0.02,
-                gated_fraction: fraction,
-                seed: 42,
-                changes: vec![],
-            },
-            warmup: 2_000,
-            cycles: 10_000,
-            drain: 30_000,
-            timeline_width: 0,
-            power_params: PowerParams::default(),
-        }
+        RunSpec::builder()
+            .mechanism(mech)
+            .gated_fraction(fraction)
+            .seed(42)
+            .warmup(2_000)
+            .cycles(10_000)
+            .drain(30_000)
+            .build()
     }
 
     #[test]
@@ -213,8 +199,7 @@ mod tests {
 
     #[test]
     fn parallel_sweep_matches_serial() {
-        let specs: Vec<RunSpec> =
-            [0.0, 0.4].iter().map(|&f| quick_spec("rFLOV", f)).collect();
+        let specs: Vec<RunSpec> = [0.0, 0.4].iter().map(|&f| quick_spec("rFLOV", f)).collect();
         let par = run_all(&specs);
         let ser: Vec<RunResult> = specs.iter().map(run).collect();
         for (p, s) in par.iter().zip(&ser) {

@@ -1,0 +1,85 @@
+//! Live progress for batch runs, written to stderr so CSV/table output on
+//! stdout stays clean and pipeable.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Throttled `\r`-style progress line plus a final machine-parseable
+/// summary. All methods take `&self`; safe to tick from worker threads.
+pub struct Progress {
+    total: usize,
+    done: AtomicUsize,
+    cached: AtomicUsize,
+    start: Instant,
+    last_draw: Mutex<Instant>,
+    enabled: bool,
+}
+
+impl Progress {
+    pub fn new(total: usize, enabled: bool) -> Progress {
+        let now = Instant::now();
+        Progress {
+            total,
+            done: AtomicUsize::new(0),
+            cached: AtomicUsize::new(0),
+            start: now,
+            // Backdate so the first tick draws immediately.
+            last_draw: Mutex::new(now - Duration::from_secs(1)),
+            enabled,
+        }
+    }
+
+    /// Record one finished run. `from_cache` runs count toward the cached
+    /// tally shown in parentheses.
+    pub fn tick(&self, from_cache: bool) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if from_cache {
+            self.cached.fetch_add(1, Ordering::Relaxed);
+        }
+        if !self.enabled {
+            return;
+        }
+        // Redraw at most every 200ms (always on the last run); skip the
+        // draw entirely if another thread holds the throttle lock.
+        let Ok(mut last) = self.last_draw.try_lock() else { return };
+        if done < self.total && last.elapsed() < Duration::from_millis(200) {
+            return;
+        }
+        *last = Instant::now();
+        let cached = self.cached.load(Ordering::Relaxed);
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let rate = done as f64 / elapsed.max(1e-9);
+        let eta = (self.total - done) as f64 / rate.max(1e-9);
+        eprint!(
+            "\r[flov] {done}/{} runs ({cached} cached) | {rate:.1} runs/s | ETA {eta:.0}s   ",
+            self.total,
+        );
+        let _ = std::io::stderr().flush();
+    }
+
+    /// Clear the progress line. Call before printing the batch summary.
+    pub fn clear_line(&self) {
+        if self.enabled && self.total > 0 {
+            eprint!("\r{:76}\r", "");
+            let _ = std::io::stderr().flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_progress_still_counts() {
+        let p = Progress::new(3, false);
+        p.tick(true);
+        p.tick(false);
+        p.tick(false);
+        assert_eq!(p.done.load(Ordering::Relaxed), 3);
+        assert_eq!(p.cached.load(Ordering::Relaxed), 1);
+        p.clear_line();
+    }
+}

@@ -1,14 +1,22 @@
 //! Run specifications and results.
+//!
+//! A [`RunSpec`] is a complete, serializable description of one
+//! simulation: config, mechanism, workload, measurement window, and power
+//! model. Specs round-trip through JSON with a canonical encoding, which
+//! is what the result cache keys on — two specs that serialize to the
+//! same bytes are the same experiment. Build them with
+//! [`RunSpec::builder`] (paper defaults, fluent overrides) or the
+//! [`RunSpec::synthetic_paper`] / [`RunSpec::parsec`] shorthands.
 
 use flov_noc::stats::IntervalSample;
 use flov_noc::types::Cycle;
 use flov_noc::NocConfig;
 use flov_power::{PowerParams, PowerReport};
 use flov_workloads::Pattern;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Workload selection for one run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum WorkloadSpec {
     /// §VI-B synthetic traffic.
     Synthetic {
@@ -26,10 +34,11 @@ pub enum WorkloadSpec {
 }
 
 /// Everything needed to execute one simulation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunSpec {
     pub cfg: NocConfig,
-    /// "Baseline" | "RP" | "RP-aggressive" | "rFLOV" | "gFLOV".
+    /// "Baseline" | "RP" | "RP-aggressive" | "rFLOV" | "gFLOV" | "NoRD" |
+    /// "PowerPunch".
     pub mechanism: String,
     pub workload: WorkloadSpec,
     /// Warmup cycles excluded from measurement (paper: 10k).
@@ -44,6 +53,13 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
+    /// A builder pre-loaded with the paper's synthetic methodology
+    /// (Table 1 config, uniform random at 0.02 flits/cycle/node, 10k
+    /// warmup / 100k cycles, gFLOV).
+    pub fn builder() -> RunSpecBuilder {
+        RunSpecBuilder::default()
+    }
+
     /// The paper's synthetic methodology: 10k warmup, 100k cycles.
     pub fn synthetic_paper(
         mechanism: &str,
@@ -52,16 +68,71 @@ impl RunSpec {
         gated_fraction: f64,
         seed: u64,
     ) -> RunSpec {
-        RunSpec {
+        RunSpec::builder()
+            .mechanism(mechanism)
+            .pattern(pattern)
+            .rate(rate)
+            .gated_fraction(gated_fraction)
+            .seed(seed)
+            .build()
+    }
+
+    /// Full-system run of one PARSEC-proxy benchmark to completion.
+    pub fn parsec(mechanism: &str, bench: &str, seed: u64) -> RunSpec {
+        RunSpec::builder().mechanism(mechanism).parsec(bench).seed(seed).build()
+    }
+
+    /// Canonicalize mechanism-implied config requirements, in place:
+    /// NoRD needs the bypass ring, PowerPunch models no escape VCs. Both
+    /// the builder and the runner apply this, so a spec constructed by
+    /// hand, deserialized from JSON, or built fluently all execute — and
+    /// cache — identically. Idempotent.
+    pub fn resolve(&mut self) {
+        if self.mechanism == "NoRD" {
+            self.cfg.enable_ring = true;
+        }
+        if self.mechanism == "PowerPunch" {
+            self.cfg = flov_core::punch_config(&self.cfg);
+        }
+    }
+
+    /// [`RunSpec::resolve`], by value.
+    pub fn resolved(&self) -> RunSpec {
+        let mut s = self.clone();
+        s.resolve();
+        s
+    }
+}
+
+/// Fluent constructor for [`RunSpec`]; see [`RunSpec::builder`].
+#[derive(Clone, Debug)]
+pub struct RunSpecBuilder {
+    cfg: NocConfig,
+    mechanism: String,
+    pattern: Pattern,
+    rate: f64,
+    gated_fraction: f64,
+    seed: u64,
+    changes: Vec<Cycle>,
+    parsec: Option<String>,
+    warmup: Cycle,
+    cycles: Cycle,
+    drain: Cycle,
+    timeline_width: u64,
+    power_params: PowerParams,
+}
+
+impl Default for RunSpecBuilder {
+    fn default() -> Self {
+        RunSpecBuilder {
             cfg: NocConfig::paper_table1(),
-            mechanism: mechanism.into(),
-            workload: WorkloadSpec::Synthetic {
-                pattern,
-                rate,
-                gated_fraction,
-                seed,
-                changes: vec![],
-            },
+            mechanism: "gFLOV".into(),
+            pattern: Pattern::UniformRandom,
+            rate: 0.02,
+            gated_fraction: 0.0,
+            seed: 0xF10F,
+            changes: Vec::new(),
+            parsec: None,
             warmup: 10_000,
             cycles: 100_000,
             drain: 100_000,
@@ -69,24 +140,127 @@ impl RunSpec {
             power_params: PowerParams::default(),
         }
     }
+}
 
-    /// Full-system run of one PARSEC-proxy benchmark to completion.
-    pub fn parsec(mechanism: &str, bench: &str, seed: u64) -> RunSpec {
-        RunSpec {
-            cfg: NocConfig::paper_table1(),
-            mechanism: mechanism.into(),
-            workload: WorkloadSpec::Parsec { name: bench.into(), seed },
-            warmup: 0,
-            cycles: 3_000_000,
-            drain: 0,
-            timeline_width: 0,
-            power_params: PowerParams::default(),
-        }
+impl RunSpecBuilder {
+    /// Power-gating mechanism by name (see `flov_core::mechanism`).
+    pub fn mechanism(mut self, m: &str) -> Self {
+        self.mechanism = m.into();
+        self
+    }
+
+    /// Replace the whole NoC config.
+    pub fn cfg(mut self, cfg: NocConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Mesh radix shorthand: a `k x k` network.
+    pub fn k(mut self, k: u16) -> Self {
+        self.cfg.k = k;
+        self
+    }
+
+    /// Synthetic traffic pattern.
+    pub fn pattern(mut self, p: Pattern) -> Self {
+        self.pattern = p;
+        self
+    }
+
+    /// Injection rate \[flits/cycle/node\].
+    pub fn rate(mut self, r: f64) -> Self {
+        self.rate = r;
+        self
+    }
+
+    /// Fraction of cores power-gated.
+    pub fn gated_fraction(mut self, f: f64) -> Self {
+        self.gated_fraction = f;
+        self
+    }
+
+    /// Workload seed (also salts the injection-process PRNG).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Cycles at which the gated set is re-randomized (Fig. 10).
+    pub fn changes(mut self, c: Vec<Cycle>) -> Self {
+        self.changes = c;
+        self
+    }
+
+    /// Switch to the PARSEC-proxy workload `name`, adopting the
+    /// full-system methodology (no warmup, 3M-cycle cap, no drain).
+    /// Call [`cycles`](Self::cycles) *after* this to change the cap.
+    pub fn parsec(mut self, name: &str) -> Self {
+        self.parsec = Some(name.into());
+        self.warmup = 0;
+        self.cycles = 3_000_000;
+        self.drain = 0;
+        self
+    }
+
+    /// Warmup cycles excluded from measurement.
+    pub fn warmup(mut self, w: Cycle) -> Self {
+        self.warmup = w;
+        self
+    }
+
+    /// Synthetic: total run length. Parsec: cycle cap.
+    pub fn cycles(mut self, c: Cycle) -> Self {
+        self.cycles = c;
+        self
+    }
+
+    /// Extra cycles allowed for in-flight packets after a synthetic run.
+    pub fn drain(mut self, d: Cycle) -> Self {
+        self.drain = d;
+        self
+    }
+
+    /// Latency-timeline bucket width (0 = off).
+    pub fn timeline_width(mut self, w: u64) -> Self {
+        self.timeline_width = w;
+        self
+    }
+
+    /// Replace the power model parameters.
+    pub fn power_params(mut self, p: PowerParams) -> Self {
+        self.power_params = p;
+        self
+    }
+
+    /// Assemble the spec, applying [`RunSpec::resolve`].
+    pub fn build(self) -> RunSpec {
+        let workload = match self.parsec {
+            Some(name) => WorkloadSpec::Parsec { name, seed: self.seed },
+            None => WorkloadSpec::Synthetic {
+                pattern: self.pattern,
+                rate: self.rate,
+                gated_fraction: self.gated_fraction,
+                seed: self.seed,
+                changes: self.changes,
+            },
+        };
+        let mut spec = RunSpec {
+            cfg: self.cfg,
+            mechanism: self.mechanism,
+            workload,
+            warmup: self.warmup,
+            cycles: self.cycles,
+            drain: self.drain,
+            timeline_width: self.timeline_width,
+            power_params: self.power_params,
+        };
+        spec.resolve();
+        spec
     }
 }
 
 /// Everything a figure needs from one run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunResult {
     pub mechanism: String,
     /// Packets measured (born inside the window).
@@ -137,5 +311,39 @@ mod tests {
         let s = RunSpec::parsec("RP", "canneal", 2);
         assert_eq!(s.warmup, 0);
         assert!(matches!(s.workload, WorkloadSpec::Parsec { .. }));
+    }
+
+    #[test]
+    fn builder_defaults_match_paper_constructor() {
+        let b = RunSpec::builder().mechanism("rFLOV").gated_fraction(0.3).seed(7).build();
+        let c = RunSpec::synthetic_paper("rFLOV", Pattern::UniformRandom, 0.02, 0.3, 7);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn builder_parsec_matches_parsec_constructor() {
+        let b = RunSpec::builder().mechanism("RP").parsec("canneal").seed(2).build();
+        assert_eq!(b, RunSpec::parsec("RP", "canneal", 2));
+    }
+
+    #[test]
+    fn resolve_enables_ring_for_nord() {
+        let s = RunSpec::builder().mechanism("NoRD").build();
+        assert!(s.cfg.enable_ring);
+        // Idempotent: resolving an already-resolved spec changes nothing.
+        assert_eq!(s.resolved(), s);
+    }
+
+    #[test]
+    fn resolve_strips_escape_vcs_for_powerpunch() {
+        let s = RunSpec::builder().mechanism("PowerPunch").build();
+        assert_eq!(s.cfg.escape_vcs, 0);
+        assert_eq!(s.resolved(), s);
+    }
+
+    #[test]
+    fn builder_k_shorthand_sets_mesh_radix() {
+        let s = RunSpec::builder().k(4).build();
+        assert_eq!(s.cfg.k, 4);
     }
 }

@@ -1,0 +1,127 @@
+//! Golden determinism guarantees for the result cache: a cache-hit replay
+//! is bit-identical to the fresh simulation that produced it, and bumping
+//! the kernel-version salt invalidates every entry.
+
+use flov_bench::{Engine, RunSpec};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh cache directory per test, safe under parallel test threads.
+fn temp_cache_dir() -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("flov-cache-test-{}-{n}", std::process::id()))
+}
+
+fn tiny_spec(fraction: f64) -> RunSpec {
+    RunSpec::builder().k(4).gated_fraction(fraction).warmup(500).cycles(3_000).drain(10_000).build()
+}
+
+#[test]
+fn cache_hit_replay_is_bit_identical_to_fresh_simulation() {
+    let dir = temp_cache_dir();
+    let spec = tiny_spec(0.5);
+
+    let first = Engine::with_cache_dir(&dir).quiet();
+    let fresh = first.run_one(&spec);
+    assert_eq!(first.stats().simulated, 1);
+    assert_eq!(first.stats().cached, 0);
+
+    // A second engine over the same directory must serve the run from
+    // disk without simulating...
+    let second = Engine::with_cache_dir(&dir).quiet();
+    let replay = second.run_one(&spec);
+    assert_eq!(second.stats().simulated, 0, "replay must not re-simulate");
+    assert_eq!(second.stats().cached, 1);
+
+    // ...and the replay must match the fresh run exactly: headline
+    // numbers and the full serialized result, byte for byte.
+    assert_eq!(replay.packets, fresh.packets);
+    assert_eq!(replay.avg_latency, fresh.avg_latency);
+    assert_eq!(replay.power.static_w, fresh.power.static_w);
+    assert_eq!(replay.power.dynamic_w, fresh.power.dynamic_w);
+    assert_eq!(replay.power.total_w, fresh.power.total_w);
+    assert_eq!(
+        serde_json::to_string(&replay).unwrap(),
+        serde_json::to_string(&fresh).unwrap(),
+        "cache-hit replay is not bit-identical"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kernel_version_bump_invalidates_entries() {
+    let dir = temp_cache_dir();
+    let spec = tiny_spec(0.3);
+
+    let v1 = Engine::with_cache_dir(&dir).quiet();
+    v1.run_one(&spec);
+    assert_eq!(v1.stats().simulated, 1);
+
+    // Same directory, bumped salt: the old entry must not match.
+    let v2 =
+        Engine::with_cache_dir(&dir).quiet().with_kernel_version(flov_bench::KERNEL_VERSION + 1);
+    v2.run_one(&spec);
+    assert_eq!(v2.stats().simulated, 1, "salt bump must invalidate the entry");
+    assert_eq!(v2.stats().cached, 0);
+
+    // The original salt still hits its own entry.
+    let v1_again = Engine::with_cache_dir(&dir).quiet();
+    v1_again.run_one(&spec);
+    assert_eq!(v1_again.stats().cached, 1);
+    assert_eq!(v1_again.stats().simulated, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_mixes_hits_and_misses_and_preserves_order() {
+    let dir = temp_cache_dir();
+
+    let warm = Engine::with_cache_dir(&dir).quiet();
+    warm.run_one(&tiny_spec(0.0));
+
+    // Batch of three: one hit (0.0), two misses (0.25, 0.5), plus a
+    // duplicate of the hit — four submitted, three unique.
+    let specs = vec![tiny_spec(0.25), tiny_spec(0.0), tiny_spec(0.5), tiny_spec(0.0)];
+    let engine = Engine::with_cache_dir(&dir).quiet();
+    let results = engine.run_batch(&specs);
+    let s = engine.stats();
+    assert_eq!(s.submitted, 4);
+    assert_eq!(s.unique, 3);
+    assert_eq!(s.cached, 1);
+    assert_eq!(s.simulated, 2);
+    assert_eq!(results.len(), 4);
+    // Duplicates resolve to the same result object, in submission order.
+    assert_eq!(
+        serde_json::to_string(&results[1]).unwrap(),
+        serde_json::to_string(&results[3]).unwrap(),
+    );
+
+    // Everything hits on the next pass.
+    let again = Engine::with_cache_dir(&dir).quiet();
+    again.run_batch(&specs);
+    assert_eq!(again.stats().cached, 3);
+    assert_eq!(again.stats().simulated, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_stats_and_clear_track_entries() {
+    let dir = temp_cache_dir();
+    let engine = Engine::with_cache_dir(&dir).quiet();
+    engine.run_batch(&[tiny_spec(0.1), tiny_spec(0.6)]);
+
+    let cache = engine.cache().expect("caching engine");
+    let stats = cache.stats();
+    assert_eq!(stats.entries, 2);
+    assert!(stats.total_bytes > 0);
+
+    assert_eq!(cache.clear().unwrap(), 2);
+    assert_eq!(cache.stats().entries, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

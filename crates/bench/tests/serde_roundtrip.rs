@@ -1,0 +1,98 @@
+//! Round-trip guarantees for every serializable experiment type: a value
+//! serialized to canonical JSON and deserialized back must equal the
+//! original, and re-serializing must reproduce the exact bytes (the
+//! property the content-addressed result cache keys on).
+
+use flov_bench::{RunResult, RunSpec, WorkloadSpec};
+use flov_noc::NocConfig;
+use flov_power::PowerParams;
+use flov_workloads::Pattern;
+use serde::{Deserialize, Serialize};
+
+fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: &T) {
+    let json = serde_json::to_string(v).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(&back, v, "value changed across a round trip");
+    let again = serde_json::to_string(&back).expect("re-serialize");
+    assert_eq!(json, again, "canonical encoding not byte-stable");
+}
+
+#[test]
+fn runspec_synthetic_roundtrips() {
+    roundtrip(&RunSpec::synthetic_paper("gFLOV", Pattern::Tornado, 0.08, 0.4, 0xF10F));
+}
+
+#[test]
+fn runspec_parsec_roundtrips() {
+    roundtrip(&RunSpec::parsec("RP", "canneal", 7));
+}
+
+#[test]
+fn runspec_with_changes_and_timeline_roundtrips() {
+    roundtrip(
+        &RunSpec::builder()
+            .mechanism("NoRD")
+            .k(12)
+            .changes(vec![50_000, 60_000])
+            .timeline_width(2_000)
+            .build(),
+    );
+}
+
+#[test]
+fn workload_spec_roundtrips() {
+    roundtrip(&WorkloadSpec::Synthetic {
+        pattern: Pattern::BitComplement,
+        rate: 0.02,
+        gated_fraction: 0.5,
+        seed: 42,
+        changes: vec![1, 2, 3],
+    });
+    roundtrip(&WorkloadSpec::Parsec { name: "swaptions".into(), seed: 9 });
+}
+
+#[test]
+fn noc_config_roundtrips() {
+    roundtrip(&NocConfig::paper_table1());
+    roundtrip(&NocConfig::small_test());
+}
+
+#[test]
+fn pattern_variants_roundtrip() {
+    for p in [
+        Pattern::UniformRandom,
+        Pattern::Tornado,
+        Pattern::Transpose,
+        Pattern::BitComplement,
+        Pattern::Neighbor,
+        Pattern::Hotspot { hotspot: 27, p_hot_pct: 15 },
+    ] {
+        roundtrip(&p);
+    }
+}
+
+#[test]
+fn power_params_roundtrip() {
+    roundtrip(&PowerParams::default());
+    roundtrip(&PowerParams::dsent_32nm());
+}
+
+#[test]
+fn run_result_roundtrips_bit_identically() {
+    // RunResult has no PartialEq (floats everywhere), so compare the
+    // canonical JSON — byte equality is the stronger guarantee anyway.
+    let spec = RunSpec::builder()
+        .k(4)
+        .gated_fraction(0.4)
+        .warmup(500)
+        .cycles(3_000)
+        .drain(10_000)
+        .timeline_width(500)
+        .build();
+    let result = flov_bench::run(&spec);
+    assert!(result.packets > 0, "need a non-trivial result to exercise all fields");
+    let json = serde_json::to_string(&result).expect("serialize");
+    let back: RunResult = serde_json::from_str(&json).expect("deserialize");
+    let again = serde_json::to_string(&back).expect("re-serialize");
+    assert_eq!(json, again);
+}

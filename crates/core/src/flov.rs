@@ -127,8 +127,7 @@ impl Flov {
                 // so the larger id sees Draining and backs off — the
                 // paper's id-based arbitration).
                 Dir::ALL.iter().all(|&d| {
-                    core.neighbor(node, d)
-                        .is_none_or(|m| core.power(m) == PowerState::Active)
+                    core.neighbor(node, d).is_none_or(|m| core.power(m) == PowerState::Active)
                 })
             }
             FlovMode::Generalized => {
@@ -269,8 +268,7 @@ impl PowerMechanism for Flov {
                         c.ramp -= 1;
                         continue;
                     }
-                    let ready = core.routers[n as usize].latches_empty()
-                        && core.fully_quiescent(n);
+                    let ready = core.routers[n as usize].latches_empty() && core.fully_quiescent(n);
                     let c = &mut self.ctl[n as usize];
                     if ready {
                         c.stable += 1;
@@ -304,10 +302,7 @@ mod tests {
     }
 
     fn gate_all_but(active: &[u16], k: u16) -> Vec<(u64, NodeId, bool)> {
-        (0..k * k)
-            .filter(|n| !active.contains(n))
-            .map(|n| (0u64, n, false))
-            .collect()
+        (0..k * k).filter(|n| !active.contains(n)).map(|n| (0u64, n, false)).collect()
     }
 
     #[test]
@@ -361,11 +356,9 @@ mod tests {
         let c = cfg();
         // Gate cores (1,1) and (2,1); keep senders/receivers in row 1 active.
         let gates = vec![(0u64, 5u16, false), (0u64, 6u16, false)];
-        let w = ScriptedWorkload::new(vec![(
-            1_500,
-            PacketRequest { src: 4, dst: 7, vnet: 0, len: 4 },
-        )])
-        .with_core_events(gates);
+        let w =
+            ScriptedWorkload::new(vec![(1_500, PacketRequest { src: 4, dst: 7, vnet: 0, len: 4 })])
+                .with_core_events(gates);
         let mech = Flov::generalized(&c);
         let mut sim = Simulation::new(c, Box::new(mech), Box::new(w));
         sim.run(1_400);
@@ -389,11 +382,9 @@ mod tests {
     fn packet_to_sleeping_destination_wakes_it() {
         let c = cfg();
         let gates = vec![(0u64, 6u16, false)];
-        let w = ScriptedWorkload::new(vec![(
-            1_500,
-            PacketRequest { src: 4, dst: 6, vnet: 0, len: 4 },
-        )])
-        .with_core_events(gates);
+        let w =
+            ScriptedWorkload::new(vec![(1_500, PacketRequest { src: 4, dst: 6, vnet: 0, len: 4 })])
+                .with_core_events(gates);
         let mech = Flov::generalized(&c);
         let mut sim = Simulation::new(c, Box::new(mech), Box::new(w));
         sim.run(1_400);

@@ -26,15 +26,15 @@
 
 pub mod flov;
 pub mod nord;
-pub mod punch;
 pub mod partition;
+pub mod punch;
 pub mod routing;
 pub mod rp;
 
 pub use flov::{Flov, FlovMode, FlovParams};
 pub use nord::Nord;
-pub use punch::{punch_config, PowerPunch};
 pub use partition::Partition;
+pub use punch::{punch_config, PowerPunch};
 pub use rp::{RouterParking, RpMode};
 
 /// Constructors for every mechanism evaluated in the paper.

@@ -57,8 +57,7 @@ pub struct Nord {
 impl Nord {
     pub fn new(cfg: &flov_noc::NocConfig) -> Nord {
         assert!(cfg.enable_ring, "NoRD requires cfg.enable_ring");
-        let succ = ring_successors(cfg.k)
-            .expect("NoRD bypass ring requires an even mesh radix");
+        let succ = ring_successors(cfg.k).expect("NoRD bypass ring requires an even mesh radix");
         let n = cfg.nodes();
         let mut pred = vec![0 as NodeId; n];
         for (a, &b) in succ.iter().enumerate() {
@@ -132,8 +131,7 @@ impl PowerMechanism for Nord {
                     // both drains would starve; the id-ordered scan
                     // arbitrates simultaneous attempts).
                     let neighbor_draining = flov_noc::types::Dir::ALL.iter().any(|&d| {
-                        core.neighbor(n, d)
-                            .is_some_and(|m| core.power(m) == PowerState::Draining)
+                        core.neighbor(n, d).is_some_and(|m| core.power(m) == PowerState::Draining)
                     });
                     if gated
                         && idle
@@ -185,8 +183,7 @@ impl PowerMechanism for Nord {
                         c.ramp -= 1;
                         continue;
                     }
-                    let ready = core.routers[n as usize].latches_empty()
-                        && core.fully_quiescent(n);
+                    let ready = core.routers[n as usize].latches_empty() && core.fully_quiescent(n);
                     let c = &mut self.ctl[n as usize];
                     if ready {
                         c.stable += 1;
@@ -210,11 +207,8 @@ impl PowerMechanism for Nord {
             return Some(Port::Local);
         }
         // Mesh target: the destination if powered, else its ring proxy.
-        let target = if core.routers[dst as usize].power.is_powered() {
-            dst
-        } else {
-            self.proxy(core, dst)
-        };
+        let target =
+            if core.routers[dst as usize].power.is_powered() { dst } else { self.proxy(core, dst) };
         if target == at {
             // We are the proxy: eject to the bypass ring.
             return Some(Port::Local);
@@ -238,7 +232,13 @@ mod tests {
     use flov_noc::NocConfig;
 
     fn cfg() -> NocConfig {
-        NocConfig { k: 4, vnets: 1, enable_ring: true, watchdog_cycles: 20_000, ..NocConfig::default() }
+        NocConfig {
+            k: 4,
+            vnets: 1,
+            enable_ring: true,
+            watchdog_cycles: 20_000,
+            ..NocConfig::default()
+        }
     }
 
     fn gate_all_but(active: &[u16]) -> Vec<(u64, NodeId, bool)> {

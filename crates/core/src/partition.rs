@@ -148,14 +148,8 @@ mod tests {
                                 let d = p.straight_dir().unwrap();
                                 let (ddx, ddy) = d.delta();
                                 // Moving toward dst stays aligned.
-                                assert_eq!(
-                                    (dx as i32 - ax as i32).signum(),
-                                    ddx.signum()
-                                );
-                                assert_eq!(
-                                    (dy as i32 - ay as i32).signum(),
-                                    ddy.signum()
-                                );
+                                assert_eq!((dx as i32 - ax as i32).signum(), ddx.signum());
+                                assert_eq!((dy as i32 - ay as i32).signum(), ddy.signum());
                                 assert!(p.quadrant_x().is_none());
                             }
                             Some(p) => {

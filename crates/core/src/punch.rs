@@ -162,8 +162,7 @@ impl PowerMechanism for PowerPunch {
                     // blocks the other's egress): forbid them, id order
                     // arbitrating simultaneous attempts.
                     let neighbor_draining = flov_noc::types::Dir::ALL.iter().any(|&d| {
-                        core.neighbor(n, d)
-                            .is_some_and(|m| core.power(m) == PowerState::Draining)
+                        core.neighbor(n, d).is_some_and(|m| core.power(m) == PowerState::Draining)
                     });
                     if gated
                         && idle
@@ -214,8 +213,7 @@ impl PowerMechanism for PowerPunch {
                         c.ramp -= 1;
                         continue;
                     }
-                    let ready = core.routers[n as usize].latches_empty()
-                        && core.fully_quiescent(n);
+                    let ready = core.routers[n as usize].latches_empty() && core.fully_quiescent(n);
                     let c = &mut self.ctl[n as usize];
                     if ready {
                         c.stable += 1;

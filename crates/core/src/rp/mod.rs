@@ -40,7 +40,10 @@ enum Phase {
     /// Phase I of the reconfiguration protocol: injections stalled. The
     /// parking policy is latched at stall entry — measured load collapses
     /// during the stall itself, so deciding at apply time would flap.
-    Stalling { since: Cycle, policy: ParkPolicy },
+    Stalling {
+        since: Cycle,
+        policy: ParkPolicy,
+    },
 }
 
 /// The Router Parking mechanism.
@@ -259,10 +262,8 @@ mod tests {
         assert_eq!(sim.core.power(5), PowerState::Active);
         sim.run(1_000);
         // After >700-cycle Phase I the routers are parked.
-        let parked = [5u16, 6, 9]
-            .iter()
-            .filter(|&&n| sim.core.power(n) == PowerState::Sleep)
-            .count();
+        let parked =
+            [5u16, 6, 9].iter().filter(|&&n| sim.core.power(n) == PowerState::Sleep).count();
         assert!(parked >= 2, "only {parked} of 3 candidates parked");
     }
 
@@ -271,11 +272,9 @@ mod tests {
         let c = cfg();
         let gates = vec![(500u64, 10u16, false)];
         // A packet generated right at the change gets held at the NIC.
-        let w = ScriptedWorkload::new(vec![(
-            501,
-            PacketRequest { src: 0, dst: 15, vnet: 0, len: 4 },
-        )])
-        .with_core_events(gates);
+        let w =
+            ScriptedWorkload::new(vec![(501, PacketRequest { src: 0, dst: 15, vnet: 0, len: 4 })])
+                .with_core_events(gates);
         let mut sim = Simulation::new(c, Box::new(RouterParking::aggressive(&cfg())), Box::new(w));
         sim.run(900); // inside the >=700-cycle stall
         assert_eq!(sim.core.activity.packets_injected, 0, "injection not stalled");
@@ -326,11 +325,9 @@ mod tests {
         // Core 15 gates while a packet for it is still queued at node 0
         // behind the stall: RP must keep router 15 on.
         let gates = vec![(100u64, 15u16, false), (100u64, 5u16, false)];
-        let w = ScriptedWorkload::new(vec![(
-            90,
-            PacketRequest { src: 0, dst: 15, vnet: 0, len: 4 },
-        )])
-        .with_core_events(gates);
+        let w =
+            ScriptedWorkload::new(vec![(90, PacketRequest { src: 0, dst: 15, vnet: 0, len: 4 })])
+                .with_core_events(gates);
         let mut sim = Simulation::new(c, Box::new(RouterParking::aggressive(&cfg())), Box::new(w));
         let end = sim.run_until_done(20_000);
         assert!(end < 20_000);

@@ -55,9 +55,9 @@ pub fn select_parked(k: u16, keep: &[bool], policy: ParkPolicy) -> Vec<bool> {
         }
         if policy == ParkPolicy::Spread {
             let c = Coord::of(cand as NodeId, k);
-            let adjacent_parked = Dir::ALL.iter().any(|&d| {
-                c.neighbor(d, k).is_some_and(|m| parked[m.id(k) as usize])
-            });
+            let adjacent_parked = Dir::ALL
+                .iter()
+                .any(|&d| c.neighbor(d, k).is_some_and(|m| parked[m.id(k) as usize]));
             if adjacent_parked {
                 continue;
             }

@@ -48,19 +48,17 @@ fn is_up(level: &[u32], a: NodeId, b: NodeId) -> bool {
 pub fn pick_root(k: u16, on: &[bool]) -> Option<NodeId> {
     let cx = (k - 1) as f64 / 2.0;
     let cy = (k - 1) as f64 / 2.0;
-    (0..on.len() as NodeId)
-        .filter(|&n| on[n as usize])
-        .min_by(|&a, &b| {
-            let da = {
-                let c = Coord::of(a, k);
-                (c.x as f64 - cx).abs() + (c.y as f64 - cy).abs()
-            };
-            let db = {
-                let c = Coord::of(b, k);
-                (c.x as f64 - cx).abs() + (c.y as f64 - cy).abs()
-            };
-            da.partial_cmp(&db).unwrap().then(a.cmp(&b))
-        })
+    (0..on.len() as NodeId).filter(|&n| on[n as usize]).min_by(|&a, &b| {
+        let da = {
+            let c = Coord::of(a, k);
+            (c.x as f64 - cx).abs() + (c.y as f64 - cy).abs()
+        };
+        let db = {
+            let c = Coord::of(b, k);
+            (c.x as f64 - cx).abs() + (c.y as f64 - cy).abs()
+        };
+        da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+    })
 }
 
 /// BFS levels of every on-router, per connected component, each component
@@ -123,9 +121,8 @@ pub fn build_table(k: u16, on: &[bool]) -> Vec<u8> {
     // Topological order for up edges: an up move strictly decreases
     // (level, id), so scanning in increasing (level, id) sees every
     // up-target before the nodes that climb to it.
-    let mut topo: Vec<NodeId> = (0..n as NodeId)
-        .filter(|&x| on[x as usize] && level[x as usize] != u32::MAX)
-        .collect();
+    let mut topo: Vec<NodeId> =
+        (0..n as NodeId).filter(|&x| on[x as usize] && level[x as usize] != u32::MAX).collect();
     topo.sort_by_key(|&x| (level[x as usize], x));
     let mut dist_down = vec![u32::MAX; n];
     let mut dist_total = vec![u32::MAX; n];

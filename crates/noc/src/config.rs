@@ -145,12 +145,7 @@ impl NocConfig {
 
     /// Small configuration for fast tests: 4x4 mesh, 1 vnet.
     pub fn small_test() -> Self {
-        NocConfig {
-            k: 4,
-            vnets: 1,
-            watchdog_cycles: 20_000,
-            ..Self::default()
-        }
+        NocConfig { k: 4, vnets: 1, watchdog_cycles: 20_000, ..Self::default() }
     }
 }
 

@@ -37,14 +37,29 @@ impl NetworkCore {
             };
             match self.power(next) {
                 PowerState::Active => {
-                    return ChainTarget { powered: Some(next), blocked: false, dst_on_chain: None, sleepers }
+                    return ChainTarget {
+                        powered: Some(next),
+                        blocked: false,
+                        dst_on_chain: None,
+                        sleepers,
+                    }
                 }
                 PowerState::Draining => {
-                    return ChainTarget { powered: Some(next), blocked: true, dst_on_chain: None, sleepers }
+                    return ChainTarget {
+                        powered: Some(next),
+                        blocked: true,
+                        dst_on_chain: None,
+                        sleepers,
+                    }
                 }
                 PowerState::Wakeup => {
                     // Mid-transition: not passable, not yet a buffer owner.
-                    return ChainTarget { powered: None, blocked: true, dst_on_chain: None, sleepers }
+                    return ChainTarget {
+                        powered: None,
+                        blocked: true,
+                        dst_on_chain: None,
+                        sleepers,
+                    };
                 }
                 PowerState::Sleep => {
                     if next == dst {
@@ -59,7 +74,12 @@ impl NetworkCore {
                     // have FLOV capability in this dimension unless it sits
                     // at the mesh edge, in which case the walk ends anyway.
                     if self.neighbor(next, d).is_none() {
-                        return ChainTarget { powered: None, blocked: false, dst_on_chain: None, sleepers };
+                        return ChainTarget {
+                            powered: None,
+                            blocked: false,
+                            dst_on_chain: None,
+                            sleepers,
+                        };
                     }
                     debug_assert!(self.routers[next as usize].has_flov(d));
                     sleepers += 1;
@@ -154,9 +174,8 @@ impl NetworkCore {
         let mut claimed = 0usize;
         let mut cur = owner;
         loop {
-            let prev = self
-                .neighbor(cur, d.opposite())
-                .expect("audit path must stay inside the mesh");
+            let prev =
+                self.neighbor(cur, d.opposite()).expect("audit path must stay inside the mesh");
             // Channel prev -> cur carries flits downstream.
             claimed += self.channel(prev, d).flits_in_flight_for(vnet as u8, vc as u8);
             // Channel cur -> prev carries credits upstream.
@@ -194,7 +213,15 @@ mod tests {
     fn walk_to_active_neighbor() {
         let c = core();
         let t = c.chain_walk(id(0, 0), Dir::East, id(3, 0));
-        assert_eq!(t, ChainTarget { powered: Some(id(1, 0)), blocked: false, dst_on_chain: None, sleepers: 0 });
+        assert_eq!(
+            t,
+            ChainTarget {
+                powered: Some(id(1, 0)),
+                blocked: false,
+                dst_on_chain: None,
+                sleepers: 0
+            }
+        );
     }
 
     #[test]
@@ -278,7 +305,14 @@ mod tests {
         c.routers[id(1, 0) as usize].power = PowerState::Sleep;
         // Flit in flight on the 0->1 hop, headed for owner (2,0), vc 0.
         let e = id(0, 0) as usize * 4 + Dir::East.index();
-        let p = crate::packet::Packet { id: 1, src: id(0, 0), dst: id(3, 0), vnet: 0, len: 1, birth: 0 };
+        let p = crate::packet::Packet {
+            id: 1,
+            src: id(0, 0),
+            dst: id(3, 0),
+            vnet: 0,
+            len: 1,
+            birth: 0,
+        };
         c.channels[e].send_flit(3, p.flit(0, 0));
         let free = c.audit_credits(id(0, 0), id(2, 0), Dir::East, 0, 0);
         assert_eq!(free, c.cfg.buf_depth - 1);

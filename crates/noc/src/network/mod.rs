@@ -10,9 +10,9 @@
 //! 7. accounting (residency, watchdog).
 
 mod chain;
+mod pipeline;
 #[cfg(test)]
 mod tests;
-mod pipeline;
 mod transitions;
 
 pub use chain::ChainTarget;
@@ -22,8 +22,8 @@ use crate::config::NocConfig;
 use crate::flit::Flit;
 use crate::link::Channel;
 use crate::nic::Nic;
-use crate::ring::{BypassRing, RingDelivery};
 use crate::packet::Packet;
+use crate::ring::{BypassRing, RingDelivery};
 use crate::router::Router;
 use crate::stats::NetStats;
 use crate::traits::{PacketRequest, PowerMechanism, Workload};
@@ -212,7 +212,14 @@ impl NetworkCore {
         debug_assert!((req.vnet as usize) < self.cfg.vnets);
         let id = self.next_packet;
         self.next_packet += 1;
-        let pkt = Packet { id, src: req.src, dst: req.dst, vnet: req.vnet, len: req.len, birth: self.cycle };
+        let pkt = Packet {
+            id,
+            src: req.src,
+            dst: req.dst,
+            vnet: req.vnet,
+            len: req.len,
+            birth: self.cycle,
+        };
         self.nics[req.src as usize].enqueue(pkt);
         self.routers[req.src as usize].touch_local(self.cycle);
         self.in_flight_packets += 1;
@@ -232,12 +239,8 @@ impl NetworkCore {
         let ejecting: u64 = self.eject.iter().map(|c| c.flits_in_flight() as u64).sum();
         let ringed: u64 = self.ring.as_ref().map_or(0, |r| r.flits_in_ring());
         let transfers: u64 = self.ring_transfer.iter().map(|q| q.len() as u64).sum();
-        let staged: u64 = self
-            .ring_stage
-            .iter()
-            .flat_map(|v| v.iter())
-            .map(|(_, fs)| fs.len() as u64)
-            .sum();
+        let staged: u64 =
+            self.ring_stage.iter().flat_map(|v| v.iter()).map(|(_, fs)| fs.len() as u64).sum();
         buffered + latched + in_flight + ejecting + ringed + transfers + staged
     }
 
@@ -255,14 +258,9 @@ impl NetworkCore {
             .nics
             .iter()
             .map(|nic| {
-                let q: u64 =
-                    nic.queues.iter().flat_map(|q| q.iter()).map(|p| p.len as u64).sum();
-                let partial: u64 = nic
-                    .in_progress
-                    .iter()
-                    .flatten()
-                    .map(|st| (st.pkt.len - st.next) as u64)
-                    .sum();
+                let q: u64 = nic.queues.iter().flat_map(|q| q.iter()).map(|p| p.len as u64).sum();
+                let partial: u64 =
+                    nic.in_progress.iter().flatten().map(|st| (st.pkt.len - st.next) as u64).sum();
                 q + partial
             })
             .sum();
@@ -620,8 +618,7 @@ impl Simulation {
         let core = &mut self.core;
         let cycle = core.cycle;
         // Phase 1: workload.
-        self.workload
-            .set_feedback(core.activity.packets_delivered, core.in_flight_packets);
+        self.workload.set_feedback(core.activity.packets_delivered, core.in_flight_packets);
         self.workload.update_cores(cycle, &mut core.core_active);
         let mut buf = std::mem::take(&mut core.gen_buf);
         buf.clear();

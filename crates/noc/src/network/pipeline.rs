@@ -345,7 +345,8 @@ fn st_traverse(core: &mut NetworkCore, node: NodeId, in_port: usize, s: usize, o
         let d_up = Port::from_index(in_port).dir().unwrap();
         if core.neighbor(node, d_up).is_some() {
             let (vn, vc) = core.cfg.vc_split(s % core.cfg.total_vcs());
-            core.channel_mut(node, d_up).send_credit(now + 3, CreditMsg { vnet: vn as u8, vc: vc as u8 });
+            core.channel_mut(node, d_up)
+                .send_credit(now + 3, CreditMsg { vnet: vn as u8, vc: vc as u8 });
             core.activity.credit_msgs += 1;
         }
     }

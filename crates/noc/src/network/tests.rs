@@ -93,10 +93,7 @@ fn flits_fly_over_sleeping_router_in_one_cycle_each() {
     // FLOV hop count and the latency advantage.
     let cfg = small_cfg();
     let script = vec![(5u64, 1u16, 0u8), (40, 1, 1)];
-    let w = ScriptedWorkload::new(vec![(
-        100,
-        PacketRequest { src: 0, dst: 2, vnet: 0, len: 4 },
-    )]);
+    let w = ScriptedWorkload::new(vec![(100, PacketRequest { src: 0, dst: 2, vnet: 0, len: 4 })]);
     let mut sim = Simulation::new(cfg, Box::new(ManualMech::new(script)), Box::new(w));
     let end = sim.run_until_done(5_000);
     assert!(end < 5_000);
@@ -114,10 +111,7 @@ fn back_to_back_flits_stream_through_latch() {
     // the latch sustains 1 flit/cycle with no conflicts (asserted inside).
     let cfg = small_cfg();
     let script = vec![(5u64, 1u16, 0u8), (40, 1, 1), (5, 2, 0), (40, 2, 1)];
-    let w = ScriptedWorkload::new(vec![(
-        100,
-        PacketRequest { src: 0, dst: 3, vnet: 0, len: 4 },
-    )]);
+    let w = ScriptedWorkload::new(vec![(100, PacketRequest { src: 0, dst: 3, vnet: 0, len: 4 })]);
     let mut sim = Simulation::new(cfg, Box::new(ManualMech::new(script)), Box::new(w));
     let end = sim.run_until_done(5_000);
     assert!(end < 5_000);
@@ -131,10 +125,7 @@ fn va_blocks_toward_draining_router_until_it_sleeps() {
     // the packet must wait for the Sleep transition, then fly over.
     let cfg = small_cfg();
     let script = vec![(99u64, 1u16, 0u8), (130, 1, 1)];
-    let w = ScriptedWorkload::new(vec![(
-        100,
-        PacketRequest { src: 0, dst: 2, vnet: 0, len: 4 },
-    )]);
+    let w = ScriptedWorkload::new(vec![(100, PacketRequest { src: 0, dst: 2, vnet: 0, len: 4 })]);
     let mut sim = Simulation::new(cfg, Box::new(ManualMech::new(script)), Box::new(w));
     let end = sim.run_until_done(5_000);
     assert!(end < 5_000);
@@ -151,10 +142,7 @@ fn wakeup_request_raised_for_sleeping_destination() {
     // Sleep router 2, then send a packet *to* node 2; the core must raise a
     // wakeup request (the manual mechanism ignores it, so the packet waits).
     let script = vec![(5u64, 2u16, 0u8), (40, 2, 1)];
-    let w = ScriptedWorkload::new(vec![(
-        100,
-        PacketRequest { src: 0, dst: 2, vnet: 0, len: 4 },
-    )]);
+    let w = ScriptedWorkload::new(vec![(100, PacketRequest { src: 0, dst: 2, vnet: 0, len: 4 })]);
     let mut sim = Simulation::new(
         NocConfig { watchdog_cycles: 0, ..cfg },
         Box::new(ManualMech::new(script)),
@@ -193,10 +181,7 @@ fn credit_relay_crosses_sleeping_router() {
     let end = sim.run_until_done(10_000);
     assert!(end < 10_000);
     assert_eq!(sim.core.activity.packets_delivered, 10);
-    assert!(
-        sim.core.activity.credit_relays > 0,
-        "credits never relayed across the sleeper"
-    );
+    assert!(sim.core.activity.credit_relays > 0, "credits never relayed across the sleeper");
 }
 
 #[test]
@@ -206,10 +191,7 @@ fn quiescence_predicates_track_traffic() {
     let mut sim = Simulation::new(cfg, Box::new(AlwaysOnYx), Box::new(w));
     assert!(sim.core.fully_quiescent(1));
     sim.run(14); // packet in flight through router 1's row
-    assert!(
-        !sim.core.fully_quiescent(1),
-        "router 1 should see inbound traffic mid-transfer"
-    );
+    assert!(!sim.core.fully_quiescent(1), "router 1 should see inbound traffic mid-transfer");
     sim.run_until_done(5_000);
     assert!(sim.core.fully_quiescent(1));
     assert!(sim.core.fully_quiescent(2));
@@ -221,10 +203,7 @@ fn watchdog_fires_on_artificial_stall() {
     // address traffic to it; the watchdog must detect the stall.
     let cfg = NocConfig { watchdog_cycles: 2_000, ..small_cfg() };
     let script = vec![(5u64, 2u16, 0u8), (40, 2, 1)];
-    let w = ScriptedWorkload::new(vec![(
-        100,
-        PacketRequest { src: 0, dst: 2, vnet: 0, len: 4 },
-    )]);
+    let w = ScriptedWorkload::new(vec![(100, PacketRequest { src: 0, dst: 2, vnet: 0, len: 4 })]);
     let mut sim = Simulation::new(cfg, Box::new(ManualMech::new(script)), Box::new(w));
     let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         sim.run(10_000);

@@ -1,8 +1,8 @@
 //! Network interface controllers: per-node source queues (with serialization
 //! state) and destination-side packet reassembly.
 
-use crate::packet::{DeliveredPacket, Packet};
 use crate::flit::Flit;
+use crate::packet::{DeliveredPacket, Packet};
 use crate::types::{Cycle, PacketId};
 use std::collections::{HashMap, VecDeque};
 
@@ -84,7 +84,11 @@ impl Nic {
         st.received += 1;
         if f.kind.is_tail() {
             let st = self.rx.remove(&f.packet).unwrap();
-            assert_eq!(st.received, f.pkt_len, "tail arrived before all flits of packet {}", f.packet);
+            assert_eq!(
+                st.received, f.pkt_len,
+                "tail arrived before all flits of packet {}",
+                f.packet
+            );
             Some(DeliveredPacket {
                 id: f.packet,
                 src: f.src,

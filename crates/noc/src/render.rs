@@ -143,11 +143,8 @@ mod tests {
     #[test]
     fn power_map_distinguishes_states() {
         let cfg = NocConfig::small_test();
-        let mut sim = Simulation::new(
-            cfg,
-            Box::new(AlwaysOnYx),
-            Box::new(crate::traits::SilentWorkload),
-        );
+        let mut sim =
+            Simulation::new(cfg, Box::new(AlwaysOnYx), Box::new(crate::traits::SilentWorkload));
         sim.core.begin_drain(5);
         sim.core.core_active[6] = false;
         let map = power_map(&sim.core);
@@ -189,11 +186,8 @@ mod tests {
     #[test]
     fn idle_network_has_zero_gini() {
         let cfg = NocConfig::small_test();
-        let sim = Simulation::new(
-            cfg,
-            Box::new(AlwaysOnYx),
-            Box::new(crate::traits::SilentWorkload),
-        );
+        let sim =
+            Simulation::new(cfg, Box::new(AlwaysOnYx), Box::new(crate::traits::SilentWorkload));
         let (max, mean, gini) = link_util_summary(&sim.core);
         assert_eq!(max, 0);
         assert_eq!(mean, 0.0);

@@ -179,11 +179,8 @@ impl BypassRing {
 
     /// Flits anywhere in the ring (stations, buffers, wires).
     pub fn flits_in_ring(&self) -> u64 {
-        let buffered: usize = self
-            .nodes
-            .iter()
-            .map(|rn| rn.buf[0].len() + rn.buf[1].len() + rn.station.len())
-            .sum();
+        let buffered: usize =
+            self.nodes.iter().map(|rn| rn.buf[0].len() + rn.buf[1].len() + rn.station.len()).sum();
         buffered as u64 + self.wire.len() as u64
     }
 

@@ -26,12 +26,8 @@ impl Rng {
     /// Create a generator from a 64-bit seed. Any seed (including 0) is valid.
     pub fn new(seed: u64) -> Rng {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Rng { s }
     }
 

@@ -193,7 +193,7 @@ mod tests {
     #[test]
     fn flov_capability_by_position() {
         let c = cfg(); // 8x8
-        // Corner: no FLOV links at all.
+                       // Corner: no FLOV links at all.
         let corner = Router::new(&c, 0);
         assert!(!corner.flov_x && !corner.flov_y);
         // South edge (3,0): X only.

@@ -109,7 +109,8 @@ impl ScriptedWorkload {
 impl Workload for ScriptedWorkload {
     fn update_cores(&mut self, cycle: Cycle, active: &mut [bool]) -> bool {
         let mut changed = false;
-        while self.next_core < self.core_events.len() && self.core_events[self.next_core].0 <= cycle {
+        while self.next_core < self.core_events.len() && self.core_events[self.next_core].0 <= cycle
+        {
             let (_, node, on) = self.core_events[self.next_core];
             if active[node as usize] != on {
                 active[node as usize] = on;
@@ -153,7 +154,8 @@ mod tests {
 
     #[test]
     fn scripted_core_events_apply_once() {
-        let mut w = ScriptedWorkload::new(vec![]).with_core_events(vec![(5, 2, false), (9, 2, true)]);
+        let mut w =
+            ScriptedWorkload::new(vec![]).with_core_events(vec![(5, 2, false), (9, 2, true)]);
         let mut active = vec![true; 4];
         assert!(!w.update_cores(4, &mut active));
         assert!(w.update_cores(5, &mut active));

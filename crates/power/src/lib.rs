@@ -21,5 +21,7 @@ pub mod model;
 pub mod params;
 
 pub use area::AreaModel;
-pub use model::{compute, directed_links, residency_delta, DynamicEnergy, GatedResidual, PowerReport};
+pub use model::{
+    compute, directed_links, residency_delta, DynamicEnergy, GatedResidual, PowerReport,
+};
 pub use params::PowerParams;

@@ -43,15 +43,78 @@ pub struct BenchProfile {
 /// intensity ordered per the PARSEC characterization: canneal and
 /// fluidanimate communication-heavy, swaptions/blackscholes compute-bound).
 pub const PARSEC_BENCHMARKS: [BenchProfile; 9] = [
-    BenchProfile { name: "blackscholes", threads: 16, inj_rate: 0.008, mem_fraction: 0.70, phase_interval: 20_000, work_packets: 12_000 },
-    BenchProfile { name: "bodytrack", threads: 24, inj_rate: 0.016, mem_fraction: 0.60, phase_interval: 12_000, work_packets: 20_000 },
-    BenchProfile { name: "canneal", threads: 20, inj_rate: 0.028, mem_fraction: 0.80, phase_interval: 15_000, work_packets: 30_000 },
-    BenchProfile { name: "dedup", threads: 28, inj_rate: 0.018, mem_fraction: 0.50, phase_interval: 9_000, work_packets: 24_000 },
-    BenchProfile { name: "ferret", threads: 24, inj_rate: 0.018, mem_fraction: 0.50, phase_interval: 10_000, work_packets: 22_000 },
-    BenchProfile { name: "fluidanimate", threads: 32, inj_rate: 0.022, mem_fraction: 0.60, phase_interval: 12_000, work_packets: 28_000 },
-    BenchProfile { name: "swaptions", threads: 16, inj_rate: 0.006, mem_fraction: 0.40, phase_interval: 25_000, work_packets: 10_000 },
-    BenchProfile { name: "vips", threads: 24, inj_rate: 0.016, mem_fraction: 0.55, phase_interval: 12_000, work_packets: 20_000 },
-    BenchProfile { name: "x264", threads: 28, inj_rate: 0.020, mem_fraction: 0.50, phase_interval: 8_000, work_packets: 24_000 },
+    BenchProfile {
+        name: "blackscholes",
+        threads: 16,
+        inj_rate: 0.008,
+        mem_fraction: 0.70,
+        phase_interval: 20_000,
+        work_packets: 12_000,
+    },
+    BenchProfile {
+        name: "bodytrack",
+        threads: 24,
+        inj_rate: 0.016,
+        mem_fraction: 0.60,
+        phase_interval: 12_000,
+        work_packets: 20_000,
+    },
+    BenchProfile {
+        name: "canneal",
+        threads: 20,
+        inj_rate: 0.028,
+        mem_fraction: 0.80,
+        phase_interval: 15_000,
+        work_packets: 30_000,
+    },
+    BenchProfile {
+        name: "dedup",
+        threads: 28,
+        inj_rate: 0.018,
+        mem_fraction: 0.50,
+        phase_interval: 9_000,
+        work_packets: 24_000,
+    },
+    BenchProfile {
+        name: "ferret",
+        threads: 24,
+        inj_rate: 0.018,
+        mem_fraction: 0.50,
+        phase_interval: 10_000,
+        work_packets: 22_000,
+    },
+    BenchProfile {
+        name: "fluidanimate",
+        threads: 32,
+        inj_rate: 0.022,
+        mem_fraction: 0.60,
+        phase_interval: 12_000,
+        work_packets: 28_000,
+    },
+    BenchProfile {
+        name: "swaptions",
+        threads: 16,
+        inj_rate: 0.006,
+        mem_fraction: 0.40,
+        phase_interval: 25_000,
+        work_packets: 10_000,
+    },
+    BenchProfile {
+        name: "vips",
+        threads: 24,
+        inj_rate: 0.016,
+        mem_fraction: 0.55,
+        phase_interval: 12_000,
+        work_packets: 20_000,
+    },
+    BenchProfile {
+        name: "x264",
+        threads: 28,
+        inj_rate: 0.020,
+        mem_fraction: 0.50,
+        phase_interval: 8_000,
+        work_packets: 24_000,
+    },
 ];
 
 /// Look up a profile by name.
@@ -124,8 +187,7 @@ impl ParsecWorkload {
     /// random consolidated set of `threads` cores.
     fn reshuffle(&mut self, active: &mut [bool]) {
         let n = active.len();
-        let mut cores: Vec<NodeId> =
-            (0..n as NodeId).filter(|c| !self.mcs.contains(c)).collect();
+        let mut cores: Vec<NodeId> = (0..n as NodeId).filter(|c| !self.mcs.contains(c)).collect();
         self.rng.shuffle(&mut cores);
         let want = (self.profile.threads as usize).min(cores.len());
         active.iter_mut().for_each(|a| *a = false);
@@ -201,16 +263,17 @@ impl Workload for ParsecWorkload {
             // Request now; data response after a service latency.
             out.push(PacketRequest { src, dst: target, vnet: VNET_REQUEST, len: CONTROL_LEN });
             let service = 30 + self.rng.below(60);
-            self.pending_replies
-                .push(std::cmp::Reverse((cycle + service, target, src)));
+            self.pending_replies.push(std::cmp::Reverse((cycle + service, target, src)));
             self.generated += 2;
             // Occasionally a third-party coherence control message
             // (invalidation / ack) rides the control vnet.
-            if !to_mem
-                && self.generated < self.profile.work_packets
-                && self.rng.chance(0.5)
-            {
-                out.push(PacketRequest { src: target, dst: src, vnet: VNET_CONTROL, len: CONTROL_LEN });
+            if !to_mem && self.generated < self.profile.work_packets && self.rng.chance(0.5) {
+                out.push(PacketRequest {
+                    src: target,
+                    dst: src,
+                    vnet: VNET_CONTROL,
+                    len: CONTROL_LEN,
+                });
                 self.generated += 1;
             }
         }
@@ -270,10 +333,7 @@ mod tests {
         assert!(!w.update_cores(prof.phase_interval - 1, &mut active));
         assert!(w.update_cores(prof.phase_interval, &mut active));
         assert_ne!(active, first, "phase change did not reshuffle");
-        assert_eq!(
-            active.iter().filter(|&&a| a).count(),
-            first.iter().filter(|&&a| a).count()
-        );
+        assert_eq!(active.iter().filter(|&&a| a).count(), first.iter().filter(|&&a| a).count());
     }
 
     #[test]

@@ -53,8 +53,7 @@ impl SyntheticWorkload {
 
     fn refresh_cache(&mut self, active: &[bool]) {
         self.active_cache.clear();
-        self.active_cache
-            .extend((0..active.len() as NodeId).filter(|&n| active[n as usize]));
+        self.active_cache.extend((0..active.len() as NodeId).filter(|&n| active[n as usize]));
         self.cache_dirty = false;
     }
 }
@@ -139,10 +138,7 @@ mod tests {
         // Expected flits = 0.08 * 64 nodes * 10_000 cycles = 51_200.
         let flits: u64 = out.iter().map(|p| p.len as u64).sum();
         let expect = 51_200.0;
-        assert!(
-            (flits as f64 - expect).abs() < expect * 0.05,
-            "flits {flits} vs {expect}"
-        );
+        assert!((flits as f64 - expect).abs() < expect * 0.05, "flits {flits} vs {expect}");
     }
 
     #[test]

@@ -107,9 +107,8 @@ fn race(name: &str, mech: Box<dyn PowerMechanism>) -> (f64, usize) {
     let mut sim = Simulation::new(cfg, mech, Box::new(workload));
     sim.measure_from(5_000);
     sim.run(40_000);
-    let asleep = (0..sim.core.nodes() as NodeId)
-        .filter(|&n| sim.core.power(n) == PowerState::Sleep)
-        .count();
+    let asleep =
+        (0..sim.core.nodes() as NodeId).filter(|&n| sim.core.power(n) == PowerState::Sleep).count();
     sim.drain(50_000);
     assert!(sim.core.is_empty(), "{name} lost packets");
     (sim.core.stats.avg_latency(), asleep)

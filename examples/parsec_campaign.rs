@@ -13,11 +13,7 @@ fn main() {
     let benches: Vec<&str> = if args.is_empty() {
         PARSEC_BENCHMARKS.iter().map(|b| b.name).collect()
     } else {
-        PARSEC_BENCHMARKS
-            .iter()
-            .map(|b| b.name)
-            .filter(|n| args.iter().any(|a| a == n))
-            .collect()
+        PARSEC_BENCHMARKS.iter().map(|b| b.name).filter(|n| args.iter().any(|a| a == n)).collect()
     };
     assert!(!benches.is_empty(), "no matching benchmarks");
     let mechs = ["Baseline", "RP", "gFLOV"];

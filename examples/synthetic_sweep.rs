@@ -27,10 +27,21 @@ fn main() {
     };
     let rate: f64 = args.get(1).map(|s| s.parse().expect("rate")).unwrap_or(0.02);
 
-    println!("sweep: {} traffic at {rate} flits/cycle/node (10k warmup, 100k cycles)\n", pattern.name());
+    println!(
+        "sweep: {} traffic at {rate} flits/cycle/node (10k warmup, 100k cycles)\n",
+        pattern.name()
+    );
     println!(
         "{:>7}  {:>10} {:>9} {:>9} {:>9}   {:>10} {:>9} {:>9} {:>9}",
-        "gated%", "lat:Base", "lat:RP", "lat:rF", "lat:gF", "totW:Base", "totW:RP", "totW:rF", "totW:gF"
+        "gated%",
+        "lat:Base",
+        "lat:RP",
+        "lat:rF",
+        "lat:gF",
+        "totW:Base",
+        "totW:RP",
+        "totW:rF",
+        "totW:gF"
     );
     for fraction in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8] {
         let specs: Vec<RunSpec> = SYNTH_MECHS

@@ -75,7 +75,12 @@ fn flov_latency_tracks_baseline_rp_does_not() {
     let rp = run_and_check("RP", Pattern::UniformRandom, 0.5);
     let b_lat = base.core.stats.avg_latency();
     // FLOV within ~25% of baseline (paper: minimal degradation)...
-    assert!(g.core.stats.avg_latency() < b_lat * 1.25, "gFLOV {} vs {}", g.core.stats.avg_latency(), b_lat);
+    assert!(
+        g.core.stats.avg_latency() < b_lat * 1.25,
+        "gFLOV {} vs {}",
+        g.core.stats.avg_latency(),
+        b_lat
+    );
     assert!(r.core.stats.avg_latency() < b_lat * 1.25);
     // ...while RP pays for detours.
     assert!(
@@ -158,10 +163,7 @@ fn rp_concentrates_traffic_into_hotspots() {
     let g = run_and_check("gFLOV", Pattern::UniformRandom, 0.5);
     let (rp_max, rp_mean, rp_gini) = flov_noc::render::link_util_summary(&rp.core);
     let (g_max, g_mean, g_gini) = flov_noc::render::link_util_summary(&g.core);
-    assert!(
-        rp_gini > g_gini,
-        "RP gini {rp_gini:.3} should exceed gFLOV {g_gini:.3}"
-    );
+    assert!(rp_gini > g_gini, "RP gini {rp_gini:.3} should exceed gFLOV {g_gini:.3}");
     // Peak-to-mean is also worse under RP.
     assert!(
         rp_max as f64 / rp_mean > g_max as f64 / g_mean * 0.9,

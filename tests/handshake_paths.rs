@@ -108,11 +108,7 @@ fn multiple_gate_wake_cycles_are_stable() {
 fn rflov_id_arbitration_smaller_id_wins() {
     // Gate two adjacent cores simultaneously under rFLOV: only one router
     // may sleep, and the in-order scan gives it to the smaller id.
-    let mut sim = flov_sim(
-        FlovMode::Restricted,
-        vec![],
-        vec![(0, 5, false), (0, 6, false)],
-    );
+    let mut sim = flov_sim(FlovMode::Restricted, vec![], vec![(0, 5, false), (0, 6, false)]);
     sim.run(2_000);
     assert_eq!(sim.core.power(5), PowerState::Sleep, "smaller id should win the drain");
     assert_eq!(sim.core.power(6), PowerState::Active, "larger id must stay active");

@@ -77,10 +77,7 @@ fn ring_latency_penalty_grows_with_mesh_size() {
     };
     let p4 = penalty(4);
     let p8 = penalty(8);
-    assert!(
-        p8 > p4 + 0.3,
-        "ring penalty should grow with k: k=4 ratio {p4:.2}, k=8 ratio {p8:.2}"
-    );
+    assert!(p8 > p4 + 0.3, "ring penalty should grow with k: k=4 ratio {p4:.2}, k=8 ratio {p8:.2}");
 }
 
 #[test]

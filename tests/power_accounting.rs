@@ -41,10 +41,7 @@ fn dynamic_power_scales_with_injection_rate() {
     let lo = run(&spec("Baseline", 0.02, 0.0));
     let hi = run(&spec("Baseline", 0.08, 0.0));
     let ratio = hi.power.dynamic_w / lo.power.dynamic_w;
-    assert!(
-        (3.0..5.0).contains(&ratio),
-        "4x rate should give ~4x dynamic power, got {ratio:.2}x"
-    );
+    assert!((3.0..5.0).contains(&ratio), "4x rate should give ~4x dynamic power, got {ratio:.2}x");
     // Static power is rate-independent for the always-on baseline.
     assert!((hi.power.static_w - lo.power.static_w).abs() < 1e-9);
 }
@@ -57,8 +54,18 @@ fn static_power_ordering_at_high_gating() {
     let rp = run(&spec("RP-aggressive", 0.02, 0.8));
     let rf = run(&spec("rFLOV", 0.02, 0.8));
     let gf = run(&spec("gFLOV", 0.02, 0.8));
-    assert!(gf.power.static_w < rp.power.static_w, "gFLOV {} !< RP {}", gf.power.static_w, rp.power.static_w);
-    assert!(rp.power.static_w < rf.power.static_w, "RP {} !< rFLOV {}", rp.power.static_w, rf.power.static_w);
+    assert!(
+        gf.power.static_w < rp.power.static_w,
+        "gFLOV {} !< RP {}",
+        gf.power.static_w,
+        rp.power.static_w
+    );
+    assert!(
+        rp.power.static_w < rf.power.static_w,
+        "RP {} !< rFLOV {}",
+        rp.power.static_w,
+        rf.power.static_w
+    );
     assert!(rf.power.static_w < base.power.static_w);
 }
 

@@ -11,12 +11,7 @@ use flov_workloads::{GatingSchedule, Pattern, SyntheticWorkload};
 use proptest::prelude::*;
 
 fn small_cfg() -> NocConfig {
-    NocConfig {
-        k: 4,
-        vnets: 1,
-        watchdog_cycles: 30_000,
-        ..NocConfig::default()
-    }
+    NocConfig { k: 4, vnets: 1, watchdog_cycles: 30_000, ..NocConfig::default() }
 }
 
 fn run_case(mech_name: &str, pattern: Pattern, rate: f64, fraction: f64, seed: u64) -> Simulation {

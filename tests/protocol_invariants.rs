@@ -116,10 +116,7 @@ fn corner_routers_may_gate_but_never_hold_latched_flits() {
         for &c in &corners {
             // Corners have no FLOV links: their latches must stay empty in
             // every state.
-            assert!(
-                sim.core.routers[c as usize].latches_empty(),
-                "corner {c} has a latched flit"
-            );
+            assert!(sim.core.routers[c as usize].latches_empty(), "corner {c} has a latched flit");
         }
     }
     sim.drain(80_000);
@@ -152,8 +149,7 @@ impl PowerMechanism for TurnChecker {
                 // same-direction exit or a legal turn is required otherwise.
                 // We cannot distinguish entry here, so only flag turns that
                 // are neither legal nor a pure reversal.
-                if travel_out != travel_in.opposite() && !escape_turn_legal(travel_in, travel_out)
-                {
+                if travel_out != travel_in.opposite() && !escape_turn_legal(travel_in, travel_out) {
                     self.violations.borrow_mut().push(format!(
                         "illegal escape turn {travel_in:?}->{travel_out:?} at {:?} dst {:?}",
                         ctx.at, ctx.dst
@@ -168,10 +164,7 @@ impl PowerMechanism for TurnChecker {
 #[test]
 fn escape_routing_obeys_turn_model_in_vivo() {
     let cfg = NocConfig::paper_table1();
-    let mech = TurnChecker {
-        inner: Flov::generalized(&cfg),
-        violations: RefCell::new(Vec::new()),
-    };
+    let mech = TurnChecker { inner: Flov::generalized(&cfg), violations: RefCell::new(Vec::new()) };
     let w = SyntheticWorkload::new(
         cfg.k,
         Pattern::UniformRandom,

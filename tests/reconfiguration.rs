@@ -86,11 +86,7 @@ fn gflov_keeps_delivering_during_its_reconfigurations() {
     // Packets were delivered in every bucket around the change points: the
     // distributed handshake never freezes the network.
     for s in g.timeline.iter().filter(|s| s.start >= 19_000 && s.start < 31_000) {
-        assert!(
-            s.packets > 0,
-            "gFLOV delivered nothing in bucket starting {}",
-            s.start
-        );
+        assert!(s.packets > 0, "gFLOV delivered nothing in bucket starting {}", s.start);
     }
 }
 
