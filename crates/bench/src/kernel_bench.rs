@@ -1,0 +1,171 @@
+//! Kernel-throughput measurement behind `flov bench-kernel`.
+//!
+//! Times raw `Simulation::run` throughput (cycles/sec and flit-events/sec)
+//! for idle, mid-load and saturated 8×8 configurations, per mechanism, for
+//! both the active-set and the reference kernel, and verifies along the way
+//! that the two kernels stay bit-identical on every measured pair. The
+//! report establishes the repo's perf trajectory and is written to
+//! `BENCH_kernel.json`.
+
+use crate::KernelMode;
+use flov_core::mechanism;
+use flov_noc::network::Simulation;
+use flov_noc::NocConfig;
+use flov_workloads::{GatingSchedule, Pattern, SyntheticWorkload};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Mechanisms measured (the paper's main matrix; PowerPunch shares the
+/// rFLOV datapath and adds nothing kernel-wise).
+pub const MECHANISMS: [&str; 5] = ["Baseline", "RP", "rFLOV", "gFLOV", "NoRD"];
+
+/// `(name, injection rate flits/cycle/node, gated core fraction)`.
+pub const LOADS: [(&str, f64, f64); 3] =
+    [("idle", 0.0, 0.5), ("midload", 0.02, 0.3), ("saturated", 0.30, 0.0)];
+
+/// One timed measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchRow {
+    pub mechanism: String,
+    pub load: String,
+    pub kernel: String,
+    pub cycles: u64,
+    pub seconds: f64,
+    pub cycles_per_sec: f64,
+    pub flit_events_per_sec: f64,
+}
+
+/// Active-vs-reference summary for one `(mechanism, load)` cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct SpeedupRow {
+    pub mechanism: String,
+    pub load: String,
+    pub active_cps: f64,
+    pub reference_cps: f64,
+    pub speedup: f64,
+}
+
+/// The full `BENCH_kernel.json` payload.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchReport {
+    pub mesh: String,
+    pub quick: bool,
+    pub rows: Vec<BenchRow>,
+    pub speedups: Vec<SpeedupRow>,
+}
+
+fn make_sim(mech_name: &str, rate: f64, gated_fraction: f64, total_cycles: u64) -> Simulation {
+    let mut cfg = NocConfig::default(); // Table I: 8x8
+    if mech_name == "NoRD" {
+        cfg.enable_ring = true;
+    }
+    let gating = GatingSchedule::static_fraction(cfg.nodes(), gated_fraction, 42, &[]);
+    let workload = SyntheticWorkload::new(
+        cfg.k,
+        Pattern::UniformRandom,
+        rate,
+        cfg.synth_packet_len,
+        total_cycles,
+        gating,
+        42 ^ 0xABCD,
+    );
+    let mech = mechanism::by_name(mech_name, &cfg)
+        .unwrap_or_else(|| panic!("unknown mechanism {mech_name:?}"));
+    Simulation::new(cfg, mech, Box::new(workload))
+}
+
+/// Time `cycles` simulated cycles after `warmup`; returns the row plus a
+/// digest of the end state (activity + stats) for equivalence checking.
+fn measure_one(
+    mech_name: &str,
+    load: &str,
+    rate: f64,
+    gated_fraction: f64,
+    kernel: KernelMode,
+    warmup: u64,
+    cycles: u64,
+) -> (BenchRow, String) {
+    let mut sim = make_sim(mech_name, rate, gated_fraction, warmup + cycles);
+    sim.core.kernel = kernel;
+    sim.run(warmup);
+    let act0 = sim.core.activity.clone();
+    let t0 = Instant::now();
+    sim.run(cycles);
+    let seconds = t0.elapsed().as_secs_f64();
+    let d = sim.core.activity.delta_since(&act0);
+    let flit_events = d.buffer_writes
+        + d.buffer_reads
+        + d.link_flits
+        + d.flov_latch_flits
+        + d.ring_flits
+        + d.flits_injected
+        + d.flits_delivered;
+    let residency = sim.core.residency().to_vec();
+    let digest = serde_json::to_string(&(&sim.core.activity, &sim.core.stats, &residency))
+        .expect("digest serialization");
+    let row = BenchRow {
+        mechanism: mech_name.to_string(),
+        load: load.to_string(),
+        kernel: match kernel {
+            KernelMode::ActiveSet => "active".to_string(),
+            KernelMode::Reference => "reference".to_string(),
+        },
+        cycles,
+        seconds,
+        cycles_per_sec: cycles as f64 / seconds.max(1e-9),
+        flit_events_per_sec: flit_events as f64 / seconds.max(1e-9),
+    };
+    (row, digest)
+}
+
+/// Run the full measurement matrix. Panics if any active/reference pair
+/// diverges (the cheap always-on equivalence check) or, when `min_cps` is
+/// set, if any active-kernel row falls below the cycles/sec floor.
+pub fn run_bench(quick: bool, min_cps: Option<f64>) -> BenchReport {
+    let warmup = 2_000u64;
+    let base = if quick { 20_000u64 } else { 200_000u64 };
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for mech in MECHANISMS {
+        for (load, rate, gated) in LOADS {
+            // Idle runs are cheap; stretch them so the timer has signal.
+            let cycles = if rate == 0.0 { base * 5 } else { base };
+            let (act, act_digest) =
+                measure_one(mech, load, rate, gated, KernelMode::ActiveSet, warmup, cycles);
+            let (reference, ref_digest) =
+                measure_one(mech, load, rate, gated, KernelMode::Reference, warmup, cycles);
+            assert_eq!(
+                act_digest, ref_digest,
+                "kernel divergence: {mech}/{load} active vs reference end states differ"
+            );
+            eprintln!(
+                "[flov] bench-kernel {mech:>8} {load:>9}: active {:>12.0} cyc/s, \
+                 reference {:>12.0} cyc/s ({:.2}x)",
+                act.cycles_per_sec,
+                reference.cycles_per_sec,
+                act.cycles_per_sec / reference.cycles_per_sec
+            );
+            speedups.push(SpeedupRow {
+                mechanism: mech.to_string(),
+                load: load.to_string(),
+                active_cps: act.cycles_per_sec,
+                reference_cps: reference.cycles_per_sec,
+                speedup: act.cycles_per_sec / reference.cycles_per_sec,
+            });
+            rows.push(act);
+            rows.push(reference);
+        }
+    }
+    if let Some(floor) = min_cps {
+        for r in rows.iter().filter(|r| r.kernel == "active") {
+            assert!(
+                r.cycles_per_sec >= floor,
+                "perf floor regression: {}/{} active kernel at {:.0} cycles/sec < floor {floor:.0}",
+                r.mechanism,
+                r.load,
+                r.cycles_per_sec
+            );
+        }
+    }
+    BenchReport { mesh: "8x8".to_string(), quick, rows, speedups }
+}

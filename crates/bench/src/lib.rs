@@ -13,6 +13,7 @@ pub mod ablations;
 pub mod cache;
 pub mod engine;
 pub mod figures;
+pub mod kernel_bench;
 pub mod progress;
 pub mod report;
 pub mod spec;
@@ -20,6 +21,7 @@ pub mod studies;
 
 pub use cache::{CacheEntry, CacheStats, ResultCache};
 pub use engine::{Engine, EngineStats, KERNEL_VERSION};
+pub use flov_noc::network::KernelMode;
 pub use report::{csv_escape, Table};
 pub use spec::{RunResult, RunSpec, RunSpecBuilder, WorkloadSpec};
 
@@ -30,17 +32,45 @@ use flov_noc::traits::Workload;
 use flov_power::GatedResidual;
 use flov_workloads::{GatingSchedule, ParsecWorkload, SyntheticWorkload};
 
+/// Kernel selected by the `FLOV_KERNEL` environment variable (`active` |
+/// `reference`); defaults to the active-set kernel. Both kernels produce
+/// bit-identical results (enforced by the equivalence suite), so this is a
+/// debugging/benchmarking switch, not an experiment parameter — it never
+/// enters the result cache key.
+pub fn kernel_from_env() -> KernelMode {
+    match std::env::var("FLOV_KERNEL").ok().as_deref() {
+        None | Some("") | Some("active") | Some("active-set") => KernelMode::ActiveSet,
+        Some("reference") | Some("ref") => KernelMode::Reference,
+        Some(other) => panic!("unknown FLOV_KERNEL value {other:?} (use active|reference)"),
+    }
+}
+
 /// Execute one simulation per `spec`, resolving the mechanism by name.
 pub fn run(spec: &RunSpec) -> RunResult {
+    run_kernel(spec, kernel_from_env())
+}
+
+/// [`run`] with an explicit kernel mode (the equivalence suite and
+/// `bench-kernel` compare the two modes directly).
+pub fn run_kernel(spec: &RunSpec, kernel: KernelMode) -> RunResult {
     let spec = spec.resolved();
     let mech = mechanism::by_name(&spec.mechanism, &spec.cfg)
         .unwrap_or_else(|| panic!("unknown mechanism {:?}", spec.mechanism));
-    run_with(&spec, mech)
+    run_with_kernel(&spec, mech, kernel)
 }
 
 /// Execute one simulation with an explicitly constructed mechanism (used by
 /// the ablation studies, which tweak mechanism-internal parameters).
 pub fn run_with(spec: &RunSpec, mech: Box<dyn flov_noc::PowerMechanism>) -> RunResult {
+    run_with_kernel(spec, mech, kernel_from_env())
+}
+
+/// [`run_with`] with an explicit kernel mode.
+pub fn run_with_kernel(
+    spec: &RunSpec,
+    mech: Box<dyn flov_noc::PowerMechanism>,
+    kernel: KernelMode,
+) -> RunResult {
     let cfg = spec.cfg.clone();
     let workload: Box<dyn Workload> = match &spec.workload {
         WorkloadSpec::Synthetic { pattern, rate, gated_fraction, seed, changes } => {
@@ -66,12 +96,13 @@ pub fn run_with(spec: &RunSpec, mech: Box<dyn flov_noc::PowerMechanism>) -> RunR
         }
     };
     let mut sim = Simulation::new(cfg, mech, workload);
+    sim.core.kernel = kernel;
     sim.measure_from(spec.warmup);
     sim.core.stats.interval_width = spec.timeline_width;
     // Warmup.
     sim.run(spec.warmup);
     let act0 = sim.core.activity.clone();
-    let res0 = sim.core.residency.clone();
+    let res0 = sim.core.residency().to_vec();
     // Measured portion.
     let measured_end;
     match &spec.workload {
@@ -92,7 +123,7 @@ pub fn run_with(spec: &RunSpec, mech: Box<dyn flov_noc::PowerMechanism>) -> RunR
     }
     let window = measured_end - spec.warmup;
     let activity = sim.core.activity.delta_since(&act0);
-    let residency = flov_power::residency_delta(&sim.core.residency, &res0);
+    let residency = flov_power::residency_delta(sim.core.residency(), &res0);
     let power = flov_power::compute(
         &spec.power_params,
         sim.core.cfg.k,
@@ -116,7 +147,7 @@ pub fn run_with(spec: &RunSpec, mech: Box<dyn flov_noc::PowerMechanism>) -> RunR
         throughput: s.throughput(window.max(1)),
         power,
         runtime_cycles: measured_end,
-        stalled_injection_cycles: sim.core.stalled_injection_cycles,
+        stalled_injection_cycles: sim.core.stalled_injection_node_cycles,
         gating_events: activity.gating_events,
         flov_latch_flits: activity.flov_latch_flits,
         ring_flits: activity.ring_flits,

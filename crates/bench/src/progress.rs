@@ -12,10 +12,16 @@ pub struct Progress {
     total: usize,
     done: AtomicUsize,
     cached: AtomicUsize,
+    draws: AtomicUsize,
     start: Instant,
     last_draw: Mutex<Instant>,
     enabled: bool,
 }
+
+/// Minimum interval between stderr redraws. Fully-cached batches tick tens
+/// of thousands of runs per second; without the throttle the batch becomes
+/// syscall-bound on stderr writes.
+const DRAW_INTERVAL: Duration = Duration::from_millis(50);
 
 impl Progress {
     pub fn new(total: usize, enabled: bool) -> Progress {
@@ -24,11 +30,17 @@ impl Progress {
             total,
             done: AtomicUsize::new(0),
             cached: AtomicUsize::new(0),
+            draws: AtomicUsize::new(0),
             start: now,
             // Backdate so the first tick draws immediately.
             last_draw: Mutex::new(now - Duration::from_secs(1)),
             enabled,
         }
+    }
+
+    /// Number of stderr redraws so far (throttle observability).
+    pub fn draws(&self) -> usize {
+        self.draws.load(Ordering::Relaxed)
     }
 
     /// Record one finished run. `from_cache` runs count toward the cached
@@ -41,13 +53,14 @@ impl Progress {
         if !self.enabled {
             return;
         }
-        // Redraw at most every 200ms (always on the last run); skip the
-        // draw entirely if another thread holds the throttle lock.
+        // Redraw at most once per DRAW_INTERVAL (always on the last run);
+        // skip the draw entirely if another thread holds the throttle lock.
         let Ok(mut last) = self.last_draw.try_lock() else { return };
-        if done < self.total && last.elapsed() < Duration::from_millis(200) {
+        if done < self.total && last.elapsed() < DRAW_INTERVAL {
             return;
         }
         *last = Instant::now();
+        self.draws.fetch_add(1, Ordering::Relaxed);
         let cached = self.cached.load(Ordering::Relaxed);
         let elapsed = self.start.elapsed().as_secs_f64();
         let rate = done as f64 / elapsed.max(1e-9);
@@ -71,6 +84,22 @@ impl Progress {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rapid_ticks_are_draw_throttled() {
+        // 10k instantaneous ticks must produce at most a handful of stderr
+        // writes: the first (backdated) draw, the guaranteed final draw,
+        // and at most one per elapsed DRAW_INTERVAL in between.
+        let p = Progress::new(10_000, true);
+        for i in 0..10_000 {
+            p.tick(i % 2 == 0);
+        }
+        assert_eq!(p.done.load(Ordering::Relaxed), 10_000);
+        let draws = p.draws();
+        assert!(draws >= 1, "final tick must draw");
+        assert!(draws <= 4, "throttle failed: {draws} draws for 10k instant ticks");
+        p.clear_line();
+    }
 
     #[test]
     fn disabled_progress_still_counts() {

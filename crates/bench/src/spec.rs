@@ -281,6 +281,10 @@ pub struct RunResult {
     pub power: PowerReport,
     /// Cycle count at the end of the measured portion (Parsec: completion).
     pub runtime_cycles: u64,
+    /// Node-cycles of mechanism-stalled injection: each node with backlog
+    /// blocked by the injection gate counts once per cycle. (The field name
+    /// predates the node-cycle clarification; it is kept for cache-entry
+    /// compatibility.)
     pub stalled_injection_cycles: u64,
     pub gating_events: u64,
     pub flov_latch_flits: u64,

@@ -1,0 +1,82 @@
+//! The active-set kernel is an *optimization*, not a model change: for
+//! every mechanism × traffic pattern in this matrix, running the same spec
+//! under [`KernelMode::ActiveSet`] and [`KernelMode::Reference`] must yield
+//! bit-identical `RunResult`s (latency, power, residency, stall counters,
+//! timeline — everything). Because the kernel mode never enters the result
+//! cache key, this equivalence is also what keeps existing cache entries
+//! valid: `KERNEL_VERSION` stays at 1.
+
+use flov_bench::{run_kernel, KernelMode, RunSpec, KERNEL_VERSION};
+use flov_workloads::Pattern;
+use rayon::prelude::*;
+
+const MECHANISMS: [&str; 5] = ["Baseline", "rFLOV", "gFLOV", "RP", "NoRD"];
+
+fn patterns() -> [(&'static str, Pattern); 3] {
+    [
+        ("uniform", Pattern::UniformRandom),
+        ("transpose", Pattern::Transpose),
+        ("hotspot", Pattern::Hotspot { hotspot: 27, p_hot_pct: 20 }),
+    ]
+}
+
+fn spec(mech: &str, pattern: Pattern) -> RunSpec {
+    // NoRD runs at the paper's base load: at 0.05 flits/cycle/node some
+    // seeds trip a latent, pre-existing NoRD routing debug-assert
+    // (non-escape U-turn) that exists in the seed revision too and is
+    // independent of the kernel mode — out of scope here.
+    let rate = if mech == "NoRD" { 0.02 } else { 0.05 };
+    RunSpec::builder()
+        .mechanism(mech)
+        .pattern(pattern)
+        .rate(rate)
+        .gated_fraction(0.3)
+        .seed(0xF10F)
+        .warmup(1_500)
+        .cycles(6_000)
+        .drain(25_000)
+        .build()
+}
+
+#[test]
+fn active_set_kernel_matches_reference_on_the_full_matrix() {
+    let cells: Vec<(&str, &str, Pattern)> = MECHANISMS
+        .iter()
+        .flat_map(|&m| patterns().into_iter().map(move |(pn, p)| (m, pn, p)))
+        .collect();
+    let failures: Vec<String> = cells
+        .par_iter()
+        .map(|&(mech, pat_name, pattern)| {
+            eprintln!("cell start: {mech}/{pat_name}");
+            let s = spec(mech, pattern);
+            let active = run_kernel(&s, KernelMode::ActiveSet);
+            let reference = run_kernel(&s, KernelMode::Reference);
+            let aj = serde_json::to_string(&active).expect("serialize active result");
+            let rj = serde_json::to_string(&reference).expect("serialize reference result");
+            if active.packets <= 100 {
+                return Some(format!(
+                    "{mech}/{pat_name}: too little traffic ({} packets) for a meaningful \
+                     comparison",
+                    active.packets
+                ));
+            }
+            if aj != rj {
+                return Some(format!(
+                    "{mech}/{pat_name}: active-set and reference kernels diverged"
+                ));
+            }
+            None
+        })
+        .collect::<Vec<Option<String>>>()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(failures.is_empty(), "kernel equivalence failures:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn kernel_equivalence_keeps_cache_entries_valid() {
+    // The active-set kernel produces identical results, so the cache salt
+    // must not move: bumping it would needlessly invalidate every entry.
+    assert_eq!(KERNEL_VERSION, 1);
+}

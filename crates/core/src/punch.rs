@@ -321,7 +321,7 @@ mod tests {
         assert!(lat < 55.0, "punch failed to hide wakeup latency: {lat}");
         // And routers really were gated between packets (400-cycle gaps >
         // punch_hold + idle threshold).
-        let gated: u64 = sim.core.residency.iter().map(|r| r.gated).sum();
+        let gated: u64 = sim.core.residency().iter().map(|r| r.gated).sum();
         assert!(gated > 0);
     }
 

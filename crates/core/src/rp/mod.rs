@@ -278,7 +278,7 @@ mod tests {
         let mut sim = Simulation::new(c, Box::new(RouterParking::aggressive(&cfg())), Box::new(w));
         sim.run(900); // inside the >=700-cycle stall
         assert_eq!(sim.core.activity.packets_injected, 0, "injection not stalled");
-        assert!(sim.core.stalled_injection_cycles > 0);
+        assert!(sim.core.stalled_injection_node_cycles > 0);
         let end = sim.run_until_done(20_000);
         assert!(end < 20_000);
         assert_eq!(sim.core.activity.packets_delivered, 1);

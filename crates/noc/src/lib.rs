@@ -12,6 +12,9 @@
 //!   across arbitrarily long sleeping chains,
 //! * power-state transitions with contract-checked quiescence and the
 //!   credit zero/copy protocol of the paper's Fig. 3,
+//! * two interchangeable cycle kernels — a full-scan reference and the
+//!   default active-set kernel whose per-cycle cost scales with traffic,
+//!   not mesh size, proven bit-identical ([`network::KernelMode`]),
 //! * pluggable [`traits::PowerMechanism`]s (Baseline, rFLOV, gFLOV and
 //!   Router Parking live in the `flov-core` crate) and
 //!   [`traits::Workload`]s (synthetic and PARSEC-proxy traffic live in
@@ -36,6 +39,7 @@
 //! assert_eq!(sim.core.stats.packets, 1);
 //! ```
 
+pub mod active;
 pub mod activity;
 pub mod baseline;
 pub mod buffer;
@@ -56,7 +60,7 @@ pub mod types;
 
 pub use activity::{ActivityCounters, Residency};
 pub use config::NocConfig;
-pub use network::{NetworkCore, Simulation};
+pub use network::{KernelMode, NetworkCore, Simulation};
 pub use stats::NetStats;
 pub use traits::{PacketRequest, PowerMechanism, Workload};
 pub use types::{Coord, Cycle, Dir, NodeId, PacketId, Port, PowerState};

@@ -96,6 +96,21 @@ impl Channel {
         }
     }
 
+    /// Earliest pending arrival cycle across both wires, if anything is in
+    /// flight. Both queues are kept sorted by arrival, so this is O(1); the
+    /// active-set kernel uses it to skip channels whose traffic is still on
+    /// the wire.
+    #[inline]
+    pub fn earliest_arrival(&self) -> Option<Cycle> {
+        let f = self.flits.front().map(|&(a, _)| a);
+        let c = self.credits.front().map(|&(a, _)| a);
+        match (f, c) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        }
+    }
+
     /// Number of flits currently in flight on this channel.
     #[inline]
     pub fn flits_in_flight(&self) -> usize {
@@ -186,6 +201,21 @@ mod tests {
         ch.send_flit(4, flit(1));
         assert_eq!(ch.recv_flit(4).unwrap().flit_idx, 1);
         assert_eq!(ch.recv_flit(5).unwrap().flit_idx, 0);
+    }
+
+    #[test]
+    fn earliest_arrival_tracks_both_wires() {
+        let mut ch = Channel::new();
+        assert_eq!(ch.earliest_arrival(), None);
+        ch.send_flit(7, flit(0));
+        assert_eq!(ch.earliest_arrival(), Some(7));
+        ch.send_credit(3, CreditMsg { vnet: 0, vc: 0 });
+        assert_eq!(ch.earliest_arrival(), Some(3));
+        ch.send_flit(2, flit(1)); // out-of-order send re-sorts
+        assert_eq!(ch.earliest_arrival(), Some(2));
+        assert!(ch.recv_flit(2).is_some());
+        assert!(ch.recv_credit(3).is_some());
+        assert_eq!(ch.earliest_arrival(), Some(7));
     }
 
     #[test]

@@ -7,7 +7,15 @@
 //! 4. mechanism control step (handshakes, power transitions),
 //! 5. NIC injection,
 //! 6. router pipelines (VA, then SA/ST) for powered routers,
-//! 7. accounting (residency, watchdog).
+//! 7. accounting (watchdog; residency accumulates lazily at transitions).
+//!
+//! Two interchangeable scheduling strategies drive phases 2, 3, 5 and 6
+//! (see [`KernelMode`]): the *reference* kernel scans every router, slot
+//! and channel each cycle, while the default *active-set* kernel visits
+//! only resources with work, tracked incrementally. Both produce
+//! bit-identical results; the invariant that makes this safe is that every
+//! state change which can give a resource work re-marks it (see the
+//! marking helpers below and `DESIGN.md` § "Kernel scheduling").
 
 mod chain;
 mod pipeline;
@@ -17,6 +25,7 @@ mod transitions;
 
 pub use chain::ChainTarget;
 
+use crate::active::ActiveSet;
 use crate::activity::{ActivityCounters, Residency};
 use crate::config::NocConfig;
 use crate::flit::Flit;
@@ -28,6 +37,54 @@ use crate::router::Router;
 use crate::stats::NetStats;
 use crate::traits::{PacketRequest, PowerMechanism, Workload};
 use crate::types::{Coord, Cycle, Dir, NodeId, PacketId, PowerState};
+
+/// Scheduling strategy for the per-cycle kernel loops.
+///
+/// Not part of [`NocConfig`]: the two kernels are proven bit-identical by
+/// the equivalence suite, so the choice never affects results (or result
+/// cache keys) — only wall-clock speed. Switching modes mid-run is safe:
+/// the active sets are maintained unconditionally and cleaned lazily.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Visit only routers, channels and NICs with work, tracked
+    /// incrementally; per-cycle cost scales with activity.
+    #[default]
+    ActiveSet,
+    /// Full scan of every router, slot and channel each cycle — the
+    /// original kernel, kept as the equivalence oracle.
+    Reference,
+}
+
+/// Active-set scheduling state: which resources may have work this cycle.
+/// Entries are inserted eagerly by producers and removed lazily by the
+/// consuming phase when it finds them idle.
+struct SchedSets {
+    /// Routers with occupied FLOV latches (`latch_phase` candidates).
+    latch: ActiveSet,
+    /// Routers with buffered flits (`pipeline_phase` candidates).
+    work: ActiveSet,
+    /// Nodes whose NIC has queued or mid-serialization traffic.
+    inject: ActiveSet,
+    /// Inter-router channels with in-flight flits or credits.
+    chan: ActiveSet,
+    /// Ejection channels with in-flight flits.
+    eject: ActiveSet,
+    /// Scratch index buffer reused by phase iterations.
+    scratch: Vec<u32>,
+}
+
+impl SchedSets {
+    fn new(nodes: usize) -> SchedSets {
+        SchedSets {
+            latch: ActiveSet::new(nodes),
+            work: ActiveSet::new(nodes),
+            inject: ActiveSet::new(nodes),
+            chan: ActiveSet::new(nodes * 4),
+            eject: ActiveSet::new(nodes),
+            scratch: Vec::new(),
+        }
+    }
+}
 
 /// The network state, without the mechanism/workload policies.
 pub struct NetworkCore {
@@ -46,16 +103,23 @@ pub struct NetworkCore {
     wake_flag: Vec<bool>,
     wake_list: Vec<NodeId>,
     pub activity: ActivityCounters,
-    pub residency: Vec<Residency>,
+    /// Per-router powered/gated cycle tallies, accumulated lazily: each
+    /// entry is settled up to `res_since` and folded forward when the
+    /// router crosses the powered/gated boundary (or on read, via
+    /// [`NetworkCore::residency`]).
+    residency: Vec<Residency>,
+    /// Cycle up to which `residency[i]` has been accumulated.
+    res_since: Vec<Cycle>,
     pub stats: NetStats,
     next_packet: PacketId,
     /// Packets injected (head entered the network or NIC queue) minus
     /// packets delivered.
     pub in_flight_packets: u64,
     last_progress: Cycle,
-    /// Cycles in which at least one node wanted to inject but was stalled by
-    /// the mechanism (Router Parking reconfiguration accounting).
-    pub stalled_injection_cycles: u64,
+    /// Node-cycles in which a node wanted to inject but was stalled by the
+    /// mechanism's injection gate: each stalled node counts once per cycle
+    /// (Router Parking reconfiguration accounting).
+    pub stalled_injection_node_cycles: u64,
     /// Packets diverted into the escape sub-network by the timeout.
     pub escape_diversions: u64,
     /// Flit count per directed channel (`node * 4 + dir`), for hotspot
@@ -76,6 +140,11 @@ pub struct NetworkCore {
     ring_stage: Vec<Vec<(crate::types::PacketId, Vec<Flit>)>>,
     ring_out: Vec<RingDelivery>,
     gen_buf: Vec<PacketRequest>,
+    /// Scheduling strategy for the hot phase loops; see [`KernelMode`].
+    pub kernel: KernelMode,
+    sched: SchedSets,
+    /// Scratch: occupied VA slots in rotated scan order (see `va_stage`).
+    va_order: Vec<u16>,
 }
 
 impl NetworkCore {
@@ -93,11 +162,12 @@ impl NetworkCore {
             wake_list: Vec::new(),
             activity: ActivityCounters::default(),
             residency: vec![Residency::default(); n],
+            res_since: vec![0; n],
             stats: NetStats::new(measure_from, cfg.pipeline_stages, cfg.link_latency),
             next_packet: 0,
             in_flight_packets: 0,
             last_progress: 0,
-            stalled_injection_cycles: 0,
+            stalled_injection_node_cycles: 0,
             escape_diversions: 0,
             link_util: vec![0; n * 4],
             ring: if cfg.enable_ring {
@@ -113,9 +183,56 @@ impl NetworkCore {
             ring_stage: vec![Vec::new(); n],
             ring_out: Vec::new(),
             gen_buf: Vec::new(),
+            kernel: KernelMode::default(),
+            sched: SchedSets::new(n),
+            va_order: Vec::new(),
             cycle: 0,
             cfg,
         }
+    }
+
+    // --- Active-set marking -------------------------------------------------
+    //
+    // The invariant behind the active-set kernel: any state change that can
+    // make a resource schedulable must re-mark it. Marks are idempotent bit
+    // ORs, maintained in *both* kernel modes (so modes can be switched
+    // mid-run); the consuming phases remove entries lazily when they find
+    // them idle. The producers:
+    //
+    // * `work` (router has buffered flits): flit delivery into a buffer,
+    //   NIC injection, ring-to-mesh transfer, credit refunds (defensive; a
+    //   router waiting on credits already has occupancy > 0), and wakeup
+    //   completion (defensive).
+    // * `latch` (router has occupied FLOV latches): flit delivery into a
+    //   latch of a gated router.
+    // * `inject` (NIC backlog): packet submission; entries persist across
+    //   gated periods until the backlog drains.
+    // * `chan`/`eject` (in-flight traffic): every `send_flit`/`send_credit`
+    //   on the corresponding channel.
+
+    #[inline]
+    pub(crate) fn mark_work(&mut self, node: NodeId) {
+        self.sched.work.insert(node as usize);
+    }
+
+    #[inline]
+    fn mark_latch(&mut self, node: NodeId) {
+        self.sched.latch.insert(node as usize);
+    }
+
+    #[inline]
+    fn mark_inject(&mut self, node: NodeId) {
+        self.sched.inject.insert(node as usize);
+    }
+
+    #[inline]
+    pub(crate) fn mark_chan(&mut self, e: usize) {
+        self.sched.chan.insert(e);
+    }
+
+    #[inline]
+    pub(crate) fn mark_eject(&mut self, node: NodeId) {
+        self.sched.eject.insert(node as usize);
     }
 
     /// Mesh radix.
@@ -223,6 +340,7 @@ impl NetworkCore {
         self.nics[req.src as usize].enqueue(pkt);
         self.routers[req.src as usize].touch_local(self.cycle);
         self.in_flight_packets += 1;
+        self.mark_inject(req.src);
         id
     }
 
@@ -288,80 +406,162 @@ impl NetworkCore {
 
     /// Phase 2: power-gated routers move latched flits onward.
     fn latch_phase(&mut self) {
+        match self.kernel {
+            KernelMode::Reference => {
+                for i in 0..self.routers.len() {
+                    if !self.routers[i].power.is_flov() {
+                        debug_assert!(self.routers[i].latches_empty());
+                        continue;
+                    }
+                    self.latch_router(i);
+                }
+            }
+            KernelMode::ActiveSet => {
+                let mut scratch = std::mem::take(&mut self.sched.scratch);
+                self.sched.latch.collect_into(&mut scratch);
+                for &i in &scratch {
+                    let i = i as usize;
+                    // A marked router may have woken since (wakeup requires
+                    // empty latches) — then this is just the lazy removal.
+                    if self.routers[i].latches_empty() {
+                        self.sched.latch.remove(i);
+                        continue;
+                    }
+                    self.latch_router(i);
+                    if self.routers[i].latches_empty() {
+                        self.sched.latch.remove(i);
+                    }
+                }
+                self.sched.scratch = scratch;
+            }
+        }
+    }
+
+    /// Forward every forwardable latched flit of router `i` (latch-phase
+    /// body shared by both kernels).
+    fn latch_router(&mut self, i: usize) {
         let now = self.cycle;
         let link_lat = self.cfg.link_latency as u64;
-        for i in 0..self.routers.len() {
-            if !self.routers[i].power.is_flov() {
-                debug_assert!(self.routers[i].latches_empty());
-                continue;
+        for d in Dir::ALL {
+            let Some((t0, flit)) = self.routers[i].latches[d.index()] else { continue };
+            if t0 >= now {
+                continue; // latched this cycle; hold for one cycle
             }
-            for d in Dir::ALL {
-                let Some((t0, flit)) = self.routers[i].latches[d.index()] else { continue };
-                if t0 >= now {
-                    continue; // latched this cycle; hold for one cycle
-                }
-                let next = self
-                    .neighbor(i as NodeId, d)
-                    .expect("FLOV latch forwarding would leave the mesh");
-                let mut f = flit;
-                f.hops_link += 1;
-                self.activity.link_flits += 1;
-                let e = self.edge(i as NodeId, d);
-                self.link_util[e] += 1;
-                self.channels[e].send_flit(now + link_lat, f);
-                self.routers[i].latches[d.index()] = None;
-                self.note_progress();
-                let _ = next;
-            }
+            assert!(
+                self.neighbor(i as NodeId, d).is_some(),
+                "FLOV latch forwarding would leave the mesh"
+            );
+            let mut f = flit;
+            f.hops_link += 1;
+            self.activity.link_flits += 1;
+            let e = self.edge(i as NodeId, d);
+            self.link_util[e] += 1;
+            self.channels[e].send_flit(now + link_lat, f);
+            self.mark_chan(e);
+            self.routers[i].latches[d.index()] = None;
+            self.note_progress();
         }
     }
 
     /// Phase 3: deliver arrived flits and credits.
     fn delivery_phase(&mut self) {
-        let now = self.cycle;
-        // Inter-router channels.
-        for e in 0..self.channels.len() {
-            let node = (e / 4) as NodeId;
-            let d = Dir::from_index(e % 4);
-            let Some(target) = self.neighbor(node, d) else {
-                debug_assert!(self.channels[e].is_idle(), "traffic on an edge channel");
-                continue;
-            };
-            // Flits.
-            while let Some(flit) = self.channels[e].recv_flit(now) {
-                self.deliver_flit(target, d, flit);
+        match self.kernel {
+            KernelMode::Reference => {
+                for e in 0..self.channels.len() {
+                    let node = (e / 4) as NodeId;
+                    let d = Dir::from_index(e % 4);
+                    let Some(target) = self.neighbor(node, d) else {
+                        debug_assert!(self.channels[e].is_idle(), "traffic on an edge channel");
+                        continue;
+                    };
+                    self.deliver_channel(e, d, target);
+                }
+                for n in 0..self.eject.len() {
+                    self.deliver_eject(n);
+                }
             }
-            // Credits: travel in direction `d`; at a powered router they
-            // refund the output facing back along `opposite(d)`.
-            while let Some(c) = self.channels[e].recv_credit(now) {
-                self.deliver_credit(target, d, c);
+            KernelMode::ActiveSet => {
+                let now = self.cycle;
+                let mut scratch = std::mem::take(&mut self.sched.scratch);
+                self.sched.chan.collect_into(&mut scratch);
+                for &e in &scratch {
+                    let e = e as usize;
+                    match self.channels[e].earliest_arrival() {
+                        None => {
+                            self.sched.chan.remove(e);
+                            continue;
+                        }
+                        // Everything in flight is still on the wire.
+                        Some(a) if a > now => continue,
+                        Some(_) => {}
+                    }
+                    let node = (e / 4) as NodeId;
+                    let d = Dir::from_index(e % 4);
+                    // Edge channels are never sent on, hence never marked.
+                    let target = self.neighbor(node, d).expect("active channel on a mesh edge");
+                    self.deliver_channel(e, d, target);
+                    if self.channels[e].is_idle() {
+                        self.sched.chan.remove(e);
+                    }
+                }
+                self.sched.eject.collect_into(&mut scratch);
+                for &n in &scratch {
+                    let n = n as usize;
+                    if self.eject[n].is_idle() {
+                        self.sched.eject.remove(n);
+                        continue;
+                    }
+                    self.deliver_eject(n);
+                    if self.eject[n].is_idle() {
+                        self.sched.eject.remove(n);
+                    }
+                }
+                self.sched.scratch = scratch;
             }
         }
-        // Ejection channels.
-        for n in 0..self.eject.len() {
-            while let Some(flit) = self.eject[n].recv_flit(now) {
-                if flit.dst != n as NodeId {
-                    // Mesh-to-ring transfer at a proxy node: the routing
-                    // function ejected the flit here so it can ride the
-                    // bypass ring the rest of the way (NoRD only).
-                    assert!(
-                        self.ring.is_some(),
-                        "flit misdelivered: dst {} ejected at {n} without a ring",
-                        flit.dst
-                    );
-                    let exit = flit.dst;
-                    self.ring_ingress(n as NodeId, flit, exit);
-                    continue;
-                }
-                self.activity.flits_delivered += 1;
-                self.routers[n].touch_local(now);
-                if let Some(done) = self.nics[n].receive(flit, now, n as NodeId) {
-                    self.activity.packets_delivered += 1;
-                    self.in_flight_packets -= 1;
-                    self.stats.record(&done);
-                }
-                self.note_progress();
+    }
+
+    /// Deliver everything that has arrived on inter-router channel `e`
+    /// (delivery-phase body shared by both kernels).
+    fn deliver_channel(&mut self, e: usize, d: Dir, target: NodeId) {
+        let now = self.cycle;
+        // Flits.
+        while let Some(flit) = self.channels[e].recv_flit(now) {
+            self.deliver_flit(target, d, flit);
+        }
+        // Credits: travel in direction `d`; at a powered router they
+        // refund the output facing back along `opposite(d)`.
+        while let Some(c) = self.channels[e].recv_credit(now) {
+            self.deliver_credit(target, d, c);
+        }
+    }
+
+    /// Deliver everything that has arrived on ejection channel `n`
+    /// (delivery-phase body shared by both kernels).
+    fn deliver_eject(&mut self, n: usize) {
+        let now = self.cycle;
+        while let Some(flit) = self.eject[n].recv_flit(now) {
+            if flit.dst != n as NodeId {
+                // Mesh-to-ring transfer at a proxy node: the routing
+                // function ejected the flit here so it can ride the
+                // bypass ring the rest of the way (NoRD only).
+                assert!(
+                    self.ring.is_some(),
+                    "flit misdelivered: dst {} ejected at {n} without a ring",
+                    flit.dst
+                );
+                let exit = flit.dst;
+                self.ring_ingress(n as NodeId, flit, exit);
+                continue;
             }
+            self.activity.flits_delivered += 1;
+            self.routers[n].touch_local(now);
+            if let Some(done) = self.nics[n].receive(flit, now, n as NodeId) {
+                self.activity.packets_delivered += 1;
+                self.in_flight_packets -= 1;
+                self.stats.record(&done);
+            }
+            self.note_progress();
         }
     }
 
@@ -381,17 +581,14 @@ impl NetworkCore {
             f.hops_flov += 1;
             *slot = Some((now, f));
             self.activity.flov_latch_flits += 1;
+            self.mark_latch(target);
         } else {
             let in_port = crate::types::Port::from_dir(travel.opposite());
             let vc_flat = self.cfg.vc_index(flit.vnet as usize, flit.vc as usize);
             let slot = r.slot(in_port.index(), vc_flat);
-            let was_empty = r.inputs[slot].buf.is_empty();
-            r.inputs[slot].buf.push(flit);
-            if was_empty && flit.kind.is_head() {
-                r.inputs[slot].head_since = now;
-            }
-            r.port_occupancy[in_port.index()] += 1;
+            r.push_flit(in_port.index(), slot, flit, now);
             self.activity.buffer_writes += 1;
+            self.mark_work(target);
         }
         self.note_progress();
     }
@@ -405,6 +602,7 @@ impl NetworkCore {
                 self.activity.credit_relays += 1;
                 let e = self.edge(target, travel);
                 self.channels[e].send_credit(now + 1, c);
+                self.mark_chan(e);
             }
             // At a mesh edge the credit has no consumer left; drop it.
         } else {
@@ -422,6 +620,11 @@ impl NetworkCore {
                 r.power,
             );
             r.out_credits[slot].refund();
+            // A refund can unblock SA at `target`. Defensive: the flit
+            // waiting on this credit is buffered at `target`, so the router
+            // is already in the work set — re-mark anyway per the marking
+            // invariant.
+            self.mark_work(target);
         }
     }
 
@@ -528,15 +731,11 @@ impl NetworkCore {
                     if r.inputs[slot].buf.free() > 0 {
                         let mut f = self.ring_transfer[node as usize].pop_front().unwrap();
                         f.vc = vc;
-                        let was_empty = r.inputs[slot].buf.is_empty();
-                        r.inputs[slot].buf.push(f);
-                        if was_empty && f.kind.is_head() {
-                            r.inputs[slot].head_since = now;
-                        }
-                        r.port_occupancy[crate::types::Port::Local.index()] += 1;
+                        r.push_flit(crate::types::Port::Local.index(), slot, f, now);
                         self.activity.buffer_writes += 1;
                         self.transfer_open[node as usize] =
                             if f.kind.is_tail() { None } else { Some(f.packet) };
+                        self.mark_work(node);
                         self.note_progress();
                     }
                 }
@@ -566,15 +765,44 @@ impl NetworkCore {
         }
     }
 
-    /// Phase 7 bookkeeping: residency and the deadlock watchdog.
-    fn accounting_phase(&mut self) {
-        for (i, r) in self.routers.iter().enumerate() {
-            if r.power.is_powered() {
-                self.residency[i].powered += 1;
+    /// Fold the open residency interval of router `i` — `[res_since,
+    /// cycle)` — into the tally under the router's *current* powered/gated
+    /// condition.
+    ///
+    /// Called before a transition flips the router across the
+    /// powered/gated boundary (`enter_sleep`, `complete_wakeup`): those
+    /// happen in phase 4 of cycle `c`, and the per-cycle accounting this
+    /// replaces tallied cycle `c` in phase 7, i.e. under the
+    /// *post*-transition condition — so the pre-flip settle covers cycles
+    /// up to but excluding `c`. The condition is constant over the open
+    /// interval exactly because these two transitions are the only
+    /// boundary crossings.
+    pub(crate) fn settle_residency(&mut self, i: usize) {
+        let dt = self.cycle - self.res_since[i];
+        if dt > 0 {
+            if self.routers[i].power.is_powered() {
+                self.residency[i].powered += dt;
             } else {
-                self.residency[i].gated += 1;
+                self.residency[i].gated += dt;
             }
+            self.res_since[i] = self.cycle;
         }
+    }
+
+    /// Per-router powered/gated cycle tallies, settled up to the last
+    /// completed cycle. Each router's total equals the cycles stepped so
+    /// far. (Intended to be read between steps, as the harness does; the
+    /// open interval is attributed to each router's current condition.)
+    pub fn residency(&mut self) -> &[Residency] {
+        for i in 0..self.routers.len() {
+            self.settle_residency(i);
+        }
+        &self.residency
+    }
+
+    /// Phase 7 bookkeeping: the deadlock watchdog (residency accumulates
+    /// lazily at power transitions; see [`NetworkCore::settle_residency`]).
+    fn accounting_phase(&mut self) {
         if self.cfg.watchdog_cycles > 0
             && self.in_flight_packets > 0
             && self.cycle - self.last_progress > self.cfg.watchdog_cycles

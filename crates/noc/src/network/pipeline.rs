@@ -7,7 +7,7 @@
 //! and the unloaded per-hop latency is `pipeline_stages + link_latency`.
 //! Body flits stream behind the head at one flit per cycle per VC.
 
-use super::NetworkCore;
+use super::{KernelMode, NetworkCore};
 use crate::link::CreditMsg;
 use crate::nic::InjectState;
 use crate::router::VcOwner;
@@ -37,93 +37,138 @@ pub fn build_route_ctx(
 /// local input port, subject to the mechanism's injection gate (Router
 /// Parking stalls injection during reconfiguration).
 pub(super) fn injection_phase(core: &mut NetworkCore, mech: &dyn PowerMechanism) {
-    let now = core.cycle;
-    let vnets = core.cfg.vnets;
-    for node in 0..core.nodes() as NodeId {
-        if !core.nics[node as usize].pending() {
-            continue;
-        }
-        if !core.routers[node as usize].power.is_powered() {
-            continue; // router gated; the mechanism is responsible for waking it
-        }
-        // The injection gate (Router Parking's reconfiguration stall) blocks
-        // *starting* packets; committed serializations must finish so the
-        // network can drain.
-        let gate_open = mech.injection_allowed(core, node);
-        if !gate_open && core.nics[node as usize].in_progress.iter().all(|p| p.is_none()) {
-            core.stalled_injection_cycles += 1;
-            continue;
-        }
-        let rr0 = core.nics[node as usize].vnet_rr;
-        for i in 0..vnets {
-            let vn = (rr0 + i) % vnets;
-            // Start a new serialization if this vnet is between packets.
-            if core.nics[node as usize].in_progress[vn].is_none() {
-                if !gate_open || core.nics[node as usize].queues[vn].is_empty() {
+    match core.kernel {
+        KernelMode::Reference => {
+            for node in 0..core.nodes() as NodeId {
+                if !core.nics[node as usize].pending() {
                     continue;
                 }
-                let reg = core.cfg.regular_vcs;
-                let mut chosen = None;
-                for j in 0..reg {
-                    let vc = (now as usize + j) % reg;
-                    let flat = core.cfg.vc_index(vn, vc);
-                    let r = &core.routers[node as usize];
-                    if r.inputs[r.slot(Port::Local.index(), flat)].buf.free() > 0 {
-                        chosen = Some(vc);
-                        break;
-                    }
+                inject_node(core, mech, node);
+            }
+        }
+        KernelMode::ActiveSet => {
+            let mut scratch = std::mem::take(&mut core.sched.scratch);
+            core.sched.inject.collect_into(&mut scratch);
+            for &node in &scratch {
+                if !core.nics[node as usize].pending() {
+                    core.sched.inject.remove(node as usize);
+                    continue;
                 }
-                let Some(vc) = chosen else { continue };
-                let pkt = core.nics[node as usize].queues[vn].pop_front().unwrap();
-                core.nics[node as usize].in_progress[vn] =
-                    Some(InjectState { pkt, next: 0, vc: vc as u8 });
+                // Gated nodes with backlog stay marked: the mechanism will
+                // wake the router eventually and injection resumes here.
+                inject_node(core, mech, node as NodeId);
             }
-            // Push the next flit of the in-progress packet if there is room.
-            let st = core.nics[node as usize].in_progress[vn].unwrap();
-            let flat = core.cfg.vc_index(vn, st.vc as usize);
-            let slot = {
-                let r = &core.routers[node as usize];
-                r.slot(Port::Local.index(), flat)
-            };
-            if core.routers[node as usize].inputs[slot].buf.free() == 0 {
-                continue;
-            }
-            let mut f = st.pkt.flit(st.next, now);
-            f.vc = st.vc;
-            let r = &mut core.routers[node as usize];
-            let was_empty = r.inputs[slot].buf.is_empty();
-            r.inputs[slot].buf.push(f);
-            if was_empty && f.kind.is_head() {
-                r.inputs[slot].head_since = now;
-            }
-            r.port_occupancy[Port::Local.index()] += 1;
-            r.touch_local(now);
-            core.activity.buffer_writes += 1;
-            core.activity.flits_injected += 1;
-            if st.next == 0 {
-                core.activity.packets_injected += 1;
-            }
-            let nic = &mut core.nics[node as usize];
-            if st.next + 1 == st.pkt.len {
-                nic.in_progress[vn] = None;
-            } else {
-                nic.in_progress[vn] = Some(InjectState { next: st.next + 1, ..st });
-            }
-            nic.vnet_rr = (vn + 1) % vnets;
-            core.note_progress();
-            break; // one flit per node per cycle
+            core.sched.scratch = scratch;
         }
     }
 }
 
-/// Phase 6: VA then SA/ST for every powered router, in id order.
-pub(super) fn pipeline_phase(core: &mut NetworkCore, mech: &dyn PowerMechanism) {
-    for node in 0..core.nodes() as NodeId {
-        if !core.routers[node as usize].power.is_powered() {
+/// Injection-phase body for one node with NIC backlog (shared by both
+/// kernels).
+fn inject_node(core: &mut NetworkCore, mech: &dyn PowerMechanism, node: NodeId) {
+    let now = core.cycle;
+    let vnets = core.cfg.vnets;
+    if !core.routers[node as usize].power.is_powered() {
+        return; // router gated; the mechanism is responsible for waking it
+    }
+    // The injection gate (Router Parking's reconfiguration stall) blocks
+    // *starting* packets; committed serializations must finish so the
+    // network can drain.
+    let gate_open = mech.injection_allowed(core, node);
+    if !gate_open && core.nics[node as usize].in_progress.iter().all(|p| p.is_none()) {
+        core.stalled_injection_node_cycles += 1;
+        return;
+    }
+    let rr0 = core.nics[node as usize].vnet_rr;
+    for i in 0..vnets {
+        let vn = (rr0 + i) % vnets;
+        // Start a new serialization if this vnet is between packets.
+        if core.nics[node as usize].in_progress[vn].is_none() {
+            if !gate_open || core.nics[node as usize].queues[vn].is_empty() {
+                continue;
+            }
+            let reg = core.cfg.regular_vcs;
+            let mut chosen = None;
+            for j in 0..reg {
+                let vc = (now as usize + j) % reg;
+                let flat = core.cfg.vc_index(vn, vc);
+                let r = &core.routers[node as usize];
+                if r.inputs[r.slot(Port::Local.index(), flat)].buf.free() > 0 {
+                    chosen = Some(vc);
+                    break;
+                }
+            }
+            let Some(vc) = chosen else { continue };
+            let pkt = core.nics[node as usize].queues[vn].pop_front().unwrap();
+            core.nics[node as usize].in_progress[vn] =
+                Some(InjectState { pkt, next: 0, vc: vc as u8 });
+        }
+        // Push the next flit of the in-progress packet if there is room.
+        let st = core.nics[node as usize].in_progress[vn].unwrap();
+        let flat = core.cfg.vc_index(vn, st.vc as usize);
+        let slot = {
+            let r = &core.routers[node as usize];
+            r.slot(Port::Local.index(), flat)
+        };
+        if core.routers[node as usize].inputs[slot].buf.free() == 0 {
             continue;
         }
-        va_stage(core, mech, node);
-        sa_stage(core, node);
+        let mut f = st.pkt.flit(st.next, now);
+        f.vc = st.vc;
+        let r = &mut core.routers[node as usize];
+        r.push_flit(Port::Local.index(), slot, f, now);
+        r.touch_local(now);
+        core.activity.buffer_writes += 1;
+        core.activity.flits_injected += 1;
+        if st.next == 0 {
+            core.activity.packets_injected += 1;
+        }
+        let nic = &mut core.nics[node as usize];
+        if st.next + 1 == st.pkt.len {
+            nic.in_progress[vn] = None;
+        } else {
+            nic.in_progress[vn] = Some(InjectState { next: st.next + 1, ..st });
+        }
+        nic.vnet_rr = (vn + 1) % vnets;
+        core.mark_work(node);
+        core.note_progress();
+        break; // one flit per node per cycle
+    }
+}
+
+/// Phase 6: VA then SA/ST for every powered router with buffered flits, in
+/// id order. The reference kernel scans all routers; the active-set kernel
+/// visits the work set (routers with `buffered_flits() > 0`), which is
+/// equivalent because an empty router's VA and SA stages have no side
+/// effects (every slot is skipped before any arbiter advances).
+pub(super) fn pipeline_phase(core: &mut NetworkCore, mech: &dyn PowerMechanism) {
+    match core.kernel {
+        KernelMode::Reference => {
+            for node in 0..core.nodes() as NodeId {
+                if !core.routers[node as usize].power.is_powered() {
+                    continue;
+                }
+                va_stage(core, mech, node);
+                sa_stage(core, node);
+            }
+        }
+        KernelMode::ActiveSet => {
+            let mut scratch = std::mem::take(&mut core.sched.scratch);
+            core.sched.work.collect_into(&mut scratch);
+            for &node in &scratch {
+                let i = node as usize;
+                if core.routers[i].buffered_flits() == 0 {
+                    core.sched.work.remove(i);
+                    continue;
+                }
+                // Buffered flits imply a powered router: `enter_sleep`
+                // asserts the buffers are drained.
+                debug_assert!(core.routers[i].power.is_powered());
+                va_stage(core, mech, node as NodeId);
+                sa_stage(core, node as NodeId);
+            }
+            core.sched.scratch = scratch;
+        }
     }
 }
 
@@ -136,12 +181,28 @@ fn va_stage(core: &mut NetworkCore, mech: &dyn PowerMechanism, node: NodeId) {
     let total_vcs = core.cfg.total_vcs();
     let nslots = NUM_PORTS * total_vcs;
     let start = (now as usize).wrapping_mul(7) % nslots;
-    for off in 0..nslots {
-        let s = (start + off) % nslots;
-        let port = s / total_vcs;
-        if core.routers[node as usize].port_occupancy[port] == 0 {
-            continue;
+    // Collect the *occupied* slots in the rotated flat-slot scan order from
+    // the per-port bitmasks. Equivalent to scanning all slots circularly
+    // from `start`: a slot with an empty buffer exits the body before any
+    // side effect (either `alloc` is set and body flits are still upstream,
+    // or there is no front flit), and buffers don't change during VA.
+    let mut order = std::mem::take(&mut core.va_order);
+    order.clear();
+    {
+        let r = &core.routers[node as usize];
+        let sp = start / total_vcs;
+        let sv = start % total_vcs;
+        let low = (1u64 << sv) - 1; // VCs before the rotated origin
+        push_busy(&mut order, sp, r.vc_busy[sp] & !low, total_vcs);
+        for off in 1..NUM_PORTS {
+            let p = (sp + off) % NUM_PORTS;
+            push_busy(&mut order, p, r.vc_busy[p], total_vcs);
         }
+        push_busy(&mut order, sp, r.vc_busy[sp] & low, total_vcs);
+    }
+    for &s in &order {
+        let s = s as usize;
+        let port = s / total_vcs;
         let (dst, vnet, mut escape, head_since);
         {
             let invc = &core.routers[node as usize].inputs[s];
@@ -212,6 +273,19 @@ fn va_stage(core: &mut NetworkCore, mech: &dyn PowerMechanism, node: NodeId) {
         }
         try_grant(core, node, s, port, out.index(), vnet, cand_range.0, cand_range.1);
     }
+    core.va_order = order;
+}
+
+/// Append the slot indices of the set bits of `mask` (port `p`'s occupied
+/// VCs) in ascending VC order.
+#[inline]
+fn push_busy(order: &mut Vec<u16>, p: usize, mask: u64, total_vcs: usize) {
+    let mut m = mask;
+    while m != 0 {
+        let v = m.trailing_zeros() as usize;
+        order.push((p * total_vcs + v) as u16);
+        m &= m - 1;
+    }
 }
 
 /// Claim a free downstream VC among `[first, first + count)` of `vnet` on
@@ -260,11 +334,16 @@ fn sa_stage(core: &mut NetworkCore, node: NodeId) {
         let mut mask: u64 = 0;
         {
             let r = &core.routers[node as usize];
-            for v in 0..total_vcs {
+            // Only occupied VCs can bid (an empty VC has no front flit);
+            // candidate masks are order-independent, so plain bit order.
+            let mut busy = r.vc_busy[p];
+            while busy != 0 {
+                let v = busy.trailing_zeros() as usize;
+                busy &= busy - 1;
                 let s = p * total_vcs + v;
                 let invc = &r.inputs[s];
                 let Some((op, ovc)) = invc.alloc else { continue };
-                let Some(f) = invc.buf.front() else { continue };
+                let f = invc.buf.front().expect("vc_busy bit set on an empty VC");
                 if f.kind.is_head() && now < invc.head_since + 1 {
                     continue;
                 }
@@ -307,12 +386,7 @@ fn sa_stage(core: &mut NetworkCore, node: NodeId) {
 fn st_traverse(core: &mut NetworkCore, node: NodeId, in_port: usize, s: usize, op: usize, ovc: u8) {
     let now = core.cycle;
     let link_lat = core.cfg.link_latency as u64;
-    let mut f = {
-        let r = &mut core.routers[node as usize];
-        let f = r.inputs[s].buf.pop().unwrap();
-        r.port_occupancy[in_port] -= 1;
-        f
-    };
+    let mut f = core.routers[node as usize].pop_flit(in_port, s);
     core.activity.buffer_reads += 1;
     core.activity.xbar_traversals += 1;
     core.activity.sa_grants += 1;
@@ -328,6 +402,7 @@ fn st_traverse(core: &mut NetworkCore, node: NodeId, in_port: usize, s: usize, o
     let is_tail = f.kind.is_tail();
     if op == Port::Local.index() {
         core.eject[node as usize].send_flit(arrival, f);
+        core.mark_eject(node);
     } else {
         let d = Port::from_index(op).dir().unwrap();
         let flat = core.cfg.vc_index(vnet, ovc as usize);
@@ -336,8 +411,10 @@ fn st_traverse(core: &mut NetworkCore, node: NodeId, in_port: usize, s: usize, o
             let oslot = r.slot(op, flat);
             r.out_credits[oslot].consume();
         }
-        core.link_util[node as usize * 4 + d.index()] += 1;
+        let e = node as usize * 4 + d.index();
+        core.link_util[e] += 1;
         core.channel_mut(node, d).send_flit(arrival, f);
+        core.mark_chan(e);
     }
     // Credit for the freed input slot flows back upstream (not for the
     // local port: the NIC observes buffer space directly).
@@ -347,6 +424,7 @@ fn st_traverse(core: &mut NetworkCore, node: NodeId, in_port: usize, s: usize, o
             let (vn, vc) = core.cfg.vc_split(s % core.cfg.total_vcs());
             core.channel_mut(node, d_up)
                 .send_credit(now + 3, CreditMsg { vnet: vn as u8, vc: vc as u8 });
+            core.mark_chan(node as usize * 4 + d_up.index());
             core.activity.credit_msgs += 1;
         }
     }

@@ -41,6 +41,8 @@ impl NetworkCore {
             assert!(r.latches_empty(), "enter_sleep with occupied latches at {node}");
         }
         assert!(self.fully_quiescent(node), "enter_sleep without quiescence at {node}");
+        // Crossing the powered->gated boundary: settle residency first.
+        self.settle_residency(node as usize);
         self.routers[node as usize].power = PowerState::Sleep;
         self.activity.gating_events += 1;
         // For each pass-through flow direction, the powered upstream
@@ -105,8 +107,14 @@ impl NetworkCore {
             assert!(r.is_drained(), "woken router has stale buffer state at {node}");
         }
         assert!(self.fully_quiescent(node), "complete_wakeup without quiescence at {node}");
+        // Crossing the gated->powered boundary: settle residency first.
+        self.settle_residency(node as usize);
         self.routers[node as usize].power = PowerState::Active;
         self.activity.gating_events += 1;
+        // Re-mark for the active-set kernel: a newly powered router is
+        // schedulable again (its buffers are drained, so these marks are
+        // cleaned lazily unless work actually arrives).
+        self.mark_work(node);
         for d in Dir::ALL {
             // (a) Upstream side of the flow entering `node` travelling `d`:
             // the powered upstream now has `node` as its logical downstream

@@ -76,6 +76,11 @@ pub struct Router {
     pub va_rr: RoundRobin,
     /// Occupancy fast path: flits buffered per input port.
     pub port_occupancy: [u32; NUM_PORTS],
+    /// Occupancy fast path: bit `v` of `vc_busy[p]` mirrors "the buffer of
+    /// input VC `(p, v)` is non-empty". Maintained by [`Router::push_flit`]
+    /// and [`Router::pop_flit`]; lets the allocators visit only occupied
+    /// slots via `trailing_zeros` instead of scanning every VC.
+    pub vc_busy: [u64; NUM_PORTS],
     /// Last cycle with local-port activity (inject/eject/queued traffic);
     /// drives the idle-detection that precedes draining.
     pub last_local_activity: Cycle,
@@ -86,6 +91,7 @@ impl Router {
     pub fn new(cfg: &NocConfig, id: NodeId) -> Router {
         let coord = Coord::of(id, cfg.k);
         let total_vcs = cfg.total_vcs();
+        assert!(total_vcs <= 64, "per-port VC bitmasks hold at most 64 VCs");
         let n = NUM_PORTS * total_vcs;
         Router {
             id,
@@ -101,6 +107,7 @@ impl Router {
             sa_out: (0..NUM_PORTS).map(|_| RoundRobin::new(NUM_PORTS)).collect(),
             va_rr: RoundRobin::new(NUM_PORTS * total_vcs),
             port_occupancy: [0; NUM_PORTS],
+            vc_busy: [0; NUM_PORTS],
             last_local_activity: 0,
             total_vcs,
         }
@@ -144,6 +151,34 @@ impl Router {
     /// Number of buffered flits across all input ports.
     pub fn buffered_flits(&self) -> u32 {
         self.port_occupancy.iter().sum()
+    }
+
+    /// Buffer a flit into input VC slot `s` of `port`, maintaining the
+    /// occupancy fast paths (`port_occupancy`, `vc_busy`) and starting the
+    /// RC clock when a head flit reaches the buffer front.
+    #[inline]
+    pub fn push_flit(&mut self, port: usize, s: usize, f: Flit, now: Cycle) {
+        let was_empty = self.inputs[s].buf.is_empty();
+        self.inputs[s].buf.push(f);
+        if was_empty {
+            self.vc_busy[port] |= 1 << (s - port * self.total_vcs);
+            if f.kind.is_head() {
+                self.inputs[s].head_since = now;
+            }
+        }
+        self.port_occupancy[port] += 1;
+    }
+
+    /// Pop the front flit of input VC slot `s` of `port`, maintaining the
+    /// occupancy fast paths. Panics if the buffer is empty.
+    #[inline]
+    pub fn pop_flit(&mut self, port: usize, s: usize) -> Flit {
+        let f = self.inputs[s].buf.pop().expect("pop from an empty input VC");
+        self.port_occupancy[port] -= 1;
+        if self.inputs[s].buf.is_empty() {
+            self.vc_busy[port] &= !(1 << (s - port * self.total_vcs));
+        }
+        f
     }
 
     /// Record local-port activity at `now` (idle detector input).
@@ -215,6 +250,26 @@ mod tests {
         assert_eq!(r.local_idle(130), 30);
         assert_eq!(r.local_idle(100), 0);
         assert_eq!(r.local_idle(50), 0); // saturating
+    }
+
+    #[test]
+    fn push_pop_maintain_occupancy_fast_paths() {
+        let c = cfg();
+        let mut r = Router::new(&c, 5);
+        let p = crate::packet::Packet { id: 1, src: 0, dst: 5, vnet: 0, len: 2, birth: 0 };
+        let port = 2;
+        let s = r.slot(port, 3);
+        r.push_flit(port, s, p.flit(0, 10), 10);
+        assert_eq!(r.inputs[s].head_since, 10);
+        r.push_flit(port, s, p.flit(1, 11), 11);
+        assert_eq!(r.inputs[s].head_since, 10, "non-front flit must not reset the RC clock");
+        assert_eq!(r.port_occupancy[port], 2);
+        assert_eq!(r.vc_busy[port], 1 << 3);
+        assert!(r.pop_flit(port, s).kind.is_head());
+        assert_eq!(r.vc_busy[port], 1 << 3, "mask stays set while flits remain");
+        r.pop_flit(port, s);
+        assert_eq!(r.port_occupancy[port], 0);
+        assert_eq!(r.vc_busy[port], 0);
     }
 
     #[test]

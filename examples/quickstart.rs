@@ -43,13 +43,13 @@ fn main() {
         sim.measure_from(warmup);
         sim.run(warmup);
         let act0 = sim.core.activity.clone();
-        let res0 = sim.core.residency.clone();
+        let res0 = sim.core.residency().to_vec();
         sim.run(cycles - warmup);
         let window = sim.core.cycle - warmup;
         sim.drain(50_000); // let in-flight packets finish
 
         let activity = sim.core.activity.delta_since(&act0);
-        let residency = flov_power::residency_delta(&sim.core.residency, &res0);
+        let residency = flov_power::residency_delta(sim.core.residency(), &res0);
         let power = flov_power::compute(
             &PowerParams::dsent_32nm(),
             cfg.k,

@@ -120,27 +120,27 @@ fn tornado_flov_beats_baseline_latency() {
 
 #[test]
 fn gflov_gates_more_routers_than_rflov_under_load() {
-    let g = run_and_check("gFLOV", Pattern::UniformRandom, 0.7);
-    let r = run_and_check("rFLOV", Pattern::UniformRandom, 0.7);
+    let mut g = run_and_check("gFLOV", Pattern::UniformRandom, 0.7);
+    let mut r = run_and_check("rFLOV", Pattern::UniformRandom, 0.7);
     // Compare gated residency over the run.
-    let gated = |s: &Simulation| -> u64 { s.core.residency.iter().map(|r| r.gated).sum() };
+    let gated = |s: &mut Simulation| -> u64 { s.core.residency().iter().map(|r| r.gated).sum() };
     assert!(
-        gated(&g) > gated(&r),
+        gated(&mut g) > gated(&mut r),
         "gFLOV gated-residency {} should exceed rFLOV {}",
-        gated(&g),
-        gated(&r)
+        gated(&mut g),
+        gated(&mut r)
     );
 }
 
 #[test]
 fn zero_gating_makes_all_mechanisms_equivalent_to_baseline_power() {
-    let base = run_and_check("Baseline", Pattern::UniformRandom, 0.0);
+    let mut base = run_and_check("Baseline", Pattern::UniformRandom, 0.0);
     for mech in ["rFLOV", "gFLOV", "RP"] {
-        let m = run_and_check(mech, Pattern::UniformRandom, 0.0);
+        let mut m = run_and_check(mech, Pattern::UniformRandom, 0.0);
         // No router ever gates when every core is active.
         assert_eq!(m.core.activity.gating_events, 0, "{mech} gated with 0% idle");
-        let b: u64 = base.core.residency.iter().map(|r| r.gated).sum();
-        let g: u64 = m.core.residency.iter().map(|r| r.gated).sum();
+        let b: u64 = base.core.residency().iter().map(|r| r.gated).sum();
+        let g: u64 = m.core.residency().iter().map(|r| r.gated).sum();
         assert_eq!(b, 0);
         assert_eq!(g, 0, "{mech} has gated residency at 0% idle");
     }

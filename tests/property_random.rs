@@ -111,13 +111,13 @@ proptest! {
         fraction in 0.0f64..0.8,
         seed in 0u64..100_000,
     ) {
-        let sim = run_case(mech_from(mech_idx), Pattern::UniformRandom, 0.03, fraction, seed);
+        let mut sim = run_case(mech_from(mech_idx), Pattern::UniformRandom, 0.03, fraction, seed);
         let total = sim.core.cycle;
-        for r in &sim.core.residency {
+        for r in sim.core.residency() {
             prop_assert_eq!(r.powered + r.gated, total);
         }
         if mech_from(mech_idx) == "Baseline" {
-            prop_assert!(sim.core.residency.iter().all(|r| r.gated == 0));
+            prop_assert!(sim.core.residency().iter().all(|r| r.gated == 0));
         }
     }
 }
@@ -129,14 +129,14 @@ proptest! {
     /// total powered residency.
     #[test]
     fn more_gating_less_powered_residency(seed in 0u64..50_000) {
-        let lo = run_case("gFLOV", Pattern::UniformRandom, 0.02, 0.2, seed);
-        let hi = run_case("gFLOV", Pattern::UniformRandom, 0.02, 0.7, seed);
-        let powered = |s: &Simulation| -> u64 {
-            s.core.residency.iter().map(|r| r.powered).sum()
+        let mut lo = run_case("gFLOV", Pattern::UniformRandom, 0.02, 0.2, seed);
+        let mut hi = run_case("gFLOV", Pattern::UniformRandom, 0.02, 0.7, seed);
+        let powered = |s: &mut Simulation| -> u64 {
+            s.core.residency().iter().map(|r| r.powered).sum()
         };
         // Normalize per cycle (runs may end at different cycles).
-        let lo_frac = powered(&lo) as f64 / (lo.core.cycle * lo.core.nodes() as u64) as f64;
-        let hi_frac = powered(&hi) as f64 / (hi.core.cycle * hi.core.nodes() as u64) as f64;
+        let lo_frac = powered(&mut lo) as f64 / (lo.core.cycle * lo.core.nodes() as u64) as f64;
+        let hi_frac = powered(&mut hi) as f64 / (hi.core.cycle * hi.core.nodes() as u64) as f64;
         prop_assert!(hi_frac < lo_frac + 0.02,
             "powered fraction rose with gating: {lo_frac} -> {hi_frac}");
     }
