@@ -57,9 +57,9 @@ tools:
   sweep       run a batch of serialized RunSpecs
               --spec FILE.json (one spec or an array); JSON results on stdout
   bench-kernel  time the cycle kernels (active-set vs reference) on 8x8
-              idle/mid-load/saturated traffic; verifies they stay
+              idle/low-load/mid-load/saturated traffic; verifies they stay
               bit-identical; report to stdout and --out (BENCH_kernel.json)
-              [--quick] [--min-cps N] [--out PATH]
+              [--quick] [--min-cps N] [--min-skip FRAC] [--out PATH]
   cache       result-cache maintenance: stats | clear
 
 global flags: [--quick] [--cache-dir DIR] [--no-cache] [--quiet]
@@ -287,8 +287,10 @@ fn main() {
         "bench-kernel" => {
             let min_cps: Option<f64> =
                 flag_value(rest, "--min-cps").map(|v| parse_or_die("--min-cps", &v));
+            let min_skip: Option<f64> =
+                flag_value(rest, "--min-skip").map(|v| parse_or_die("--min-skip", &v));
             let out = flag_value(rest, "--out").unwrap_or_else(|| "BENCH_kernel.json".into());
-            let report = flov_bench::kernel_bench::run_bench(quick, min_cps);
+            let report = flov_bench::kernel_bench::run_bench(quick, min_cps, min_skip);
             let json = serde_json::to_string_pretty(&report).expect("bench report serialization");
             std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| {
                 eprintln!("error: cannot write {out}: {e}");

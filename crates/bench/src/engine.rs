@@ -19,7 +19,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Salt mixed into every cache key. Bump this whenever a simulator or
 /// power-model change alters results, so stale cache entries (same spec,
 /// different behavior) stop matching.
-pub const KERNEL_VERSION: u32 = 1;
+///
+/// v2: the synthetic workload switched from per-cycle Bernoulli draws to
+/// geometric inter-arrival sampling — statistically the same process, but
+/// a different RNG draw sequence, so every v1 result's injection timeline
+/// differs. (The time-domain skip itself is result-neutral and needs no
+/// salt: both kernel modes produce bit-identical results under v2.)
+pub const KERNEL_VERSION: u32 = 2;
 
 /// Cumulative accounting across every batch an engine has run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -131,6 +137,7 @@ impl Engine {
         if specs.is_empty() {
             return Vec::new();
         }
+        let batch_start = std::time::Instant::now();
         let resolved: Vec<RunSpec> = specs.iter().map(|s| s.resolved()).collect();
         let keys: Vec<String> = resolved
             .iter()
@@ -152,16 +159,26 @@ impl Engine {
             assignment.push(slot);
         }
 
-        // Probe the cache; whatever misses gets simulated.
+        // Probe the cache across the thread pool — each probe is a JSON
+        // read+parse, and a large fully-cached batch would otherwise be
+        // single-thread-bound. Collecting per-slot keeps submission-order
+        // results and a deterministic miss list.
         let progress = Progress::new(uniques.len(), self.verbose);
-        let mut slots: Vec<Option<RunResult>> = vec![None; uniques.len()];
-        let mut misses: Vec<usize> = Vec::new();
-        for (slot, &i) in uniques.iter().enumerate() {
-            match self.cache.as_ref().and_then(|c| c.get(&keys[i], self.kernel_version)) {
-                Some(result) => {
-                    slots[slot] = Some(result);
+        let probed: Vec<Option<RunResult>> = uniques
+            .par_iter()
+            .map(|&i| {
+                let hit = self.cache.as_ref().and_then(|c| c.get(&keys[i], self.kernel_version));
+                if hit.is_some() {
                     progress.tick(true);
                 }
+                hit
+            })
+            .collect();
+        let mut slots: Vec<Option<RunResult>> = vec![None; uniques.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        for (slot, hit) in probed.into_iter().enumerate() {
+            match hit {
+                Some(result) => slots[slot] = Some(result),
                 None => misses.push(slot),
             }
         }
@@ -186,6 +203,7 @@ impl Engine {
                 result
             })
             .collect();
+        let sim_cycles: u64 = computed.iter().map(|r| r.runtime_cycles).sum();
         for (&slot, result) in misses.iter().zip(computed) {
             slots[slot] = Some(result);
         }
@@ -196,13 +214,17 @@ impl Engine {
         self.cached.fetch_add(n_cached, Ordering::Relaxed);
         self.simulated.fetch_add(misses.len(), Ordering::Relaxed);
         if self.verbose {
-            // Keep this line's shape stable: CI greps it to assert hit rates.
+            // Keep this line's shape stable: CI greps it to assert hit
+            // rates. New fields go at the end, after the grepped ones.
+            let wall = batch_start.elapsed().as_secs_f64();
             eprintln!(
-                "[flov] engine: {} specs ({} unique): {} cached, {} simulated",
+                "[flov] engine: {} specs ({} unique): {} cached, {} simulated, \
+                 {wall:.1}s wall, {:.0} sim-cycles/sec",
                 specs.len(),
                 uniques.len(),
                 n_cached,
                 misses.len(),
+                if wall > 0.0 { sim_cycles as f64 / wall } else { 0.0 },
             );
         }
 

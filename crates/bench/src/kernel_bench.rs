@@ -20,8 +20,12 @@ use std::time::Instant;
 pub const MECHANISMS: [&str; 5] = ["Baseline", "RP", "rFLOV", "gFLOV", "NoRD"];
 
 /// `(name, injection rate flits/cycle/node, gated core fraction)`.
-pub const LOADS: [(&str, f64, f64); 3] =
-    [("idle", 0.0, 0.5), ("midload", 0.02, 0.3), ("saturated", 0.30, 0.0)];
+///
+/// `lowload` is the time-skip showcase: only ~5% of cores inject, so the
+/// fabric drains between packets and the active kernel jumps the clock
+/// across the quiescent gaps (`cycles_skipped` in the report).
+pub const LOADS: [(&str, f64, f64); 4] =
+    [("idle", 0.0, 0.5), ("lowload", 0.02, 0.95), ("midload", 0.02, 0.3), ("saturated", 0.30, 0.0)];
 
 /// One timed measurement.
 #[derive(Clone, Debug, Serialize)]
@@ -30,6 +34,9 @@ pub struct BenchRow {
     pub load: String,
     pub kernel: String,
     pub cycles: u64,
+    /// Cycles the kernel jumped over without stepping (always 0 for the
+    /// reference kernel, which never jumps).
+    pub cycles_skipped: u64,
     pub seconds: f64,
     pub cycles_per_sec: f64,
     pub flit_events_per_sec: f64,
@@ -89,9 +96,11 @@ fn measure_one(
     sim.core.kernel = kernel;
     sim.run(warmup);
     let act0 = sim.core.activity.clone();
+    let skipped0 = sim.core.cycles_skipped;
     let t0 = Instant::now();
     sim.run(cycles);
     let seconds = t0.elapsed().as_secs_f64();
+    let cycles_skipped = sim.core.cycles_skipped - skipped0;
     let d = sim.core.activity.delta_since(&act0);
     let flit_events = d.buffer_writes
         + d.buffer_reads
@@ -111,6 +120,7 @@ fn measure_one(
             KernelMode::Reference => "reference".to_string(),
         },
         cycles,
+        cycles_skipped,
         seconds,
         cycles_per_sec: cycles as f64 / seconds.max(1e-9),
         flit_events_per_sec: flit_events as f64 / seconds.max(1e-9),
@@ -119,9 +129,11 @@ fn measure_one(
 }
 
 /// Run the full measurement matrix. Panics if any active/reference pair
-/// diverges (the cheap always-on equivalence check) or, when `min_cps` is
-/// set, if any active-kernel row falls below the cycles/sec floor.
-pub fn run_bench(quick: bool, min_cps: Option<f64>) -> BenchReport {
+/// diverges (the cheap always-on equivalence check), or, when `min_cps` is
+/// set, if any active-kernel row falls below the cycles/sec floor, or,
+/// when `min_skip` is set, if any `lowload` active-kernel row skips less
+/// than that fraction of its timed cycles.
+pub fn run_bench(quick: bool, min_cps: Option<f64>, min_skip: Option<f64>) -> BenchReport {
     let warmup = 2_000u64;
     let base = if quick { 20_000u64 } else { 200_000u64 };
     let mut rows = Vec::new();
@@ -140,10 +152,11 @@ pub fn run_bench(quick: bool, min_cps: Option<f64>) -> BenchReport {
             );
             eprintln!(
                 "[flov] bench-kernel {mech:>8} {load:>9}: active {:>12.0} cyc/s, \
-                 reference {:>12.0} cyc/s ({:.2}x)",
+                 reference {:>12.0} cyc/s ({:.2}x), {:.0}% skipped",
                 act.cycles_per_sec,
                 reference.cycles_per_sec,
-                act.cycles_per_sec / reference.cycles_per_sec
+                act.cycles_per_sec / reference.cycles_per_sec,
+                100.0 * act.cycles_skipped as f64 / act.cycles as f64,
             );
             speedups.push(SpeedupRow {
                 mechanism: mech.to_string(),
@@ -164,6 +177,20 @@ pub fn run_bench(quick: bool, min_cps: Option<f64>) -> BenchReport {
                 r.mechanism,
                 r.load,
                 r.cycles_per_sec
+            );
+        }
+    }
+    if let Some(floor) = min_skip {
+        for r in rows.iter().filter(|r| r.kernel == "active" && r.load == "lowload") {
+            let frac = r.cycles_skipped as f64 / r.cycles as f64;
+            assert!(
+                frac >= floor,
+                "time-skip regression: {}/{} active kernel skipped {:.1}% of cycles \
+                 < floor {:.1}%",
+                r.mechanism,
+                r.load,
+                100.0 * frac,
+                100.0 * floor
             );
         }
     }

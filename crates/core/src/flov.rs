@@ -287,6 +287,43 @@ impl PowerMechanism for Flov {
     fn route(&self, _core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
         flov_route(ctx)
     }
+
+    fn next_event(&self, core: &NetworkCore) -> Option<Cycle> {
+        let now = core.cycle;
+        let mut next: Option<Cycle> = None;
+        for n in 0..core.nodes() as NodeId {
+            match core.power(n) {
+                // Mid-handshake FSMs count stable/ramp cycles every step.
+                PowerState::Draining | PowerState::Wakeup => return Some(now),
+                PowerState::Active => {
+                    if core.core_active[n as usize] || self.is_aon(core, n) {
+                        continue;
+                    }
+                    // A permission-blocked drain re-arms only through a
+                    // neighbor transition, and any Draining/Wakeup neighbor
+                    // already pinned the horizon to `now` above; Sleep
+                    // neighbors cannot change without their own event.
+                    if !self.drain_permitted(core, n) {
+                        continue;
+                    }
+                    let t = (core.routers[n as usize].last_local_activity
+                        + self.params.idle_threshold as u64)
+                        .max(self.ctl[n as usize].retry_after)
+                        .max(now);
+                    next = Some(next.map_or(t, |b| b.min(t)));
+                }
+                PowerState::Sleep => {
+                    // Wake triggers (core reactivation, NIC backlog) arrive
+                    // only via stepped events; a sleeper whose core is
+                    // already active is transient — resolve it now.
+                    if core.core_active[n as usize] {
+                        return Some(now);
+                    }
+                }
+            }
+        }
+        next
+    }
 }
 
 #[cfg(test)]

@@ -220,7 +220,47 @@ impl PowerMechanism for Nord {
             // ring rescues — eject here and ride it the rest of the way.
             return Some(Port::Local);
         }
-        Some(Port::from_index(e as usize))
+        let out = Port::from_index(e as usize);
+        if out == ctx.in_port {
+            // Power changes move the proxy and rebuild the up*/down* table
+            // while packets are en route, so the fresh next hop can point
+            // straight back where the flit came from. A mesh U-turn is
+            // forbidden (livelock guard); let the ring rescue instead,
+            // exactly like the NO_ROUTE case.
+            return Some(Port::Local);
+        }
+        Some(out)
+    }
+
+    fn next_event(&self, core: &NetworkCore) -> Option<Cycle> {
+        let now = core.cycle;
+        let mut next: Option<Cycle> = None;
+        for n in 0..core.nodes() as NodeId {
+            match core.power(n) {
+                // Mid-handshake FSMs count stable/ramp cycles every step.
+                PowerState::Draining | PowerState::Wakeup => return Some(now),
+                PowerState::Active => {
+                    if core.core_active[n as usize] {
+                        continue;
+                    }
+                    // The neighbor-draining blocker is covered: a Draining
+                    // neighbor pinned the horizon to `now` above.
+                    let t = (core.routers[n as usize].last_local_activity
+                        + self.idle_threshold as u64)
+                        .max(self.ctl[n as usize].retry_after)
+                        .max(now);
+                    next = Some(next.map_or(t, |b| b.min(t)));
+                }
+                PowerState::Sleep => {
+                    // Wakes only when its core reactivates — a stepped
+                    // workload event; an already-active core is transient.
+                    if core.core_active[n as usize] {
+                        return Some(now);
+                    }
+                }
+            }
+        }
+        next
     }
 }
 

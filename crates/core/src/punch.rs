@@ -243,6 +243,36 @@ impl PowerMechanism for PowerPunch {
             None
         }
     }
+
+    fn next_event(&self, core: &NetworkCore) -> Option<Cycle> {
+        let now = core.cycle;
+        // The punch scan reads NIC queues, which quiescence leaves empty;
+        // only the power FSM self-schedules.
+        let mut next: Option<Cycle> = None;
+        for n in 0..core.nodes() as NodeId {
+            match core.power(n) {
+                PowerState::Draining | PowerState::Wakeup => return Some(now),
+                PowerState::Active => {
+                    if core.core_active[n as usize] {
+                        continue;
+                    }
+                    let c = &self.ctl[n as usize];
+                    let t = (core.routers[n as usize].last_local_activity
+                        + self.idle_threshold as u64)
+                        .max(c.retry_after)
+                        .max(c.punch_hold_until)
+                        .max(now);
+                    next = Some(next.map_or(t, |b| b.min(t)));
+                }
+                PowerState::Sleep => {
+                    if core.core_active[n as usize] {
+                        return Some(now);
+                    }
+                }
+            }
+        }
+        next
+    }
 }
 
 #[cfg(test)]

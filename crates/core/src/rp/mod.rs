@@ -237,6 +237,34 @@ impl PowerMechanism for RouterParking {
     fn injection_allowed(&self, _core: &NetworkCore, _node: NodeId) -> bool {
         matches!(self.phase, Phase::Running)
     }
+
+    fn next_event(&self, core: &NetworkCore) -> Option<Cycle> {
+        let now = core.cycle;
+        // The periodic offered-load probe rewrites FM state (measured load,
+        // probe counters) even across an idle fabric, so it is always an
+        // event; this bounds any RP jump to the probe period.
+        let mut h = self.load_probe_cycle + 1024;
+        match self.phase {
+            Phase::Running => {
+                if core.core_active != self.applied {
+                    return Some(now);
+                }
+                // A pure policy-shift reconfiguration waits out the
+                // cooldown; measured load cannot move before a probe.
+                if self.effective_policy() != self.applied_policy
+                    && core.core_active.iter().any(|&a| !a)
+                {
+                    h = h.min(self.policy_cooldown_until);
+                }
+            }
+            Phase::Stalling { since, .. } => {
+                // Quiescence means the fabric-empty condition already
+                // holds; only the minimum stall window gates the apply.
+                h = h.min(since + self.min_stall);
+            }
+        }
+        Some(h.max(now))
+    }
 }
 
 #[cfg(test)]

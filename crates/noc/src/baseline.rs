@@ -5,7 +5,7 @@
 use crate::network::NetworkCore;
 use crate::routing::{yx_route, RouteCtx};
 use crate::traits::PowerMechanism;
-use crate::types::{NodeId, Port};
+use crate::types::{Cycle, NodeId, Port};
 
 /// Always-on network with YX routing.
 #[derive(Clone, Copy, Debug, Default)]
@@ -24,6 +24,11 @@ impl PowerMechanism for AlwaysOnYx {
 
     fn injection_allowed(&self, _core: &NetworkCore, _node: NodeId) -> bool {
         true
+    }
+
+    fn next_event(&self, _core: &NetworkCore) -> Option<Cycle> {
+        // Stateless: a quiescent fabric stays quiescent until new traffic.
+        None
     }
 }
 

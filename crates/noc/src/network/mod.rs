@@ -47,11 +47,15 @@ use crate::types::{Coord, Cycle, Dir, NodeId, PacketId, PowerState};
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum KernelMode {
     /// Visit only routers, channels and NICs with work, tracked
-    /// incrementally; per-cycle cost scales with activity.
+    /// incrementally; per-cycle cost scales with activity. Additionally
+    /// jumps the clock over fully quiescent windows (the time-domain skip;
+    /// see [`NetworkCore::quiescent`] and the next-event horizons on
+    /// [`crate::traits::PowerMechanism`] / [`crate::traits::Workload`]),
+    /// so total run cost scales with how many cycles are *busy*.
     #[default]
     ActiveSet,
-    /// Full scan of every router, slot and channel each cycle — the
-    /// original kernel, kept as the equivalence oracle.
+    /// Full scan of every router, slot and channel each cycle, never
+    /// skipping — the original kernel, kept as the equivalence oracle.
     Reference,
 }
 
@@ -122,6 +126,10 @@ pub struct NetworkCore {
     pub stalled_injection_node_cycles: u64,
     /// Packets diverted into the escape sub-network by the timeout.
     pub escape_diversions: u64,
+    /// Cycles the clock jumped over while the fabric was quiescent (the
+    /// time-domain skip; only ever non-zero under [`KernelMode::ActiveSet`],
+    /// and never part of results — skipped cycles are provable no-ops).
+    pub cycles_skipped: u64,
     /// Flit count per directed channel (`node * 4 + dir`), for hotspot
     /// analysis (the paper attributes RP's contention to routing hotspots).
     pub link_util: Vec<u64>,
@@ -169,6 +177,7 @@ impl NetworkCore {
             last_progress: 0,
             stalled_injection_node_cycles: 0,
             escape_diversions: 0,
+            cycles_skipped: 0,
             link_util: vec![0; n * 4],
             ring: if cfg.enable_ring {
                 assert!(cfg.k.is_multiple_of(2), "NoRD bypass ring requires an even mesh radix");
@@ -365,6 +374,27 @@ impl NetworkCore {
     /// True if no packet is anywhere between generation and delivery.
     pub fn is_empty(&self) -> bool {
         self.in_flight_packets == 0
+    }
+
+    /// True when a cycle step would move no flit anywhere: every scheduling
+    /// set is empty (no latched, buffered, in-flight or NIC-pending
+    /// traffic), no wakeup requests are queued, and the bypass ring (when
+    /// present) holds no flits. The sets are maintained eagerly and
+    /// cleaned lazily, so right after activity ends this may stay false
+    /// for one cleaning step — which only delays a jump, never corrupts
+    /// one. In-flight ring credits are deliberately *not* checked: their
+    /// delivery is `arrival <= now`, so a jump past the arrival lands the
+    /// same credits at the next real step with identical state.
+    pub fn quiescent(&self) -> bool {
+        self.sched.latch.is_empty()
+            && self.sched.work.is_empty()
+            && self.sched.inject.is_empty()
+            && self.sched.chan.is_empty()
+            && self.sched.eject.is_empty()
+            && self.wake_list.is_empty()
+            && self.ring.as_ref().is_none_or(|r| r.flits_in_ring() == 0)
+            && self.ring_transfer.iter().all(|q| q.is_empty())
+            && self.ring_stage.iter().all(|v| v.is_empty())
     }
 
     /// Flits generated so far: injected plus still queued at the NICs
@@ -873,10 +903,47 @@ impl Simulation {
         core.cycle += 1;
     }
 
+    /// Time-domain skip: under [`KernelMode::ActiveSet`], when the fabric
+    /// is quiescent, jump the clock straight to the earliest cycle at
+    /// which anything can happen — the workload's next injection or gating
+    /// boundary, or the mechanism's next timer expiry — bounded by
+    /// `deadline` (the enclosing run's edge). Every skipped cycle is a
+    /// provable no-op for every subsystem (the horizon contract; see
+    /// DESIGN.md), so counters and statistics come out bit-identical to
+    /// stepping cycle-by-cycle: residency accumulates lazily from
+    /// `res_since`, delivery stats are per-packet events, and the stall /
+    /// watchdog counters need in-flight traffic that quiescence excludes.
+    /// The [`KernelMode::Reference`] oracle never jumps, so the kernel
+    /// equivalence suite proves exactly this property.
+    ///
+    /// Returns true if the clock moved.
+    fn try_jump(&mut self, deadline: Cycle) -> bool {
+        if self.core.kernel != KernelMode::ActiveSet || !self.core.quiescent() {
+            return false;
+        }
+        let now = self.core.cycle;
+        let mut horizon = deadline;
+        if let Some(w) = self.workload.next_event(now) {
+            horizon = horizon.min(w.max(now));
+        }
+        if let Some(m) = self.mech.next_event(&self.core) {
+            horizon = horizon.min(m.max(now));
+        }
+        if horizon <= now {
+            return false;
+        }
+        self.core.cycles_skipped += horizon - now;
+        self.core.cycle = horizon;
+        true
+    }
+
     /// Run for `cycles` cycles.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.step();
+        let deadline = self.core.cycle + cycles;
+        while self.core.cycle < deadline {
+            if !self.try_jump(deadline) {
+                self.step();
+            }
         }
     }
 
@@ -887,7 +954,9 @@ impl Simulation {
             if self.workload.done(self.core.activity.packets_delivered) && self.core.is_empty() {
                 break;
             }
-            self.step();
+            if !self.try_jump(max_cycles) {
+                self.step();
+            }
         }
         self.core.cycle
     }

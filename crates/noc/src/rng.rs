@@ -84,6 +84,30 @@ impl Rng {
         self.f64() < p
     }
 
+    /// Number of failures before the first success of a Bernoulli(`p`)
+    /// process — a geometric sample with support `{0, 1, 2, ...}` and
+    /// `P(X = 0) = p`. Summing `1 + geometric0(p)` reproduces the gap
+    /// distribution of per-cycle `chance(p)` trials exactly, which is what
+    /// lets the synthetic workload precompute each node's next injection
+    /// cycle instead of drawing every cycle. `p` must be in `(0, 1]`.
+    #[inline]
+    pub fn geometric0(&mut self, p: f64) -> u64 {
+        debug_assert!(p > 0.0 && p <= 1.0, "geometric0 needs p in (0, 1], got {p}");
+        if p >= 1.0 {
+            return 0;
+        }
+        // Inversion: floor(ln(U) / ln(1-p)) with U in (0, 1]. f64() returns
+        // [0, 1); map the (2^-53-probable) zero to a resample rather than
+        // ln(0) = -inf. The cast saturates, so tiny p cannot overflow.
+        let u = loop {
+            let u = self.f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        (u.ln() / (1.0 - p).ln()) as u64
+    }
+
     /// Pick a uniformly random element of a non-empty slice.
     #[inline]
     pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
@@ -172,6 +196,22 @@ mod tests {
         for _ in 0..100 {
             assert!(!r.chance(0.0));
             assert!(r.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn geometric0_matches_bernoulli_gap_distribution() {
+        // Mean of geometric0(p) is (1-p)/p; certainty means zero failures.
+        let mut r = Rng::new(17);
+        for _ in 0..16 {
+            assert_eq!(r.geometric0(1.0), 0);
+        }
+        for p in [0.5, 0.1, 0.01] {
+            let n = 40_000;
+            let sum: u64 = (0..n).map(|_| r.geometric0(p)).sum();
+            let mean = sum as f64 / n as f64;
+            let expect = (1.0 - p) / p;
+            assert!((mean - expect).abs() < expect * 0.1 + 0.02, "p={p}: mean {mean} vs {expect}");
         }
     }
 

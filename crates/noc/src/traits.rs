@@ -35,6 +35,23 @@ pub trait PowerMechanism {
     fn injection_allowed(&self, _core: &NetworkCore, _node: NodeId) -> bool {
         true
     }
+
+    /// Next-event horizon for time-domain skipping. Called only while the
+    /// fabric is quiescent (no flits anywhere, no NIC backlog, no pending
+    /// wakeup requests); returns the earliest cycle `>= core.cycle` at
+    /// which [`PowerMechanism::step`] might do anything — mutate its own
+    /// state, drive a power transition, or bump a counter — assuming
+    /// quiescence persists until then. `None` means the mechanism is
+    /// fully settled and will never self-schedule work.
+    ///
+    /// The contract: for every cycle strictly before the returned horizon,
+    /// `step` must be a provable no-op, because the kernel will *not call
+    /// it* for skipped cycles. The conservative default pins the horizon
+    /// to the present, which disables skipping entirely — custom
+    /// mechanisms stay bit-correct without opting in.
+    fn next_event(&self, core: &NetworkCore) -> Option<Cycle> {
+        Some(core.cycle)
+    }
 }
 
 /// A request to create one packet; the core assigns the id and birth cycle.
@@ -68,6 +85,18 @@ pub trait Workload {
     fn done(&self, _delivered_packets: u64) -> bool {
         false
     }
+
+    /// Next-event horizon for time-domain skipping: the earliest cycle
+    /// `>= now` at which this workload may generate a packet or change the
+    /// active-core set, assuming neither [`Workload::update_cores`] nor
+    /// [`Workload::generate`] is called in between. `None` means the
+    /// workload will never act again. Cycles strictly before the horizon
+    /// are skipped without calling the workload at all, so an optimistic
+    /// answer silently drops traffic; the conservative default (the
+    /// present cycle) disables skipping.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
 }
 
 /// The trivial workload: all cores active, no traffic. Useful in tests.
@@ -79,6 +108,10 @@ impl Workload for SilentWorkload {
     }
 
     fn generate(&mut self, _cycle: Cycle, _active: &[bool], _out: &mut Vec<PacketRequest>) {}
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        None
+    }
 }
 
 /// Replays an explicit list of `(cycle, request)` events; used heavily in
@@ -131,6 +164,17 @@ impl Workload for ScriptedWorkload {
     fn done(&self, delivered_packets: u64) -> bool {
         self.next >= self.events.len() && delivered_packets >= self.events.len() as u64
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let pkt = self.events.get(self.next).map(|e| e.0);
+        let core = self.core_events.get(self.next_core).map(|e| e.0);
+        match (pkt, core) {
+            (Some(a), Some(b)) => Some(a.min(b).max(now)),
+            (Some(a), None) => Some(a.max(now)),
+            (None, Some(b)) => Some(b.max(now)),
+            (None, None) => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +207,25 @@ mod tests {
         assert!(!w.update_cores(6, &mut active));
         assert!(w.update_cores(9, &mut active));
         assert!(active[2]);
+    }
+
+    #[test]
+    fn scripted_next_event_follows_cursors() {
+        let req = |src, dst| PacketRequest { src, dst, vnet: 0, len: 4 };
+        let mut w = ScriptedWorkload::new(vec![(10, req(0, 1))])
+            .with_core_events(vec![(5, 2, false), (20, 2, true)]);
+        assert_eq!(w.next_event(0), Some(5));
+        let mut active = vec![true; 4];
+        w.update_cores(5, &mut active);
+        assert_eq!(w.next_event(6), Some(10));
+        let mut out = Vec::new();
+        w.generate(10, &active, &mut out);
+        assert_eq!(w.next_event(11), Some(20));
+        // A past event clamps to the present (never claims a past horizon).
+        assert_eq!(w.next_event(25), Some(25));
+        w.update_cores(25, &mut active);
+        assert_eq!(w.next_event(25), None);
+        assert_eq!(SilentWorkload.next_event(0), None);
     }
 
     #[test]

@@ -90,6 +90,13 @@ impl GatingSchedule {
     pub fn change_cycles(&self) -> Vec<Cycle> {
         self.events.iter().map(|e| e.0).collect()
     }
+
+    /// Cycle of the next unapplied event, if any — the schedule's
+    /// contribution to the workload's next-event horizon: the clock must
+    /// not jump past it.
+    pub fn next_change(&self) -> Option<Cycle> {
+        self.events.get(self.next).map(|e| e.0)
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +147,22 @@ mod tests {
         assert_eq!(a.iter().filter(|&&x| !x).count(), 4);
         s.apply(900, &mut a);
         assert_eq!(a.iter().filter(|&&x| !x).count(), 4);
+    }
+
+    #[test]
+    fn next_change_tracks_unapplied_events() {
+        let mut s = GatingSchedule::rerandomized_at(16, 0.25, 9, &[500, 900], &[]);
+        let mut a = vec![true; 16];
+        assert_eq!(s.next_change(), Some(0));
+        s.apply(0, &mut a);
+        assert_eq!(s.next_change(), Some(500));
+        s.apply(499, &mut a);
+        assert_eq!(s.next_change(), Some(500));
+        s.apply(500, &mut a);
+        assert_eq!(s.next_change(), Some(900));
+        s.apply(900, &mut a);
+        assert_eq!(s.next_change(), None);
+        assert_eq!(GatingSchedule::none().next_change(), None);
     }
 
     #[test]

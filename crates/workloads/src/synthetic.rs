@@ -1,12 +1,21 @@
 //! The synthetic workload of the paper's §VI-B: Bernoulli packet injection
 //! at a fixed rate (flits/cycle/node) from every *active* core, over a
 //! spatial pattern, with a core-gating scenario.
+//!
+//! Injection times are drawn as geometric inter-arrival gaps (the gap
+//! distribution of per-cycle Bernoulli trials), so each node carries a
+//! precomputed next-injection cycle: generation costs O(arrivals) instead
+//! of O(cycles × nodes), and the cached minimum gives the simulator an
+//! exact next-event horizon for time-domain skipping.
 
 use crate::gating::GatingSchedule;
 use crate::patterns::Pattern;
 use flov_noc::rng::Rng;
 use flov_noc::traits::{PacketRequest, Workload};
 use flov_noc::types::{Cycle, NodeId};
+
+/// "Never injects" sentinel for `next_inject` (inactive node or zero rate).
+const NEVER: Cycle = Cycle::MAX;
 
 /// Synthetic traffic generator.
 pub struct SyntheticWorkload {
@@ -25,6 +34,14 @@ pub struct SyntheticWorkload {
     k: u16,
     active_cache: Vec<NodeId>,
     cache_dirty: bool,
+    /// Per-node precomputed injection cycle; `NEVER` while inactive. A
+    /// node's pending arrival is discarded when it gates and resampled
+    /// fresh when it re-activates (memorylessness makes the process
+    /// identical to per-cycle trials).
+    next_inject: Vec<Cycle>,
+    /// Cached `min(next_inject)` — the O(1) idle-cycle early-out and the
+    /// injection half of the next-event horizon. Valid when `!cache_dirty`.
+    min_next: Cycle,
 }
 
 impl SyntheticWorkload {
@@ -48,12 +65,37 @@ impl SyntheticWorkload {
             k,
             active_cache: Vec::new(),
             cache_dirty: true,
+            next_inject: Vec::new(),
+            min_next: NEVER,
         }
     }
 
-    fn refresh_cache(&mut self, active: &[bool]) {
+    /// Packet probability per node-cycle.
+    fn p(&self) -> f64 {
+        (self.rate / self.pkt_len as f64).min(1.0)
+    }
+
+    /// Rebuild the active list after a gating change: newly active nodes
+    /// (in ascending id order, for a deterministic draw sequence) get a
+    /// fresh arrival starting at `cycle`; surviving nodes keep theirs;
+    /// gated nodes forget theirs.
+    fn refresh_cache(&mut self, cycle: Cycle, active: &[bool]) {
+        self.next_inject.resize(active.len(), NEVER);
         self.active_cache.clear();
-        self.active_cache.extend((0..active.len() as NodeId).filter(|&n| active[n as usize]));
+        let p = self.p();
+        let mut min_next = NEVER;
+        for (n, &is_active) in active.iter().enumerate() {
+            if is_active {
+                self.active_cache.push(n as NodeId);
+                if self.next_inject[n] == NEVER && p > 0.0 {
+                    self.next_inject[n] = cycle + self.rng.geometric0(p);
+                }
+            } else {
+                self.next_inject[n] = NEVER;
+            }
+            min_next = min_next.min(self.next_inject[n]);
+        }
+        self.min_next = min_next;
         self.cache_dirty = false;
     }
 }
@@ -72,15 +114,26 @@ impl Workload for SyntheticWorkload {
             return;
         }
         if self.cache_dirty {
-            self.refresh_cache(active);
+            self.refresh_cache(cycle, active);
         }
-        let p = self.rate / self.pkt_len as f64;
+        if self.min_next > cycle {
+            return;
+        }
+        let p = self.p();
         let k = self.k;
+        let mut min_next = NEVER;
         for i in 0..self.active_cache.len() {
             let src = self.active_cache[i];
-            if !self.rng.chance(p) {
+            let due = self.next_inject[src as usize];
+            if due > cycle {
+                min_next = min_next.min(due);
                 continue;
             }
+            debug_assert_eq!(due, cycle, "missed injection for node {src}");
+            // The next trial is at cycle+1: at most one packet/node/cycle,
+            // exactly like the per-cycle Bernoulli draw this replaces.
+            self.next_inject[src as usize] = cycle + 1 + self.rng.geometric0(p);
+            min_next = min_next.min(self.next_inject[src as usize]);
             let dst = match self.pattern {
                 Pattern::UniformRandom => {
                     // Uniform over the *other active* nodes.
@@ -105,6 +158,26 @@ impl Workload for SyntheticWorkload {
                 }
             };
             out.push(PacketRequest { src, dst, vnet: self.vnet, len: self.pkt_len });
+        }
+        self.min_next = min_next;
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Unapplied gating state (including the initial event at cycle 0)
+        // must be materialized by a real step before horizons mean anything.
+        if self.cache_dirty {
+            return Some(now);
+        }
+        let inject = if now < self.stop_at && self.min_next < self.stop_at {
+            Some(self.min_next.max(now))
+        } else {
+            None
+        };
+        match (inject, self.gating.next_change()) {
+            (Some(a), Some(b)) => Some(a.min(b.max(now))),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b.max(now)),
+            (None, None) => None,
         }
     }
 }
