@@ -54,12 +54,18 @@ tools:
   sim         one-off simulation with a full report    (was: flov-sim)
               [--mech M] [--pattern P] [--rate R] [--gated F] [--cycles N]
               [--warmup N] [--seed S] [--k K] [--parsec BENCH] [--json] [--map]
+              [--audit]
   sweep       run a batch of serialized RunSpecs
               --spec FILE.json (one spec or an array); JSON results on stdout
   bench-kernel  time the cycle kernels (active-set vs reference) on 8x8
               idle/low-load/mid-load/saturated traffic; verifies they stay
               bit-identical; report to stdout and --out (BENCH_kernel.json)
               [--quick] [--min-cps N] [--min-skip FRAC] [--out PATH]
+  fuzz        differential fuzzer: random specs through both kernels with
+              the invariant auditor on; failures shrink to repro JSONs in
+              results/fuzz/ and exit nonzero
+              [--runs N] [--max-cycles N] [--seed S] [--out DIR]
+              [--replay FILE.json]
   cache       result-cache maintenance: stats | clear
 
 global flags: [--quick] [--cache-dir DIR] [--no-cache] [--quiet]
@@ -299,6 +305,54 @@ fn main() {
             println!("{json}");
             eprintln!("[flov] bench-kernel report written to {out}");
         }
+        "fuzz" => {
+            if let Some(path) = flag_value(rest, "--replay") {
+                match flov_bench::fuzz::replay(std::path::Path::new(&path)) {
+                    Ok(None) => println!("repro {path}: no longer reproduces (clean)"),
+                    Ok(Some((kind, detail))) => {
+                        println!("repro {path}: still fails\n  kind:   {kind}\n  detail: {detail}");
+                        std::process::exit(1);
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                }
+                return;
+            }
+            let mut opts = flov_bench::fuzz::FuzzOptions::default();
+            if let Some(v) = flag_value(rest, "--runs") {
+                opts.runs = parse_or_die("--runs", &v);
+            }
+            if let Some(v) = flag_value(rest, "--max-cycles") {
+                opts.max_cycles = parse_or_die("--max-cycles", &v);
+            }
+            if let Some(v) = flag_value(rest, "--seed") {
+                opts.seed = parse_or_die("--seed", &v);
+            }
+            if let Some(v) = flag_value(rest, "--out") {
+                opts.out_dir = std::path::PathBuf::from(v);
+            }
+            let report = flov_bench::fuzz::fuzz(&opts);
+            println!(
+                "fuzz: {} cases (seed {:#x}, max {} cycles), {} finding(s)",
+                report.cases,
+                opts.seed,
+                opts.max_cycles,
+                report.findings.len()
+            );
+            for f in &report.findings {
+                println!("  case {:>4}  {}", f.case, f.kind);
+                println!("    detail: {}", f.detail);
+                match &f.path {
+                    Some(p) => println!("    repro:  {}", p.display()),
+                    None => println!("    repro:  (write failed)"),
+                }
+            }
+            if !report.clean() {
+                std::process::exit(1);
+            }
+        }
         "cache" => {
             let cache = ResultCache::new(&cache_dir);
             match rest.first().map(|s| s.as_str()) {
@@ -340,6 +394,7 @@ fn sim(engine: &Engine, rest: &[String]) {
     let mut parsec: Option<String> = None;
     let mut json = false;
     let mut map = false;
+    let mut audit = false;
     let mut i = 0;
     while i < rest.len() {
         let val = |i: &mut usize| -> String {
@@ -361,6 +416,7 @@ fn sim(engine: &Engine, rest: &[String]) {
             "--parsec" => parsec = Some(val(&mut i)),
             "--json" => json = true,
             "--map" => map = true,
+            "--audit" => audit = true,
             // Global flags were already consumed in main.
             "--quick" | "--no-cache" | "--quiet" => {}
             "--cache-dir" => {
@@ -371,7 +427,7 @@ fn sim(engine: &Engine, rest: &[String]) {
         i += 1;
     }
     check_mech(&mech);
-    let mut b = RunSpec::builder().mechanism(&mech).k(k).seed(seed);
+    let mut b = RunSpec::builder().mechanism(&mech).k(k).seed(seed).audit(audit);
     b = match &parsec {
         Some(bench) => b.parsec(bench),
         None => b

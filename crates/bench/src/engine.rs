@@ -25,7 +25,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// a different RNG draw sequence, so every v1 result's injection timeline
 /// differs. (The time-domain skip itself is result-neutral and needs no
 /// salt: both kernel modes produce bit-identical results under v2.)
-pub const KERNEL_VERSION: u32 = 2;
+///
+/// v3: `latency_percentiles` switched from bucket upper edges to lower
+/// edges (the old convention overstated p50/p95/p99 by up to 2×), and
+/// `RunSpec` grew the `audit` / `mech_switches` fields, which change
+/// every spec's canonical serialization.
+pub const KERNEL_VERSION: u32 = 3;
 
 /// Cumulative accounting across every batch an engine has run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -13,6 +13,7 @@ pub mod ablations;
 pub mod cache;
 pub mod engine;
 pub mod figures;
+pub mod fuzz;
 pub mod kernel_bench;
 pub mod progress;
 pub mod report;
@@ -21,7 +22,9 @@ pub mod studies;
 
 pub use cache::{CacheEntry, CacheStats, ResultCache};
 pub use engine::{Engine, EngineStats, KERNEL_VERSION};
+pub use flov_noc::audit::{AuditViolation, DEFAULT_AUDIT_INTERVAL};
 pub use flov_noc::network::KernelMode;
+pub use fuzz::{FuzzOptions, FuzzReport};
 pub use report::{csv_escape, Table};
 pub use spec::{RunResult, RunSpec, RunSpecBuilder, WorkloadSpec};
 
@@ -29,6 +32,7 @@ use flov_core::mechanism;
 use flov_noc::network::Simulation;
 use flov_noc::stats::IntervalSample;
 use flov_noc::traits::Workload;
+use flov_noc::types::Cycle;
 use flov_power::GatedResidual;
 use flov_workloads::{GatingSchedule, ParsecWorkload, SyntheticWorkload};
 
@@ -45,6 +49,39 @@ pub fn kernel_from_env() -> KernelMode {
     }
 }
 
+/// Auditor override from the `FLOV_AUDIT` environment variable:
+/// * unset / empty — `None` (defer to [`RunSpec::audit`]);
+/// * `0` / `off` — `Some(None)` (force auditing off);
+/// * `1` / `on` — `Some(Some(DEFAULT_AUDIT_INTERVAL))`;
+/// * any other integer `n >= 2` — `Some(Some(n))` (audit every `n` cycles).
+///
+/// Like `FLOV_KERNEL` this never enters the result cache key: auditing is
+/// read-only, so results are bit-identical with or without it.
+pub fn audit_override() -> Option<Option<Cycle>> {
+    match std::env::var("FLOV_AUDIT").ok().as_deref() {
+        None | Some("") => None,
+        Some("0") | Some("off") => Some(None),
+        Some("1") | Some("on") => Some(Some(DEFAULT_AUDIT_INTERVAL)),
+        Some(other) => match other.parse::<Cycle>() {
+            Ok(n) if n >= 2 => Some(Some(n)),
+            _ => panic!("unknown FLOV_AUDIT value {other:?} (use 0|1|off|on|<interval>)"),
+        },
+    }
+}
+
+/// One run plus everything its invariant auditor observed. When auditing
+/// was disabled, `violations` is empty and `audit_checks` is 0.
+#[derive(Clone, Debug)]
+pub struct AuditedRun {
+    pub result: RunResult,
+    /// Violations in detection order (capped inside the [`flov_noc::audit::Auditor`];
+    /// `suppressed` counts the overflow).
+    pub violations: Vec<AuditViolation>,
+    pub suppressed: u64,
+    /// Full audit sweeps performed.
+    pub audit_checks: u64,
+}
+
 /// Execute one simulation per `spec`, resolving the mechanism by name.
 pub fn run(spec: &RunSpec) -> RunResult {
     run_kernel(spec, kernel_from_env())
@@ -53,10 +90,16 @@ pub fn run(spec: &RunSpec) -> RunResult {
 /// [`run`] with an explicit kernel mode (the equivalence suite and
 /// `bench-kernel` compare the two modes directly).
 pub fn run_kernel(spec: &RunSpec, kernel: KernelMode) -> RunResult {
+    run_kernel_audited(spec, kernel).result
+}
+
+/// [`run_kernel`], keeping the auditor's findings instead of just warning
+/// about them. The differential fuzzer ([`fuzz`]) is the main consumer.
+pub fn run_kernel_audited(spec: &RunSpec, kernel: KernelMode) -> AuditedRun {
     let spec = spec.resolved();
     let mech = mechanism::by_name(&spec.mechanism, &spec.cfg)
         .unwrap_or_else(|| panic!("unknown mechanism {:?}", spec.mechanism));
-    run_with_kernel(&spec, mech, kernel)
+    run_with_kernel_audited(&spec, mech, kernel)
 }
 
 /// Execute one simulation with an explicitly constructed mechanism (used by
@@ -65,12 +108,28 @@ pub fn run_with(spec: &RunSpec, mech: Box<dyn flov_noc::PowerMechanism>) -> RunR
     run_with_kernel(spec, mech, kernel_from_env())
 }
 
-/// [`run_with`] with an explicit kernel mode.
+/// [`run_with`] with an explicit kernel mode. Auditor violations (if
+/// auditing is enabled) are reported on stderr; use
+/// [`run_with_kernel_audited`] to consume them programmatically.
 pub fn run_with_kernel(
     spec: &RunSpec,
     mech: Box<dyn flov_noc::PowerMechanism>,
     kernel: KernelMode,
 ) -> RunResult {
+    let audited = run_with_kernel_audited(spec, mech, kernel);
+    for v in &audited.violations {
+        eprintln!("[flov] audit violation ({}): {v}", spec.mechanism);
+    }
+    audited.result
+}
+
+/// [`run_with_kernel`], returning the auditor's findings alongside the
+/// result.
+pub fn run_with_kernel_audited(
+    spec: &RunSpec,
+    mech: Box<dyn flov_noc::PowerMechanism>,
+    kernel: KernelMode,
+) -> AuditedRun {
     let cfg = spec.cfg.clone();
     let workload: Box<dyn Workload> = match &spec.workload {
         WorkloadSpec::Synthetic { pattern, rate, gated_fraction, seed, changes } => {
@@ -99,15 +158,28 @@ pub fn run_with_kernel(
     sim.core.kernel = kernel;
     sim.measure_from(spec.warmup);
     sim.core.stats.interval_width = spec.timeline_width;
+    let audit_interval = match audit_override() {
+        Some(forced) => forced,
+        None => spec.audit.then_some(DEFAULT_AUDIT_INTERVAL),
+    };
+    if let Some(interval) = audit_interval {
+        sim.attach_auditor(interval);
+    }
+    if !spec.mech_switches.is_empty() {
+        assert!(
+            matches!(spec.workload, WorkloadSpec::Synthetic { .. }),
+            "mech_switches only apply to synthetic runs"
+        );
+    }
     // Warmup.
-    sim.run(spec.warmup);
+    run_switched(&mut sim, spec, spec.warmup);
     let act0 = sim.core.activity.clone();
     let res0 = sim.core.residency().to_vec();
     // Measured portion.
     let measured_end;
     match &spec.workload {
         WorkloadSpec::Synthetic { .. } => {
-            sim.run(spec.cycles.saturating_sub(spec.warmup));
+            run_switched(&mut sim, spec, spec.cycles);
             measured_end = sim.core.cycle;
             sim.core.stats.measure_until = spec.cycles;
             sim.drain(spec.drain);
@@ -121,6 +193,11 @@ pub fn run_with_kernel(
             measured_end = end;
         }
     }
+    // A final sweep so short runs (or a deadlocked drain) are audited even
+    // when the run length never crossed an interval boundary.
+    if let Some(aud) = sim.auditor.as_deref_mut() {
+        aud.check(&sim.core, sim.mech.as_ref());
+    }
     let window = measured_end - spec.warmup;
     let activity = sim.core.activity.delta_since(&act0);
     let residency = flov_power::residency_delta(sim.core.residency(), &res0);
@@ -132,8 +209,12 @@ pub fn run_with_kernel(
         window.max(1),
         GatedResidual::for_mechanism(&spec.mechanism),
     );
+    let (violations, suppressed, audit_checks) = match sim.auditor.as_deref_mut() {
+        Some(aud) => (aud.take_violations(), aud.suppressed(), aud.checks()),
+        None => (Vec::new(), 0, 0),
+    };
     let s = &sim.core.stats;
-    RunResult {
+    let result = RunResult {
         mechanism: spec.mechanism.clone(),
         packets: s.packets,
         avg_latency: s.avg_latency(),
@@ -158,7 +239,30 @@ pub fn run_with_kernel(
         ],
         timeline: sim.core.stats.timeline.clone(),
         delivered_all: sim.core.is_empty(),
+    };
+    AuditedRun { result, violations, suppressed, audit_checks }
+}
+
+/// Advance `sim` to absolute cycle `until`, applying any
+/// [`RunSpec::mech_switches`] that fall in `[sim.core.cycle, until)` at
+/// their exact cycle. Illegal switches (anything but Baseline→rFLOV,
+/// Baseline→gFLOV, rFLOV→gFLOV) panic: a stricter protocol's invariants
+/// do not hold over the looser fabric it would inherit.
+fn run_switched(sim: &mut Simulation, spec: &RunSpec, until: Cycle) {
+    for (at, name) in &spec.mech_switches {
+        if *at < sim.core.cycle || *at >= until {
+            continue;
+        }
+        sim.run(*at - sim.core.cycle);
+        let from = sim.mech.name();
+        assert!(
+            matches!((from, name.as_str()), ("Baseline", "rFLOV" | "gFLOV") | ("rFLOV", "gFLOV")),
+            "illegal mechanism switch {from} -> {name} at cycle {at}"
+        );
+        sim.mech = mechanism::by_name(name, &sim.core.cfg)
+            .unwrap_or_else(|| panic!("unknown mechanism {name:?} in mech_switches"));
     }
+    sim.run(until.saturating_sub(sim.core.cycle));
 }
 
 /// Run many specs in parallel, preserving order. Equivalent to a batch on

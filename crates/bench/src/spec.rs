@@ -50,6 +50,19 @@ pub struct RunSpec {
     /// Latency-timeline bucket width (0 = off); used by Fig. 10.
     pub timeline_width: u64,
     pub power_params: PowerParams,
+    /// Attach the invariant auditor ([`flov_noc::audit`]) at its default
+    /// interval. Auditing is read-only — results are bit-identical either
+    /// way — but the periodic sweep costs time, so it is off by default.
+    /// The `FLOV_AUDIT` environment variable overrides this (see
+    /// [`crate::audit_override`]).
+    pub audit: bool,
+    /// Mid-run mechanism switches: at each `(cycle, name)`, in order, the
+    /// running mechanism is replaced by `name` (same config; mechanism
+    /// state starts fresh). Only legal "loosening" switches are accepted
+    /// — Baseline→{rFLOV,gFLOV} and rFLOV→gFLOV — since a stricter
+    /// protocol's invariants do not hold over a looser one's fabric.
+    /// Synthetic workloads only. Empty = never switch.
+    pub mech_switches: Vec<(Cycle, String)>,
 }
 
 impl RunSpec {
@@ -120,6 +133,8 @@ pub struct RunSpecBuilder {
     drain: Cycle,
     timeline_width: u64,
     power_params: PowerParams,
+    audit: bool,
+    mech_switches: Vec<(Cycle, String)>,
 }
 
 impl Default for RunSpecBuilder {
@@ -138,6 +153,8 @@ impl Default for RunSpecBuilder {
             drain: 100_000,
             timeline_width: 0,
             power_params: PowerParams::default(),
+            audit: false,
+            mech_switches: Vec::new(),
         }
     }
 }
@@ -232,6 +249,18 @@ impl RunSpecBuilder {
         self
     }
 
+    /// Attach the invariant auditor (see [`RunSpec::audit`]).
+    pub fn audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    /// Mid-run mechanism switches (see [`RunSpec::mech_switches`]).
+    pub fn mech_switches(mut self, s: Vec<(Cycle, String)>) -> Self {
+        self.mech_switches = s;
+        self
+    }
+
     /// Assemble the spec, applying [`RunSpec::resolve`].
     pub fn build(self) -> RunSpec {
         let workload = match self.parsec {
@@ -253,6 +282,8 @@ impl RunSpecBuilder {
             drain: self.drain,
             timeline_width: self.timeline_width,
             power_params: self.power_params,
+            audit: self.audit,
+            mech_switches: self.mech_switches,
         };
         spec.resolve();
         spec
@@ -268,7 +299,8 @@ pub struct RunResult {
     /// Mean total packet latency \[cycles\].
     pub avg_latency: f64,
     pub max_latency: u64,
-    /// Conservative (p50, p95, p99) latency upper bounds.
+    /// (p50, p95, p99) latency bucket *lower* edges (powers of two; see
+    /// `LatencyHistogram::quantile_lower` for the exact convention).
     pub latency_percentiles: (u64, u64, u64),
     /// Per-packet averages: \[router, link, serialization, contention, flov\].
     pub breakdown: [f64; 5],

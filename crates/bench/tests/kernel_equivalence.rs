@@ -9,10 +9,11 @@
 //! the run.
 //!
 //! The kernel *mode* never enters the result cache key (both modes agree
-//! bit-for-bit), but `KERNEL_VERSION` is at 2: the synthetic workload now
-//! draws geometric inter-arrival gaps instead of per-cycle Bernoulli
-//! trials, which changes the RNG stream and therefore every injection
-//! timeline relative to v1 cache entries.
+//! bit-for-bit), but `KERNEL_VERSION` is at 3: v2 made the synthetic
+//! workload draw geometric inter-arrival gaps instead of per-cycle
+//! Bernoulli trials (a different RNG stream, so every v1 injection
+//! timeline differs), and v3 switched latency percentiles to bucket lower
+//! edges and extended the `RunSpec` schema.
 
 use flov_bench::{run_kernel, KernelMode, RunSpec, KERNEL_VERSION};
 use flov_core::mechanism;
@@ -157,10 +158,12 @@ fn nord_survives_base_load_without_uturn() {
 }
 
 #[test]
-fn kernel_version_reflects_geometric_sampling() {
+fn kernel_version_reflects_result_schema() {
     // The kernel *mode* still never enters the cache key — both modes are
-    // bit-identical. The salt moved to 2 because geometric inter-arrival
-    // sampling rearranged the RNG stream: v1 entries describe injection
-    // timelines the simulator no longer produces.
-    assert_eq!(KERNEL_VERSION, 2);
+    // bit-identical (and so is auditing, which is read-only). The salt
+    // moved to 3 because latency percentiles switched to bucket lower
+    // edges and `RunSpec` grew `audit`/`mech_switches`: v2 entries carry
+    // percentile values (and spec serializations) the harness no longer
+    // produces.
+    assert_eq!(KERNEL_VERSION, 3);
 }

@@ -324,6 +324,61 @@ impl PowerMechanism for Flov {
         }
         next
     }
+
+    fn audit_state(&self, core: &NetworkCore, report: &mut dyn FnMut(String)) {
+        for n in 0..core.nodes() as NodeId {
+            let p = core.power(n);
+            // The always-on column never leaves Active (drain_permitted
+            // refuses AON routers, so anything else is a protocol breach).
+            if self.is_aon(core, n) && p != PowerState::Active {
+                report(format!("AON router {n} is {p:?}; column must stay Active"));
+            }
+            match self.mode {
+                FlovMode::Restricted => {
+                    // No two physically adjacent routers may be non-Active
+                    // at the same time: drains start only with all-Active
+                    // neighbors, and a Sleep->Wakeup flip never changes the
+                    // non-Active set. Check each edge once (n < m).
+                    if p == PowerState::Active {
+                        continue;
+                    }
+                    for d in Dir::ALL {
+                        if let Some(m) = core.neighbor(n, d) {
+                            if m > n && core.power(m) != PowerState::Active {
+                                report(format!(
+                                    "rFLOV adjacency: routers {n} ({p:?}) and {m} ({:?}) are \
+                                     physical neighbors and both non-Active",
+                                    core.power(m)
+                                ));
+                            }
+                        }
+                    }
+                }
+                FlovMode::Generalized => {
+                    // A Draining router may not have a Draining or Wakeup
+                    // logical neighbor: drain_permitted refuses to start
+                    // next to one, and wakeup_permitted defers wakeups
+                    // beside an in-progress drain.
+                    if p != PowerState::Draining {
+                        continue;
+                    }
+                    for d in Dir::ALL {
+                        if let Some((m, _)) = core.logical_neighbor(n, d) {
+                            if matches!(core.power(m), PowerState::Draining | PowerState::Wakeup)
+                                && (core.power(m) != PowerState::Draining || m > n)
+                            {
+                                report(format!(
+                                    "gFLOV handshake: Draining router {n} has {:?} logical \
+                                     neighbor {m}",
+                                    core.power(m)
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -6,8 +6,12 @@
 //!
 //! Model (simplifications documented in DESIGN.md):
 //! * gating policy: a router drains when its core is gated and the local
-//!   port is idle; it wakes only when its core reactivates (deliveries
-//!   never need a wakeup — the ring reaches every NIC);
+//!   port is idle; it wakes when its core reactivates (deliveries
+//!   never need a wakeup — the ring reaches every NIC) or when ring-exit
+//!   flits are stranded in its mesh-transfer queue: the ring freezes a
+//!   flit's mesh-entry node at ingress, so the node can gate between
+//!   ingress and arrival, and only powering the router back up can move
+//!   the queued flits into the mesh;
 //! * mesh routing between powered routers uses up*/down* tables over the
 //!   powered subgraph, rebuilt instantly on power changes (generous to
 //!   NoRD: its distributed reconfiguration cost is not charged);
@@ -138,6 +142,7 @@ impl PowerMechanism for Nord {
                         && !neighbor_draining
                         && now >= self.ctl[n as usize].retry_after
                         && !core.nic_pending(n)
+                        && !core.ring_transfer_pending(n)
                     {
                         core.begin_drain(n);
                         let c = &mut self.ctl[n as usize];
@@ -157,7 +162,9 @@ impl PowerMechanism for Nord {
                         self.ctl[n as usize].retry_after = now + 4 * self.drain_timeout as u64;
                         continue;
                     }
-                    let ready = core.routers[n as usize].is_drained() && core.fully_quiescent(n);
+                    let ready = core.routers[n as usize].is_drained()
+                        && core.fully_quiescent(n)
+                        && !core.ring_transfer_pending(n);
                     let c = &mut self.ctl[n as usize];
                     if ready {
                         c.stable += 1;
@@ -169,8 +176,11 @@ impl PowerMechanism for Nord {
                     }
                 }
                 PowerState::Sleep => {
-                    // Wake only for the core; deliveries ride the ring.
-                    if core.core_active[n as usize] {
+                    // Wake for the core (deliveries ride the ring) — or for
+                    // ring-exit flits stranded in the transfer queue: the
+                    // ring froze their mesh-entry node at ingress and this
+                    // router gated before they arrived (see module docs).
+                    if core.core_active[n as usize] || core.ring_transfer_pending(n) {
                         core.begin_wakeup(n);
                         let c = &mut self.ctl[n as usize];
                         c.ramp = core.cfg.wakeup_latency;
@@ -252,15 +262,47 @@ impl PowerMechanism for Nord {
                     next = Some(next.map_or(t, |b| b.min(t)));
                 }
                 PowerState::Sleep => {
-                    // Wakes only when its core reactivates — a stepped
-                    // workload event; an already-active core is transient.
-                    if core.core_active[n as usize] {
+                    // Wakes when its core reactivates (a stepped workload
+                    // event; an already-active core is transient) or when
+                    // stranded ring transfers demand a flush — transfers
+                    // only land while the ring is live, which also keeps
+                    // the fabric non-quiescent, but pin the horizon anyway.
+                    if core.core_active[n as usize] || core.ring_transfer_pending(n) {
                         return Some(now);
                     }
                 }
             }
         }
         next
+    }
+
+    fn audit_state(&self, core: &NetworkCore, report: &mut dyn FnMut(String)) {
+        for n in 0..core.nodes() as NodeId {
+            // No adjacency/AON constraints, but two physically adjacent
+            // routers must never drain at once (each would starve the
+            // other); the id-ordered scan guarantees this. Edges once.
+            if core.power(n) == PowerState::Draining {
+                for d in flov_noc::types::Dir::ALL {
+                    if let Some(m) = core.neighbor(n, d) {
+                        if m > n && core.power(m) == PowerState::Draining {
+                            report(format!(
+                                "NoRD arbitration: adjacent routers {n} and {m} both Draining"
+                            ));
+                        }
+                    }
+                }
+            }
+            // The up*/down* table is rebuilt at the end of every step, so
+            // between steps its power snapshot mirrors the fabric.
+            if self.snapshot[n as usize] != core.power(n) {
+                report(format!(
+                    "NoRD routing table is stale: snapshot says {:?} for router {n} but power \
+                     is {:?}",
+                    self.snapshot[n as usize],
+                    core.power(n)
+                ));
+            }
+        }
     }
 }
 

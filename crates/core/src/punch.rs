@@ -149,6 +149,36 @@ impl PowerMechanism for PowerPunch {
         for (src, dst) in to_punch {
             self.punch_path(core, src, dst);
         }
+        // Re-punch stalled packets. A punch holds routers awake only for
+        // `punch_hold` cycles, so a packet delayed in the mesh (VC
+        // backpressure, congestion behind another wakeup ramp) can face a
+        // next hop that re-drained after its original punch expired — and
+        // `route()` then waits for a wakeup that is never coming. Any head
+        // flit parked at a buffer front for a full drain-timeout window
+        // gets its remaining YX path re-punched from where it stands, once
+        // per window.
+        let repunch_after = self.drain_timeout as u64;
+        let mut to_repunch: Vec<(NodeId, NodeId)> = Vec::new();
+        for n in 0..core.nodes() {
+            let r = &core.routers[n];
+            if r.port_occupancy.iter().all(|&o| o == 0) {
+                continue;
+            }
+            for s in 0..r.total_vcs() * flov_noc::types::NUM_PORTS {
+                let invc = &r.inputs[s];
+                if invc.alloc.is_some() {
+                    continue;
+                }
+                let Some(f) = invc.buf.front() else { continue };
+                let waited = now.saturating_sub(invc.head_since);
+                if waited >= repunch_after && waited.is_multiple_of(repunch_after) {
+                    to_repunch.push((n as NodeId, f.dst));
+                }
+            }
+        }
+        for (at, dst) in to_repunch {
+            self.punch_path(core, at, dst);
+        }
         // Power FSM (NoRD-style: no adjacency constraints, but punched
         // routers hold awake for a while).
         for n in 0..core.nodes() as NodeId {
@@ -272,6 +302,38 @@ impl PowerMechanism for PowerPunch {
             }
         }
         next
+    }
+
+    fn audit_state(&self, core: &NetworkCore, report: &mut dyn FnMut(String)) {
+        // Power Punch runs without the escape network ([`punch_config`]):
+        // a `route() == None` means "wait for the punched wakeup", and an
+        // escape VC would turn that wait into a divert.
+        if core.cfg.escape_vcs != 0 {
+            report(format!(
+                "PowerPunch requires escape_vcs == 0 (got {}); see punch_config",
+                core.cfg.escape_vcs
+            ));
+        }
+        for n in 0..core.nodes() as NodeId {
+            // Nothing ever flies over a gated router in this scheme, so a
+            // sleeping router's FLOV latches must stay empty.
+            if core.power(n).is_flov() && !core.routers[n as usize].latches_empty() {
+                report(format!("PowerPunch router {n} is gated but holds latched flits"));
+            }
+            // Same adjacent-drain arbitration as NoRD. Edges once.
+            if core.power(n) == PowerState::Draining {
+                for d in flov_noc::types::Dir::ALL {
+                    if let Some(m) = core.neighbor(n, d) {
+                        if m > n && core.power(m) == PowerState::Draining {
+                            report(format!(
+                                "PowerPunch arbitration: adjacent routers {n} and {m} both \
+                                 Draining"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -265,6 +265,22 @@ impl PowerMechanism for RouterParking {
         }
         Some(h.max(now))
     }
+
+    fn audit_state(&self, core: &NetworkCore, report: &mut dyn FnMut(String)) {
+        // RP reconfigures atomically (drain+sleep or wakeup+complete in the
+        // same step), so between steps every router is Active or Sleep, and
+        // the FM's parked table mirrors the fabric exactly.
+        for n in 0..core.nodes() as NodeId {
+            let p = core.power(n);
+            if !matches!(p, PowerState::Active | PowerState::Sleep) {
+                report(format!("RP router {n} is {p:?}; RP transitions are atomic"));
+            }
+            let parked = self.parked[n as usize];
+            if parked != (p == PowerState::Sleep) {
+                report(format!("RP table says parked={parked} for router {n} but power is {p:?}"));
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,15 @@ impl PowerMechanism for AlwaysOnYx {
         // Stateless: a quiescent fabric stays quiescent until new traffic.
         None
     }
+
+    fn audit_state(&self, core: &NetworkCore, report: &mut dyn FnMut(String)) {
+        // The baseline never gates: every router must stay Active.
+        for (i, r) in core.routers.iter().enumerate() {
+            if r.power != crate::types::PowerState::Active {
+                report(format!("Baseline router {i} is {:?}; the baseline never gates", r.power));
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,8 @@ pub mod types;
 
 pub use activity::{ActivityCounters, Residency};
 pub use config::NocConfig;
+pub use network::audit;
+pub use network::audit::{AuditKind, AuditViolation, Auditor};
 pub use network::{KernelMode, NetworkCore, Simulation};
 pub use stats::NetStats;
 pub use traits::{PacketRequest, PowerMechanism, Workload};

@@ -117,6 +117,11 @@ impl Channel {
         self.flits.len()
     }
 
+    /// Iterate the flits currently on the wire (auditor diagnostics).
+    pub fn iter_in_flight(&self) -> impl Iterator<Item = &Flit> {
+        self.flits.iter().map(|(_, f)| f)
+    }
+
     /// Number of credits currently in flight on this channel.
     #[inline]
     pub fn credits_in_flight(&self) -> usize {

@@ -17,12 +17,14 @@
 //! state change which can give a resource work re-marks it (see the
 //! marking helpers below and `DESIGN.md` § "Kernel scheduling").
 
+pub mod audit;
 mod chain;
 mod pipeline;
 #[cfg(test)]
 mod tests;
 mod transitions;
 
+pub use audit::{AuditKind, AuditViolation, Auditor};
 pub use chain::ChainTarget;
 
 use crate::active::ActiveSet;
@@ -332,10 +334,20 @@ impl NetworkCore {
     }
 
     /// Enqueue a generated packet at its source NIC.
-    pub fn submit(&mut self, req: PacketRequest) -> PacketId {
+    ///
+    /// Self-addressed requests (`src == dst`) are rejected and counted in
+    /// `stats.self_addressed_dropped` rather than admitted: the model has
+    /// no local loopback path, so such a packet would inflate
+    /// `in_flight_packets` forever (a silent stats corruption in release
+    /// builds when this was only a `debug_assert`). Returns the assigned
+    /// packet id, or `None` for a rejected request.
+    pub fn submit(&mut self, req: PacketRequest) -> Option<PacketId> {
         debug_assert!((req.src as usize) < self.nodes() && (req.dst as usize) < self.nodes());
-        debug_assert!(req.src != req.dst, "self-addressed packets are not modeled");
         debug_assert!((req.vnet as usize) < self.cfg.vnets);
+        if req.src == req.dst {
+            self.stats.self_addressed_dropped += 1;
+            return None;
+        }
         let id = self.next_packet;
         self.next_packet += 1;
         let pkt = Packet {
@@ -350,7 +362,7 @@ impl NetworkCore {
         self.routers[req.src as usize].touch_local(self.cycle);
         self.in_flight_packets += 1;
         self.mark_inject(req.src);
-        id
+        Some(id)
     }
 
     /// Total flits buffered in routers, latches, channels and partial
@@ -374,6 +386,16 @@ impl NetworkCore {
     /// True if no packet is anywhere between generation and delivery.
     pub fn is_empty(&self) -> bool {
         self.in_flight_packets == 0
+    }
+
+    /// True when ring-exit flits are queued at `node` awaiting mesh
+    /// injection. The transfer injector only runs while the router is
+    /// powered, and the ring picks a flit's mesh-entry node at ingress
+    /// time — so a node that gates after ingress but before arrival
+    /// strands this queue unless its mechanism reacts (NoRD wakes the
+    /// router and refuses to complete a drain while transfers pend).
+    pub fn ring_transfer_pending(&self, node: NodeId) -> bool {
+        !self.ring_transfer[node as usize].is_empty()
     }
 
     /// True when a cycle step would move no flit anywhere: every scheduling
@@ -832,8 +854,12 @@ impl NetworkCore {
 
     /// Phase 7 bookkeeping: the deadlock watchdog (residency accumulates
     /// lazily at power transitions; see [`NetworkCore::settle_residency`]).
-    fn accounting_phase(&mut self) {
-        if self.cfg.watchdog_cycles > 0
+    /// With `panic_on_stall` false (an [`Auditor`] is attached) the panic
+    /// is suppressed — the auditor reports the stall as a structured
+    /// [`AuditViolation`] instead.
+    fn accounting_phase(&mut self, panic_on_stall: bool) {
+        if panic_on_stall
+            && self.cfg.watchdog_cycles > 0
             && self.in_flight_packets > 0
             && self.cycle - self.last_progress > self.cfg.watchdog_cycles
         {
@@ -855,6 +881,11 @@ pub struct Simulation {
     pub core: NetworkCore,
     pub mech: Box<dyn PowerMechanism>,
     pub workload: Box<dyn Workload>,
+    /// Optional invariant auditor, checked at step boundaries every
+    /// `auditor.interval` cycles. `None` (the default) costs one branch
+    /// per step. When attached, the core's panicking deadlock watchdog is
+    /// replaced by the auditor's structured no-progress check.
+    pub auditor: Option<Box<Auditor>>,
 }
 
 impl Simulation {
@@ -863,7 +894,13 @@ impl Simulation {
         mech: Box<dyn PowerMechanism>,
         workload: Box<dyn Workload>,
     ) -> Simulation {
-        Simulation { core: NetworkCore::new(cfg), mech, workload }
+        Simulation { core: NetworkCore::new(cfg), mech, workload, auditor: None }
+    }
+
+    /// Attach an [`Auditor`] configured from the core's watchdog setting.
+    pub fn attach_auditor(&mut self, interval: Cycle) {
+        self.auditor =
+            Some(Box::new(Auditor::with_interval(interval, self.core.cfg.watchdog_cycles)));
     }
 
     /// Set the measurement window start (warmup end).
@@ -898,8 +935,14 @@ impl Simulation {
         core.ring_injection_phase();
         // Phase 6: router pipelines.
         pipeline::pipeline_phase(core, self.mech.as_ref());
-        // Phase 7: accounting.
-        core.accounting_phase();
+        // Phase 7: accounting, then (optionally) the invariant audit over
+        // the settled end-of-cycle state.
+        core.accounting_phase(self.auditor.is_none());
+        if let Some(aud) = self.auditor.as_deref_mut() {
+            if aud.due(core.cycle) {
+                aud.check(core, self.mech.as_ref());
+            }
+        }
         core.cycle += 1;
     }
 

@@ -87,7 +87,13 @@ fn inject_node(core: &mut NetworkCore, mech: &dyn PowerMechanism, node: NodeId) 
             if !gate_open || core.nics[node as usize].queues[vn].is_empty() {
                 continue;
             }
-            let reg = core.cfg.regular_vcs;
+            // The ring transfer injector owns the last regular VC of the
+            // local port (see `ring_injection_phase`): NIC serializations
+            // must stay off it, or a local packet can interleave with a
+            // ring-to-mesh transfer wormhole in one VC FIFO — the flits
+            // reach the destination NIC interleaved (flit-reordering
+            // panic) and debug builds trip the open-wormhole assert.
+            let reg = core.cfg.regular_vcs - usize::from(core.ring.is_some());
             let mut chosen = None;
             for j in 0..reg {
                 let vc = (now as usize + j) % reg;

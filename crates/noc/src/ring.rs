@@ -235,6 +235,39 @@ impl BypassRing {
         }
     }
 
+    /// Invariant audit hook: per ring edge `n -> succ(n)` and VC, the
+    /// sender's credits plus the receiver's buffered flits plus flits in
+    /// flight on the wire plus credits in flight back must equal
+    /// [`RING_BUF_DEPTH`] — every launch/arrival/pop/refund moves one unit
+    /// between exactly two of those terms. Calls `report` once per broken
+    /// edge. (Stations are unbounded by design and excluded.)
+    pub fn audit(&self, report: &mut dyn FnMut(String)) {
+        for n in 0..self.nodes.len() as NodeId {
+            let s = self.succ[n as usize];
+            for vc in 0..2usize {
+                let credits = self.nodes[n as usize].credits[vc] as usize;
+                let buffered = self.nodes[s as usize].buf[vc].len();
+                let wired = self
+                    .wire
+                    .iter()
+                    .filter(|&&(_, to, rf)| to == s && rf.vc as usize == vc)
+                    .count();
+                let refunds = self
+                    .credit_wire
+                    .iter()
+                    .filter(|&&(_, to, cvc)| to == n && cvc as usize == vc)
+                    .count();
+                let total = credits + buffered + wired + refunds;
+                if total != RING_BUF_DEPTH {
+                    report(format!(
+                        "ring edge {n}->{s} vc {vc}: credits {credits} + buffered {buffered} + \
+                         wired {wired} + refunds {refunds} = {total}, expected {RING_BUF_DEPTH}"
+                    ));
+                }
+            }
+        }
+    }
+
     /// Credit back to the predecessor for a freed slot.
     fn send_credit(&mut self, now: Cycle, n: NodeId, vc: u8) {
         let pred = self.pred[n as usize];

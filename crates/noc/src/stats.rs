@@ -62,9 +62,14 @@ impl LatencyHistogram {
         self.count
     }
 
-    /// Upper bound of the bucket containing the q-quantile (0.0..=1.0);
-    /// a conservative percentile estimate. Returns 0 with no samples.
-    pub fn quantile_upper(&self, q: f64) -> u64 {
+    /// The *lower edge* of the bucket containing the q-quantile
+    /// (0.0..=1.0). Convention: with bucket `i` spanning `[2^i, 2^(i+1))`,
+    /// the reported value is `2^i`, so the true quantile sample `s`
+    /// satisfies `value <= s < 2 * value` (bucket 0, which also absorbs
+    /// latency 0, reports 1). The previous convention returned the bucket's
+    /// *upper* edge `2^(i+1) - 1`, which overstated p50/p95/p99 by up to
+    /// 2x; the lower edge never overstates. Returns 0 with no samples.
+    pub fn quantile_lower(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
@@ -73,15 +78,15 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target.max(1) {
-                return (1u64 << (i + 1)).saturating_sub(1);
+                return 1u64 << i;
             }
         }
         u64::MAX
     }
 
-    /// Shorthand: (p50, p95, p99) upper bounds.
+    /// Shorthand: (p50, p95, p99) bucket lower edges.
     pub fn percentiles(&self) -> (u64, u64, u64) {
-        (self.quantile_upper(0.50), self.quantile_upper(0.95), self.quantile_upper(0.99))
+        (self.quantile_lower(0.50), self.quantile_lower(0.95), self.quantile_lower(0.99))
     }
 }
 
@@ -142,6 +147,11 @@ pub struct NetStats {
     /// Latency timeline by ejection cycle (includes warmup packets so the
     /// full execution is visible, as in Fig. 10).
     pub timeline: Vec<IntervalSample>,
+    /// Self-addressed packet requests rejected at the NIC (`src == dst`
+    /// has no loopback path in the model); counted over the whole run,
+    /// not just the measurement window. Serialized with the rest of the
+    /// stats — see DESIGN.md §4c for the schema note.
+    pub self_addressed_dropped: u64,
 }
 
 impl NetStats {
@@ -163,6 +173,7 @@ impl NetStats {
             per_vnet: [(0, 0); 8],
             interval_width: 0,
             timeline: Vec::new(),
+            self_addressed_dropped: 0,
         }
     }
 
@@ -341,22 +352,46 @@ mod tests {
             h.record(v);
         }
         assert_eq!(h.count(), 8);
-        // All samples <= 1023, so p100 upper bound is 1023.
-        assert_eq!(h.quantile_upper(1.0), 1023);
-        // Half the samples are <= 3.
-        assert!(h.quantile_upper(0.5) <= 7);
+        // The largest sample (1000) sits in bucket 9 = [512, 1024); its
+        // lower edge is 512.
+        assert_eq!(h.quantile_lower(1.0), 512);
+        // The 4th-smallest sample (3) sits in bucket 1 = [2, 4).
+        assert_eq!(h.quantile_lower(0.5), 2);
     }
 
     #[test]
     fn histogram_percentiles_ordered() {
+        // 20 samples of each value in 10..=59: p50 target is the 500th
+        // sample = 32 (bucket 5), and p95/p99 land in the same bucket.
         let mut h = LatencyHistogram::default();
         for i in 0..1000u64 {
             h.record(10 + i % 50);
         }
         let (p50, p95, p99) = h.percentiles();
         assert!(p50 <= p95 && p95 <= p99);
-        assert!(p50 >= 10);
-        assert_eq!(h.quantile_upper(0.0), h.quantile_upper(0.001));
+        assert_eq!((p50, p95, p99), (32, 32, 32));
+        assert_eq!(h.quantile_lower(0.0), h.quantile_lower(0.001));
+    }
+
+    #[test]
+    fn quantile_lower_exact_values() {
+        // Pins the lower-edge convention: the reported value is the lower
+        // edge 2^i of the bucket holding the ceil(count * q)-th sample, so
+        // value <= sample < 2 * value (bucket 0 reports 1 and also covers
+        // latency 0).
+        let mut h = LatencyHistogram::default();
+        for v in [1u64, 2, 16, 100, 300] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_lower(0.2), 1); // 1st sample: 1, bucket 0
+        assert_eq!(h.quantile_lower(0.4), 2); // 2nd sample: 2, bucket 1
+        assert_eq!(h.quantile_lower(0.6), 16); // 3rd sample: 16, bucket 4
+        assert_eq!(h.quantile_lower(0.8), 64); // 4th sample: 100 in [64,128)
+        assert_eq!(h.quantile_lower(1.0), 256); // 5th sample: 300 in [256,512)
+        assert_eq!(LatencyHistogram::default().quantile_lower(0.5), 0);
+        let mut zeros = LatencyHistogram::default();
+        zeros.record(0);
+        assert_eq!(zeros.quantile_lower(1.0), 1);
     }
 
     #[test]
@@ -379,7 +414,8 @@ mod tests {
         s.record(&delivered(0, 40));
         s.record(&delivered(0, 400));
         assert_eq!(s.histogram.count(), 2);
-        assert!(s.histogram.quantile_upper(1.0) >= 400);
+        // Latency 400 falls in bucket [256, 512); lower edge 256.
+        assert_eq!(s.histogram.quantile_lower(1.0), 256);
     }
 
     #[test]

@@ -52,6 +52,14 @@ pub trait PowerMechanism {
     fn next_event(&self, core: &NetworkCore) -> Option<Cycle> {
         Some(core.cycle)
     }
+
+    /// Report mechanism-specific state-legality violations to the
+    /// invariant auditor (see [`crate::network::audit`]): call `report`
+    /// once per broken rule with a human-readable description. Invoked
+    /// only at audit boundaries (between steps, every audit interval), so
+    /// implementations may inspect the whole fabric. The default reports
+    /// nothing — mechanisms without protocol invariants stay untouched.
+    fn audit_state(&self, _core: &NetworkCore, _report: &mut dyn FnMut(String)) {}
 }
 
 /// A request to create one packet; the core assigns the id and birth cycle.

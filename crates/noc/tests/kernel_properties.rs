@@ -148,3 +148,75 @@ proptest! {
         }
     }
 }
+
+/// Lower edge of the power-of-two bucket a latency sample lands in
+/// (bucket 0 absorbs 0 and 1) — the oracle for `quantile_lower`.
+fn bucket_lower(s: u64) -> u64 {
+    1u64 << (64 - s.max(1).leading_zeros() as usize - 1).min(31)
+}
+
+proptest! {
+    /// ActiveSet agrees with a BTreeSet model under arbitrary op
+    /// sequences: membership, len/is_empty after every op, and the
+    /// ascending-order snapshot at the end. Each op is decoded from one
+    /// integer (low bits pick insert/remove/query, the rest the index) so
+    /// the sequence shrinks to a reproducible single value per step.
+    #[test]
+    fn active_set_matches_btreeset_model(
+        cap in 1usize..200,
+        ops in prop::collection::vec(any::<u64>(), 1..300),
+    ) {
+        let mut set = flov_noc::active::ActiveSet::new(cap);
+        let mut model = std::collections::BTreeSet::new();
+        for &v in &ops {
+            let idx = (v / 4) as usize % cap;
+            match v % 4 {
+                // Bias toward inserts so the set actually fills up.
+                0 | 3 => {
+                    set.insert(idx);
+                    model.insert(idx);
+                }
+                1 => {
+                    set.remove(idx);
+                    model.remove(&idx);
+                }
+                _ => prop_assert_eq!(set.contains(idx), model.contains(&idx)),
+            }
+            prop_assert_eq!(set.len(), model.len());
+            prop_assert_eq!(set.is_empty(), model.is_empty());
+        }
+        let mut out = Vec::new();
+        set.collect_into(&mut out);
+        let expect: Vec<u32> = model.iter().map(|&i| i as u32).collect();
+        prop_assert_eq!(out, expect);
+        prop_assert_eq!(set.capacity(), cap);
+    }
+
+    /// LatencyHistogram quantiles against a sorted-vector oracle: for any
+    /// sample set and quantile, `quantile_lower(q)` is exactly the lower
+    /// bucket edge of the ceil(n*q)-th smallest sample — so the reported
+    /// value never overstates the true quantile, and understates it by
+    /// less than 2x.
+    #[test]
+    fn histogram_quantiles_match_sorted_oracle(
+        samples in prop::collection::vec(0u64..200_000, 1..400),
+        q_drawn in 0.0f64..1.0,
+    ) {
+        let mut h = flov_noc::stats::LatencyHistogram::default();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [q_drawn, 0.0, 0.5, 0.95, 0.99, 1.0] {
+            let target = ((sorted.len() as f64 * q).ceil() as usize).max(1);
+            let sample = sorted[target - 1];
+            let edge = h.quantile_lower(q);
+            prop_assert_eq!(edge, bucket_lower(sample), "q = {}", q);
+            prop_assert!(edge <= sample.max(1) && sample.max(1) < 2 * edge);
+        }
+        let (p50, p95, p99) = h.percentiles();
+        prop_assert!(p50 <= p95 && p95 <= p99);
+    }
+}

@@ -131,8 +131,11 @@ impl Workload for SyntheticWorkload {
             }
             debug_assert_eq!(due, cycle, "missed injection for node {src}");
             // The next trial is at cycle+1: at most one packet/node/cycle,
-            // exactly like the per-cycle Bernoulli draw this replaces.
-            self.next_inject[src as usize] = cycle + 1 + self.rng.geometric0(p);
+            // exactly like the per-cycle Bernoulli draw this replaces. A
+            // zero rate has no next trial (`geometric0` rejects p == 0, and
+            // in release it would spin sampling a divergent geometric).
+            self.next_inject[src as usize] =
+                if p > 0.0 { cycle + 1 + self.rng.geometric0(p) } else { NEVER };
             min_next = min_next.min(self.next_inject[src as usize]);
             let dst = match self.pattern {
                 Pattern::UniformRandom => {
@@ -285,6 +288,49 @@ mod tests {
             w.generate(c, &active, &mut out);
         }
         assert_eq!(out.len(), n_before);
+    }
+
+    #[test]
+    fn zero_rate_never_injects() {
+        // rate == 0.0 used to reach `Rng::geometric0(0.0)` through the
+        // resample in `generate`, tripping its debug_assert (and spinning
+        // on a divergent geometric in release). It must mean "never".
+        let mut w = SyntheticWorkload::new(
+            4,
+            Pattern::UniformRandom,
+            0.0,
+            4,
+            u64::MAX,
+            GatingSchedule::static_fraction(16, 0.25, 7, &[]),
+            1,
+        );
+        assert!(gen_packets(&mut w, 16, 5_000).is_empty());
+        // With no pending gating changes and nothing to inject, the
+        // workload reports an empty horizon (the kernel may skip forever).
+        assert_eq!(w.next_event(5_000), None);
+
+        // A rate zeroed mid-run hits the unguarded resample path: the node
+        // whose arrival was already scheduled must go quiet, not panic.
+        let mut w = SyntheticWorkload::new(
+            4,
+            Pattern::UniformRandom,
+            1.0,
+            1,
+            u64::MAX,
+            GatingSchedule::none(),
+            1,
+        );
+        let mut active = vec![true; 16];
+        let mut out = Vec::new();
+        w.generate(0, &active, &mut out); // schedules due arrivals at cycle 1
+        w.rate = 0.0;
+        out.clear();
+        for c in 1..100 {
+            w.update_cores(c, &mut active);
+            w.generate(c, &active, &mut out);
+        }
+        assert!(out.len() <= 16, "one resample per node at most");
+        assert_eq!(w.next_event(100), None);
     }
 
     #[test]

@@ -23,6 +23,8 @@ fn spec(mech: &str, k: u16, fraction: f64) -> RunSpec {
         drain: 60_000,
         timeline_width: 0,
         power_params: PowerParams::default(),
+        audit: false,
+        mech_switches: vec![],
     }
 }
 

@@ -23,6 +23,8 @@ fn timeline_spec(mech: &str) -> RunSpec {
         drain: 60_000,
         timeline_width: 1_000,
         power_params: PowerParams::default(),
+        audit: false,
+        mech_switches: vec![],
     }
 }
 
