@@ -68,6 +68,88 @@ impl TestRng {
 pub trait Strategy {
     type Value: Debug;
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values (real proptest's `prop_map`).
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy that always yields a fixed value (real proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+/// Uniform choice between same-valued strategies (`prop_oneof!`). Unlike
+/// real proptest there are no per-arm weights.
+pub struct Union<T>(Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T: Debug> Union<T> {
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!arms.is_empty(), "empty prop_oneof");
+        Union(arms)
+    }
+
+    /// Box one arm; lets `prop_oneof!` unify all arm types through `T`
+    /// without an explicit cast (whose `_` would hit integer fallback).
+    pub fn arm<S: Strategy<Value = T> + 'static>(s: S) -> Box<dyn Strategy<Value = T>> {
+        Box::new(s)
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = (rng.next_u64() % self.0.len() as u64) as usize;
+        self.0[arm].generate(rng)
+    }
+}
+
+/// Choose uniformly among the listed strategies (all yielding one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Union::arm($arm)),+])
+    };
 }
 
 macro_rules! impl_int_range {
@@ -195,8 +277,8 @@ pub mod prelude {
     /// Real proptest exposes strategy modules under `prop::`; alias the
     /// crate root so `prop::collection::vec(..)` resolves.
     pub use crate as prop;
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Arbitrary, Just, ProptestConfig, Strategy};
 }
 
 #[macro_export]
@@ -292,6 +374,17 @@ mod tests {
         #[test]
         fn full_u64_range_works(s in 0u64..u64::MAX) {
             prop_assert!(s < u64::MAX);
+        }
+
+        #[test]
+        fn oneof_map_and_just_compose(
+            v in prop_oneof![
+                Just(0u16),
+                (1u16..5).prop_map(|x| x * 10),
+                (1u16..3, 1u16..3).prop_map(|(a, b)| 100 + a + b),
+            ],
+        ) {
+            prop_assert!(v == 0 || (10..50).contains(&v) || (102..105).contains(&v));
         }
     }
 

@@ -61,7 +61,9 @@ fn routing_micro(c: &mut Criterion) {
     g.sample_size(20);
     g.throughput(Throughput::Elements(1));
     let mk_ctx = |gated_n: bool| RouteCtx {
-        k: 8,
+        kx: 8,
+        ky: 8,
+        torus: false,
         at: Coord::new(3, 3),
         in_port: Port::West,
         dst: Coord::new(6, 6),

@@ -24,8 +24,8 @@ use flov_bench::figures::{
 use flov_bench::{ablations, studies, ResultCache, RunResult, RunSpec};
 use flov_core::mechanism;
 use flov_noc::network::Simulation;
-use flov_noc::render;
-use flov_workloads::{GatingSchedule, Pattern, SyntheticWorkload};
+use flov_noc::{render, TopologySpec};
+use flov_workloads::{GatingSchedule, Pattern, PatternSpace, SyntheticWorkload};
 
 const USAGE: &str = "\
 flov — FLOV reproduction experiment runner
@@ -54,7 +54,7 @@ tools:
   sim         one-off simulation with a full report    (was: flov-sim)
               [--mech M] [--pattern P] [--rate R] [--gated F] [--cycles N]
               [--warmup N] [--seed S] [--k K] [--parsec BENCH] [--json] [--map]
-              [--audit]
+              [--audit] [--topology mesh|torus|cmesh:C|rect:KXxKY]
   sweep       run a batch of serialized RunSpecs
               --spec FILE.json (one spec or an array); JSON results on stdout
   bench-kernel  time the cycle kernels (active-set vs reference) on 8x8
@@ -127,6 +127,38 @@ fn parse_or_die<T: std::str::FromStr>(what: &str, v: &str) -> T {
         eprintln!("error: invalid {what}: {v:?}");
         std::process::exit(2);
     })
+}
+
+/// Parse `--topology` (`mesh` | `torus` | `cmesh:C` | `rect:KXxKY`); the
+/// square variants take their radix from `--k`.
+fn parse_topology(v: &str, k: u16) -> TopologySpec {
+    if v == "mesh" {
+        TopologySpec::Mesh { k }
+    } else if v == "torus" {
+        TopologySpec::Torus { k }
+    } else if let Some(c) = v.strip_prefix("cmesh:") {
+        TopologySpec::CMesh { k, c: parse_or_die("--topology cmesh concentration", c) }
+    } else if let Some(dims) = v.strip_prefix("rect:") {
+        let Some((kx, ky)) = dims.split_once('x') else {
+            eprintln!("error: rect topology needs KXxKY, got {dims:?}");
+            std::process::exit(2);
+        };
+        TopologySpec::RectMesh {
+            kx: parse_or_die("--topology rect width", kx),
+            ky: parse_or_die("--topology rect height", ky),
+        }
+    } else {
+        eprintln!("error: unknown topology {v:?} (mesh|torus|cmesh:C|rect:KXxKY)");
+        std::process::exit(2);
+    }
+}
+
+/// Surface a config problem as a diagnostic instead of a panic.
+fn validate_or_die(spec: &RunSpec) {
+    if let Err(e) = spec.resolved().cfg.validate() {
+        eprintln!("error: invalid configuration for {}: {e}", spec.mechanism);
+        std::process::exit(2);
+    }
 }
 
 /// Every name `RunSpec::resolve` + `mechanism::by_name` can build (the
@@ -287,6 +319,7 @@ fn main() {
                     }
                 },
             };
+            specs.iter().for_each(validate_or_die);
             let results: Vec<RunResult> = engine.run_batch(&specs);
             println!("{}", serde_json::to_string_pretty(&results).expect("results serialize"));
         }
@@ -391,6 +424,7 @@ fn sim(engine: &Engine, rest: &[String]) {
     let mut warmup = 10_000u64;
     let mut seed = 0xF10Fu64;
     let mut k = 8u16;
+    let mut topology: Option<String> = None;
     let mut parsec: Option<String> = None;
     let mut json = false;
     let mut map = false;
@@ -413,6 +447,7 @@ fn sim(engine: &Engine, rest: &[String]) {
             "--warmup" => warmup = parse_or_die("--warmup", &val(&mut i)),
             "--seed" => seed = parse_or_die("--seed", &val(&mut i)),
             "--k" => k = parse_or_die("--k", &val(&mut i)),
+            "--topology" => topology = Some(val(&mut i)),
             "--parsec" => parsec = Some(val(&mut i)),
             "--json" => json = true,
             "--map" => map = true,
@@ -428,6 +463,9 @@ fn sim(engine: &Engine, rest: &[String]) {
     }
     check_mech(&mech);
     let mut b = RunSpec::builder().mechanism(&mech).k(k).seed(seed).audit(audit);
+    if let Some(t) = &topology {
+        b = b.topology(parse_topology(t, k));
+    }
     b = match &parsec {
         Some(bench) => b.parsec(bench),
         None => b
@@ -439,6 +477,7 @@ fn sim(engine: &Engine, rest: &[String]) {
             .drain(cycles),
     };
     let spec = b.build();
+    validate_or_die(&spec);
     let r = engine.run_one(&spec);
     if json {
         println!("{}", serde_json::to_string_pretty(&r).expect("result serializes"));
@@ -488,13 +527,13 @@ fn sim(engine: &Engine, rest: &[String]) {
         // consumed its simulation).
         let cfg = spec.cfg.clone();
         let m = mechanism::by_name(&mech, &cfg).expect("mechanism");
-        let w = SyntheticWorkload::new(
-            cfg.k,
+        let w = SyntheticWorkload::with_space(
+            PatternSpace { kx: cfg.kx(), ky: cfg.ky(), c: cfg.concentration() },
             pattern,
             rate,
             cfg.synth_packet_len,
             20_000,
-            GatingSchedule::static_fraction(cfg.nodes(), gated, seed, &[]),
+            GatingSchedule::static_fraction(cfg.cores(), gated, seed, &[]),
             seed ^ 0xABCD,
         );
         let mut sim = Simulation::new(cfg, m, Box::new(w));

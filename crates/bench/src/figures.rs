@@ -327,7 +327,15 @@ pub fn table1() -> Table {
     let p = PowerParams::default();
     let mut t = Table::new("Table I — simulation testbed parameters", &["parameter", "value"]);
     let rows: Vec<(&str, String)> = vec![
-        ("Network Topology", format!("{}x{} Mesh", cfg.k, cfg.k)),
+        ("Network Topology", {
+            use flov_noc::TopologySpec as T;
+            match cfg.topology_spec() {
+                T::Mesh { k } => format!("{k}x{k} Mesh"),
+                T::RectMesh { kx, ky } => format!("{kx}x{ky} Mesh"),
+                T::Torus { k } => format!("{k}x{k} Torus"),
+                T::CMesh { k, c } => format!("{k}x{k} CMesh, {c} cores/router"),
+            }
+        }),
         ("Input Buffer Depth", format!("{} flits", cfg.buf_depth)),
         (
             "Router",

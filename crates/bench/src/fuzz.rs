@@ -26,7 +26,7 @@ use crate::spec::{RunSpec, WorkloadSpec};
 use crate::{run_kernel_audited, KernelMode, KERNEL_VERSION};
 use flov_noc::rng::Rng;
 use flov_noc::types::{Cycle, NodeId};
-use flov_noc::NocConfig;
+use flov_noc::{NocConfig, TopologySpec};
 use flov_workloads::Pattern;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -102,29 +102,52 @@ const MECHS: [&str; 7] =
     ["Baseline", "RP", "RP-aggressive", "rFLOV", "gFLOV", "NoRD", "PowerPunch"];
 
 /// Sample one random spec. Every sampled spec is *legal by construction*
-/// (NoRD gets an even radix, hotspots land inside the mesh, mechanism
-/// switches only loosen the protocol), so any failure is a simulator bug,
-/// never a malformed input.
+/// (NoRD only lands on ring-admitting topologies, PowerPunch never on a
+/// torus, hotspots land inside the core space, mechanism switches only
+/// loosen the protocol), so any failure is a simulator bug, never a
+/// malformed input.
 pub fn sample_spec(rng: &mut Rng, max_cycles: Cycle) -> RunSpec {
     let mechanism = *rng.pick(&MECHS);
     let mut k = *rng.pick(&[2u16, 3, 4, 4, 5, 6, 8]);
-    if mechanism == "NoRD" && !k.is_multiple_of(2) {
-        k += 1;
-    }
-    let nodes = k as u64 * k as u64;
+    // Topology draw (mesh-weighted), constrained by the mechanism: a torus
+    // needs its escape VCs (which PowerPunch models away), and NoRD's
+    // bypass ring needs a Hamiltonian cycle.
+    let topology = match rng.below(8) {
+        0 if mechanism != "PowerPunch" => Some(TopologySpec::Torus { k }),
+        1 => {
+            if mechanism == "NoRD" && !k.is_multiple_of(2) {
+                k += 1;
+            }
+            Some(TopologySpec::CMesh { k, c: if rng.chance(0.5) { 2 } else { 4 } })
+        }
+        2 => {
+            let mut ky = *rng.pick(&[2u16, 3, 4, 5]);
+            if mechanism == "NoRD" && !k.is_multiple_of(2) && !ky.is_multiple_of(2) {
+                ky += 1;
+            }
+            Some(TopologySpec::RectMesh { kx: k, ky })
+        }
+        _ => {
+            if mechanism == "NoRD" && !k.is_multiple_of(2) {
+                k += 1;
+            }
+            None
+        }
+    };
+    let cores = topology.unwrap_or(TopologySpec::Mesh { k }).cores() as u64;
     let pattern = match rng.below(6) {
         0 => Pattern::Tornado,
         1 => Pattern::Transpose,
         2 => Pattern::BitComplement,
         3 => Pattern::Neighbor,
         4 => Pattern::Hotspot {
-            hotspot: rng.below(nodes) as NodeId,
+            hotspot: rng.below(cores) as NodeId,
             p_hot_pct: 5 + rng.below(30) as u8,
         },
         _ => Pattern::UniformRandom,
     };
     let cycles = 2_000 + rng.below(max_cycles.saturating_sub(2_000).max(1));
-    let mut cfg = NocConfig { k, ..NocConfig::default() };
+    let mut cfg = NocConfig { k, topology, ..NocConfig::default() };
     cfg.vnets = if rng.chance(0.25) { 3 } else { 1 };
     // Short fuse on the no-progress watchdog: a deadlock must surface as a
     // structured NoProgress violation *within* the drain window.
@@ -213,48 +236,72 @@ fn shrink_candidates(spec: &RunSpec) -> Vec<RunSpec> {
     else {
         return out;
     };
-    let rebuild =
-        |cycles: Cycle, k: u16, gated: f64, changes: Vec<Cycle>, switches: Vec<(Cycle, String)>| {
-            let mut cfg = spec.cfg.clone();
-            cfg.k = k;
-            let pattern = match *pattern {
-                // Keep the hotspot inside a shrunken mesh.
-                Pattern::Hotspot { hotspot, p_hot_pct } => {
-                    Pattern::Hotspot { hotspot: hotspot % (k as NodeId * k as NodeId), p_hot_pct }
-                }
-                p => p,
-            };
-            RunSpec::builder()
-                .cfg(cfg)
-                .mechanism(&spec.mechanism)
-                .pattern(pattern)
-                .rate(*rate)
-                .gated_fraction(gated)
-                .changes(changes.iter().copied().filter(|&c| c < cycles).collect())
-                .mech_switches(switches.into_iter().filter(|(c, _)| *c < cycles).collect())
-                .seed(*seed)
-                .warmup(spec.warmup.min(cycles / 5))
-                .cycles(cycles)
-                .drain(spec.drain)
-                .audit(true)
-                .build()
+    let rebuild = |cycles: Cycle,
+                   k: u16,
+                   topology: Option<TopologySpec>,
+                   gated: f64,
+                   changes: Vec<Cycle>,
+                   switches: Vec<(Cycle, String)>| {
+        let mut cfg = spec.cfg.clone();
+        cfg.k = k;
+        cfg.topology = topology;
+        let cores = cfg.cores() as NodeId;
+        let pattern = match *pattern {
+            // Keep the hotspot inside a shrunken fabric.
+            Pattern::Hotspot { hotspot, p_hot_pct } => {
+                Pattern::Hotspot { hotspot: hotspot % cores, p_hot_pct }
+            }
+            p => p,
         };
-    if spec.cycles > 2_000 {
+        RunSpec::builder()
+            .cfg(cfg)
+            .mechanism(&spec.mechanism)
+            .pattern(pattern)
+            .rate(*rate)
+            .gated_fraction(gated)
+            .changes(changes.iter().copied().filter(|&c| c < cycles).collect())
+            .mech_switches(switches.into_iter().filter(|(c, _)| *c < cycles).collect())
+            .seed(*seed)
+            .warmup(spec.warmup.min(cycles / 5))
+            .cycles(cycles)
+            .drain(spec.drain)
+            .audit(true)
+            .build()
+    };
+    let topo = spec.cfg.topology;
+    if topo.is_some() {
+        // Try the plain mesh first: most bugs are not topology-specific.
+        let mut k = spec.cfg.kx().max(spec.cfg.ky());
+        if spec.mechanism == "NoRD" && !k.is_multiple_of(2) {
+            k += 1;
+        }
         out.push(rebuild(
-            (spec.cycles / 2).max(2_000),
-            spec.cfg.k,
+            spec.cycles,
+            k,
+            None,
             *gated_fraction,
             changes.clone(),
             spec.mech_switches.clone(),
         ));
     }
-    if spec.cfg.k > 2 {
+    if spec.cycles > 2_000 {
+        out.push(rebuild(
+            (spec.cycles / 2).max(2_000),
+            spec.cfg.k,
+            topo,
+            *gated_fraction,
+            changes.clone(),
+            spec.mech_switches.clone(),
+        ));
+    }
+    if topo.is_none() && spec.cfg.k > 2 {
         // NoRD's ring needs an even radix; everything else can step by 1.
         let k = if spec.mechanism == "NoRD" { spec.cfg.k - 2 } else { spec.cfg.k - 1 };
         if k >= 2 {
             out.push(rebuild(
                 spec.cycles,
                 k,
+                None,
                 *gated_fraction,
                 changes.clone(),
                 spec.mech_switches.clone(),
@@ -264,17 +311,25 @@ fn shrink_candidates(spec: &RunSpec) -> Vec<RunSpec> {
     if !spec.mech_switches.is_empty() {
         let mut s = spec.mech_switches.clone();
         s.pop();
-        out.push(rebuild(spec.cycles, spec.cfg.k, *gated_fraction, changes.clone(), s));
+        out.push(rebuild(spec.cycles, spec.cfg.k, topo, *gated_fraction, changes.clone(), s));
     }
     if !changes.is_empty() {
         let mut c = changes.clone();
         c.pop();
-        out.push(rebuild(spec.cycles, spec.cfg.k, *gated_fraction, c, spec.mech_switches.clone()));
+        out.push(rebuild(
+            spec.cycles,
+            spec.cfg.k,
+            topo,
+            *gated_fraction,
+            c,
+            spec.mech_switches.clone(),
+        ));
     }
     if *gated_fraction > 0.0 {
         out.push(rebuild(
             spec.cycles,
             spec.cfg.k,
+            topo,
             0.0,
             changes.clone(),
             spec.mech_switches.clone(),
@@ -390,19 +445,26 @@ mod tests {
         let mut rng = Rng::new(7);
         for _ in 0..200 {
             let spec = sample_spec(&mut rng, 20_000).resolved();
+            assert_eq!(spec.cfg.validate(), Ok(()), "invalid sample: {}", spec.mechanism);
             assert!(
                 mechanism::by_name(&spec.mechanism, &spec.cfg).is_some(),
-                "unconstructible sample: {} on k={}",
+                "unconstructible sample: {} on {}",
                 spec.mechanism,
-                spec.cfg.k
+                spec.cfg.topology_spec().label()
             );
             if spec.mechanism == "NoRD" {
-                assert_eq!(spec.cfg.k % 2, 0, "NoRD sampled with odd radix");
+                assert!(
+                    spec.cfg.topology_spec().admits_ring(),
+                    "NoRD sampled on a ring-less topology"
+                );
+            }
+            if spec.mechanism == "PowerPunch" {
+                assert!(!spec.cfg.topology_spec().wraps(), "PowerPunch sampled on a torus");
             }
             if let WorkloadSpec::Synthetic { pattern: Pattern::Hotspot { hotspot, .. }, .. } =
                 &spec.workload
             {
-                assert!((*hotspot as u64) < spec.cfg.nodes() as u64, "hotspot off-mesh");
+                assert!((*hotspot as usize) < spec.cfg.cores(), "hotspot off-fabric");
             }
             for (at, to) in &spec.mech_switches {
                 assert!(*at < spec.cycles);

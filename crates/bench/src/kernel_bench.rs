@@ -10,14 +10,20 @@
 use crate::KernelMode;
 use flov_core::mechanism;
 use flov_noc::network::Simulation;
-use flov_noc::NocConfig;
-use flov_workloads::{GatingSchedule, Pattern, SyntheticWorkload};
+use flov_noc::{NocConfig, TopologySpec};
+use flov_workloads::{GatingSchedule, Pattern, PatternSpace, SyntheticWorkload};
 use serde::Serialize;
 use std::time::Instant;
 
 /// Mechanisms measured (the paper's main matrix; PowerPunch shares the
 /// rFLOV datapath and adds nothing kernel-wise).
 pub const MECHANISMS: [&str; 5] = ["Baseline", "RP", "rFLOV", "gFLOV", "NoRD"];
+
+/// Topology lanes: the seed 8×8 mesh matrix plus a concentrated-mesh lane
+/// (64 cores on 16 routers) exercising the kernels on a fabric where core
+/// space and router space differ.
+pub const LANES: [(&str, Option<TopologySpec>); 2] =
+    [("mesh8x8", None), ("cmesh64", Some(TopologySpec::CMesh { k: 4, c: 4 }))];
 
 /// `(name, injection rate flits/cycle/node, gated core fraction)`.
 ///
@@ -30,6 +36,7 @@ pub const LOADS: [(&str, f64, f64); 4] =
 /// One timed measurement.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchRow {
+    pub lane: String,
     pub mechanism: String,
     pub load: String,
     pub kernel: String,
@@ -45,6 +52,7 @@ pub struct BenchRow {
 /// Active-vs-reference summary for one `(mechanism, load)` cell.
 #[derive(Clone, Debug, Serialize)]
 pub struct SpeedupRow {
+    pub lane: String,
     pub mechanism: String,
     pub load: String,
     pub active_cps: f64,
@@ -61,14 +69,22 @@ pub struct BenchReport {
     pub speedups: Vec<SpeedupRow>,
 }
 
-fn make_sim(mech_name: &str, rate: f64, gated_fraction: f64, total_cycles: u64) -> Simulation {
-    let mut cfg = NocConfig::default(); // Table I: 8x8
+fn make_sim(
+    topology: Option<TopologySpec>,
+    mech_name: &str,
+    rate: f64,
+    gated_fraction: f64,
+    total_cycles: u64,
+) -> Simulation {
+    // Table I defaults (8x8) unless a lane overrides the topology.
+    let mut cfg = NocConfig { topology, ..NocConfig::default() };
     if mech_name == "NoRD" {
         cfg.enable_ring = true;
     }
-    let gating = GatingSchedule::static_fraction(cfg.nodes(), gated_fraction, 42, &[]);
-    let workload = SyntheticWorkload::new(
-        cfg.k,
+    let space = PatternSpace { kx: cfg.kx(), ky: cfg.ky(), c: cfg.concentration() };
+    let gating = GatingSchedule::static_fraction(cfg.cores(), gated_fraction, 42, &[]);
+    let workload = SyntheticWorkload::with_space(
+        space,
         Pattern::UniformRandom,
         rate,
         cfg.synth_packet_len,
@@ -84,15 +100,16 @@ fn make_sim(mech_name: &str, rate: f64, gated_fraction: f64, total_cycles: u64) 
 /// Time `cycles` simulated cycles after `warmup`; returns the row plus a
 /// digest of the end state (activity + stats) for equivalence checking.
 fn measure_one(
+    lane: &str,
+    topology: Option<TopologySpec>,
     mech_name: &str,
-    load: &str,
-    rate: f64,
-    gated_fraction: f64,
+    load: (&str, f64, f64),
     kernel: KernelMode,
     warmup: u64,
     cycles: u64,
 ) -> (BenchRow, String) {
-    let mut sim = make_sim(mech_name, rate, gated_fraction, warmup + cycles);
+    let (load, rate, gated_fraction) = load;
+    let mut sim = make_sim(topology, mech_name, rate, gated_fraction, warmup + cycles);
     sim.core.kernel = kernel;
     sim.run(warmup);
     let act0 = sim.core.activity.clone();
@@ -113,6 +130,7 @@ fn measure_one(
     let digest = serde_json::to_string(&(&sim.core.activity, &sim.core.stats, &residency))
         .expect("digest serialization");
     let row = BenchRow {
+        lane: lane.to_string(),
         mechanism: mech_name.to_string(),
         load: load.to_string(),
         kernel: match kernel {
@@ -138,35 +156,39 @@ pub fn run_bench(quick: bool, min_cps: Option<f64>, min_skip: Option<f64>) -> Be
     let base = if quick { 20_000u64 } else { 200_000u64 };
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
-    for mech in MECHANISMS {
-        for (load, rate, gated) in LOADS {
-            // Idle runs are cheap; stretch them so the timer has signal.
-            let cycles = if rate == 0.0 { base * 5 } else { base };
-            let (act, act_digest) =
-                measure_one(mech, load, rate, gated, KernelMode::ActiveSet, warmup, cycles);
-            let (reference, ref_digest) =
-                measure_one(mech, load, rate, gated, KernelMode::Reference, warmup, cycles);
-            assert_eq!(
-                act_digest, ref_digest,
-                "kernel divergence: {mech}/{load} active vs reference end states differ"
-            );
-            eprintln!(
-                "[flov] bench-kernel {mech:>8} {load:>9}: active {:>12.0} cyc/s, \
-                 reference {:>12.0} cyc/s ({:.2}x), {:.0}% skipped",
-                act.cycles_per_sec,
-                reference.cycles_per_sec,
-                act.cycles_per_sec / reference.cycles_per_sec,
-                100.0 * act.cycles_skipped as f64 / act.cycles as f64,
-            );
-            speedups.push(SpeedupRow {
-                mechanism: mech.to_string(),
-                load: load.to_string(),
-                active_cps: act.cycles_per_sec,
-                reference_cps: reference.cycles_per_sec,
-                speedup: act.cycles_per_sec / reference.cycles_per_sec,
-            });
-            rows.push(act);
-            rows.push(reference);
+    for (lane, topology) in LANES {
+        for mech in MECHANISMS {
+            for (load, rate, gated) in LOADS {
+                // Idle runs are cheap; stretch them so the timer has signal.
+                let cycles = if rate == 0.0 { base * 5 } else { base };
+                let cell = (load, rate, gated);
+                let (act, act_digest) =
+                    measure_one(lane, topology, mech, cell, KernelMode::ActiveSet, warmup, cycles);
+                let (reference, ref_digest) =
+                    measure_one(lane, topology, mech, cell, KernelMode::Reference, warmup, cycles);
+                assert_eq!(
+                    act_digest, ref_digest,
+                    "kernel divergence: {lane}/{mech}/{load} active vs reference end states differ"
+                );
+                eprintln!(
+                    "[flov] bench-kernel {lane:>7} {mech:>8} {load:>9}: active {:>12.0} cyc/s, \
+                     reference {:>12.0} cyc/s ({:.2}x), {:.0}% skipped",
+                    act.cycles_per_sec,
+                    reference.cycles_per_sec,
+                    act.cycles_per_sec / reference.cycles_per_sec,
+                    100.0 * act.cycles_skipped as f64 / act.cycles as f64,
+                );
+                speedups.push(SpeedupRow {
+                    lane: lane.to_string(),
+                    mechanism: mech.to_string(),
+                    load: load.to_string(),
+                    active_cps: act.cycles_per_sec,
+                    reference_cps: reference.cycles_per_sec,
+                    speedup: act.cycles_per_sec / reference.cycles_per_sec,
+                });
+                rows.push(act);
+                rows.push(reference);
+            }
         }
     }
     if let Some(floor) = min_cps {
@@ -194,5 +216,5 @@ pub fn run_bench(quick: bool, min_cps: Option<f64>, min_skip: Option<f64>) -> Be
             );
         }
     }
-    BenchReport { mesh: "8x8".to_string(), quick, rows, speedups }
+    BenchReport { mesh: "mesh8x8+cmesh64".to_string(), quick, rows, speedups }
 }

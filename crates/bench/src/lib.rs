@@ -31,10 +31,12 @@ pub use spec::{RunResult, RunSpec, RunSpecBuilder, WorkloadSpec};
 use flov_core::mechanism;
 use flov_noc::network::Simulation;
 use flov_noc::stats::IntervalSample;
+use flov_noc::topology::Topology;
 use flov_noc::traits::Workload;
 use flov_noc::types::Cycle;
+use flov_noc::ConfigError;
 use flov_power::GatedResidual;
-use flov_workloads::{GatingSchedule, ParsecWorkload, SyntheticWorkload};
+use flov_workloads::{GatingSchedule, ParsecWorkload, PatternSpace, SyntheticWorkload};
 
 /// Kernel selected by the `FLOV_KERNEL` environment variable (`active` |
 /// `reference`); defaults to the active-set kernel. Both kernels produce
@@ -96,10 +98,23 @@ pub fn run_kernel(spec: &RunSpec, kernel: KernelMode) -> RunResult {
 /// [`run_kernel`], keeping the auditor's findings instead of just warning
 /// about them. The differential fuzzer ([`fuzz`]) is the main consumer.
 pub fn run_kernel_audited(spec: &RunSpec, kernel: KernelMode) -> AuditedRun {
+    try_run_kernel_audited(spec, kernel)
+        .unwrap_or_else(|e| panic!("invalid run spec ({}): {e}", spec.mechanism))
+}
+
+/// [`run_kernel_audited`] with config validation up front: a misconfigured
+/// spec (e.g. NoRD on a topology with no Hamiltonian ring) comes back as a
+/// structured [`ConfigError`] instead of a panic. The CLI surfaces these as
+/// diagnostics.
+pub fn try_run_kernel_audited(
+    spec: &RunSpec,
+    kernel: KernelMode,
+) -> Result<AuditedRun, ConfigError> {
     let spec = spec.resolved();
+    spec.cfg.validate()?;
     let mech = mechanism::by_name(&spec.mechanism, &spec.cfg)
         .unwrap_or_else(|| panic!("unknown mechanism {:?}", spec.mechanism));
-    run_with_kernel_audited(&spec, mech, kernel)
+    Ok(run_with_kernel_audited(&spec, mech, kernel))
 }
 
 /// Execute one simulation with an explicitly constructed mechanism (used by
@@ -131,15 +146,16 @@ pub fn run_with_kernel_audited(
     kernel: KernelMode,
 ) -> AuditedRun {
     let cfg = spec.cfg.clone();
+    let space = PatternSpace { kx: cfg.kx(), ky: cfg.ky(), c: cfg.concentration() };
     let workload: Box<dyn Workload> = match &spec.workload {
         WorkloadSpec::Synthetic { pattern, rate, gated_fraction, seed, changes } => {
             let gating = if changes.is_empty() {
-                GatingSchedule::static_fraction(cfg.nodes(), *gated_fraction, *seed, &[])
+                GatingSchedule::static_fraction(cfg.cores(), *gated_fraction, *seed, &[])
             } else {
-                GatingSchedule::rerandomized_at(cfg.nodes(), *gated_fraction, *seed, changes, &[])
+                GatingSchedule::rerandomized_at(cfg.cores(), *gated_fraction, *seed, changes, &[])
             };
-            Box::new(SyntheticWorkload::new(
-                cfg.k,
+            Box::new(SyntheticWorkload::with_space(
+                space,
                 *pattern,
                 *rate,
                 cfg.synth_packet_len,
@@ -149,9 +165,17 @@ pub fn run_with_kernel_audited(
             ))
         }
         WorkloadSpec::Parsec { name, seed } => {
+            // The PARSEC proxy places memory controllers at the corners of
+            // a square k x k grid with one core per router; other fabrics
+            // have no defined MC placement.
+            assert!(
+                cfg.kx() == cfg.ky() && cfg.concentration() == 1,
+                "PARSEC workload requires a square non-concentrated mesh, got {}",
+                cfg.topology_spec().label(),
+            );
             let profile = flov_workloads::benchmark(name)
                 .unwrap_or_else(|| panic!("unknown PARSEC benchmark {name:?}"));
-            Box::new(ParsecWorkload::new(cfg.k, profile, *seed))
+            Box::new(ParsecWorkload::new(cfg.kx(), profile, *seed))
         }
     };
     let mut sim = Simulation::new(cfg, mech, workload);
@@ -201,9 +225,9 @@ pub fn run_with_kernel_audited(
     let window = measured_end - spec.warmup;
     let activity = sim.core.activity.delta_since(&act0);
     let residency = flov_power::residency_delta(sim.core.residency(), &res0);
-    let power = flov_power::compute(
+    let power = flov_power::compute_links(
         &spec.power_params,
-        sim.core.cfg.k,
+        sim.core.topo.links().len() as u64,
         &activity,
         &residency,
         window.max(1),

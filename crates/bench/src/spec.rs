@@ -9,6 +9,7 @@
 //! [`RunSpec::synthetic_paper`] / [`RunSpec::parsec`] shorthands.
 
 use flov_noc::stats::IntervalSample;
+use flov_noc::topology::TopologySpec;
 use flov_noc::types::Cycle;
 use flov_noc::NocConfig;
 use flov_power::{PowerParams, PowerReport};
@@ -175,6 +176,19 @@ impl RunSpecBuilder {
     /// Mesh radix shorthand: a `k x k` network.
     pub fn k(mut self, k: u16) -> Self {
         self.cfg.k = k;
+        self
+    }
+
+    /// Select the fabric topology. `Mesh { k }` is spelled as the bare
+    /// `k` field instead, keeping the serialized spec — and so the result
+    /// cache key — byte-identical to the pre-topology encoding.
+    pub fn topology(mut self, t: TopologySpec) -> Self {
+        if let TopologySpec::Mesh { k } = t {
+            self.cfg.k = k;
+            self.cfg.topology = None;
+        } else {
+            self.cfg.topology = Some(t);
+        }
         self
     }
 

@@ -18,7 +18,7 @@
 use flov_bench::{run_kernel, KernelMode, RunSpec, KERNEL_VERSION};
 use flov_core::mechanism;
 use flov_noc::network::Simulation;
-use flov_noc::NocConfig;
+use flov_noc::{NocConfig, TopologySpec};
 use flov_workloads::{GatingSchedule, Pattern, SyntheticWorkload};
 use rayon::prelude::*;
 
@@ -79,6 +79,66 @@ fn active_set_kernel_matches_reference_on_the_full_matrix() {
         .flatten()
         .collect();
     assert!(failures.is_empty(), "kernel equivalence failures:\n{}", failures.join("\n"));
+}
+
+/// The equivalence contract extends to every topology the selector can
+/// produce: torus (wraparound datapath + wrap-minimal routing on regular
+/// VCs) and concentrated mesh (core space ≠ router space) must also be
+/// bit-identical between kernels for every mechanism that supports them.
+/// PowerPunch is structurally excluded on the torus (it requires
+/// `escape_vcs == 0`, the torus requires an escape VC), which `validate()`
+/// rejects — so the matrix below covers the other five.
+#[test]
+fn topology_rows_stay_bit_identical_between_kernels() {
+    let topologies =
+        [("torus8", TopologySpec::Torus { k: 8 }), ("cmesh64", TopologySpec::CMesh { k: 4, c: 4 })];
+    let cells: Vec<(&str, TopologySpec, &str, &str, Pattern)> = topologies
+        .iter()
+        .flat_map(|&(tn, t)| {
+            MECHANISMS.iter().flat_map(move |&m| {
+                [("uniform", Pattern::UniformRandom), ("transpose", Pattern::Transpose)]
+                    .into_iter()
+                    .map(move |(pn, p)| (tn, t, m, pn, p))
+            })
+        })
+        .collect();
+    let failures: Vec<String> = cells
+        .par_iter()
+        .map(|&(topo_name, topology, mech, pat_name, pattern)| {
+            eprintln!("cell start: {topo_name}/{mech}/{pat_name}");
+            let s = RunSpec::builder()
+                .mechanism(mech)
+                .topology(topology)
+                .pattern(pattern)
+                .rate(0.05)
+                .gated_fraction(0.3)
+                .seed(0xF10F)
+                .warmup(1_500)
+                .cycles(6_000)
+                .drain(25_000)
+                .build();
+            let active = run_kernel(&s, KernelMode::ActiveSet);
+            let reference = run_kernel(&s, KernelMode::Reference);
+            let aj = serde_json::to_string(&active).expect("serialize active result");
+            let rj = serde_json::to_string(&reference).expect("serialize reference result");
+            if active.packets <= 100 {
+                return Some(format!(
+                    "{topo_name}/{mech}/{pat_name}: too little traffic ({} packets)",
+                    active.packets
+                ));
+            }
+            if aj != rj {
+                return Some(format!(
+                    "{topo_name}/{mech}/{pat_name}: active-set and reference kernels diverged"
+                ));
+            }
+            None
+        })
+        .collect::<Vec<Option<String>>>()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(failures.is_empty(), "topology equivalence failures:\n{}", failures.join("\n"));
 }
 
 /// One end-state digest plus the skip counter for the low-rate rows, which

@@ -50,7 +50,7 @@ impl FlovParams {
             idle_threshold: cfg.idle_threshold,
             drain_timeout: 256,
             handshake_rtt: 2,
-            aon_column: Some(cfg.k - 1),
+            aon_column: Some(cfg.kx() - 1),
         }
     }
 }
@@ -211,7 +211,7 @@ impl PowerMechanism for Flov {
         for n in 0..core.nodes() as NodeId {
             match core.power(n) {
                 PowerState::Active => {
-                    let gated_core = !core.core_active[n as usize];
+                    let gated_core = !core.router_core_active(n);
                     let idle = core.routers[n as usize].local_idle(now)
                         >= self.params.idle_threshold as u64;
                     if gated_core
@@ -229,7 +229,7 @@ impl PowerMechanism for Flov {
                 }
                 PowerState::Draining => {
                     // Local traffic reappeared: the drain must abort.
-                    if core.core_active[n as usize] || core.nic_pending(n) {
+                    if core.router_core_active(n) || core.nic_pending(n) {
                         core.abort_drain(n);
                         core.activity.handshake_signals += self.signal_cost(core, n);
                         continue;
@@ -258,7 +258,7 @@ impl PowerMechanism for Flov {
                     }
                 }
                 PowerState::Sleep => {
-                    if core.core_active[n as usize] || core.nic_pending(n) {
+                    if core.router_core_active(n) || core.nic_pending(n) {
                         self.try_begin_wakeup(core, n);
                     }
                 }
@@ -296,7 +296,7 @@ impl PowerMechanism for Flov {
                 // Mid-handshake FSMs count stable/ramp cycles every step.
                 PowerState::Draining | PowerState::Wakeup => return Some(now),
                 PowerState::Active => {
-                    if core.core_active[n as usize] || self.is_aon(core, n) {
+                    if core.router_core_active(n) || self.is_aon(core, n) {
                         continue;
                     }
                     // A permission-blocked drain re-arms only through a
@@ -316,7 +316,7 @@ impl PowerMechanism for Flov {
                     // Wake triggers (core reactivation, NIC backlog) arrive
                     // only via stepped events; a sleeper whose core is
                     // already active is transient — resolve it now.
-                    if core.core_active[n as usize] {
+                    if core.router_core_active(n) {
                         return Some(now);
                     }
                 }

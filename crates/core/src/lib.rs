@@ -57,9 +57,11 @@ pub mod mechanism {
             "gFLOV" => Box::new(Flov::generalized(cfg)),
             "RP" => Box::new(RouterParking::adaptive(cfg)),
             "RP-aggressive" => Box::new(RouterParking::aggressive(cfg)),
-            // NoRD needs the bypass ring: only constructible on even-radix
-            // meshes with `cfg.enable_ring` set (the harness does this).
-            "NoRD" if cfg.enable_ring && cfg.k.is_multiple_of(2) => Box::new(Nord::new(cfg)),
+            // NoRD needs the bypass ring: only constructible when the
+            // topology admits a Hamiltonian cycle and `cfg.enable_ring` is
+            // set (the harness does this; `NocConfig::validate` rejects
+            // ring-less topologies with a structured error).
+            "NoRD" if cfg.enable_ring => Box::new(Nord::new(cfg)),
             // Power Punch needs escape_vcs = 0 (waiting on a punched wakeup
             // must not divert into the FLOV escape network) — the harness
             // applies `punch_config`.

@@ -24,10 +24,10 @@
 
 use crate::rp::updown;
 use flov_noc::network::NetworkCore;
-use flov_noc::ring::ring_successors;
 use flov_noc::routing::RouteCtx;
 use flov_noc::traits::PowerMechanism;
 use flov_noc::types::{Cycle, NodeId, Port, PowerState};
+use flov_noc::Topology;
 
 /// Per-router controller state.
 #[derive(Clone, Copy, Debug, Default)]
@@ -40,7 +40,8 @@ struct NodeCtl {
     retry_after: Cycle,
 }
 
-/// The NoRD mechanism. Requires `cfg.enable_ring` (and therefore even `k`).
+/// The NoRD mechanism. Requires `cfg.enable_ring` (and therefore a topology
+/// that admits a Hamiltonian cycle — see `NocConfig::validate`).
 pub struct Nord {
     /// Idle threshold before draining.
     pub idle_threshold: u32,
@@ -61,7 +62,10 @@ pub struct Nord {
 impl Nord {
     pub fn new(cfg: &flov_noc::NocConfig) -> Nord {
         assert!(cfg.enable_ring, "NoRD requires cfg.enable_ring");
-        let succ = ring_successors(cfg.k).expect("NoRD bypass ring requires an even mesh radix");
+        let topo = cfg.build_topology();
+        let succ = topo
+            .ring_successors()
+            .expect("NoRD bypass ring requires a Hamiltonian topology (see NocConfig::validate)");
         let n = cfg.nodes();
         let mut pred = vec![0 as NodeId; n];
         for (a, &b) in succ.iter().enumerate() {
@@ -73,7 +77,7 @@ impl Nord {
             handshake_rtt: 2,
             ctl: vec![NodeCtl::default(); n],
             pred,
-            table: updown::build_table(cfg.k, &vec![true; n]),
+            table: updown::build_table(cfg.kx(), cfg.ky(), &vec![true; n]),
             snapshot: vec![PowerState::Active; n],
             wake_buf: Vec::new(),
         }
@@ -106,7 +110,7 @@ impl Nord {
         }
         if changed {
             let on: Vec<bool> = self.snapshot.iter().map(|p| p.is_powered()).collect();
-            self.table = updown::build_table(core.cfg.k, &on);
+            self.table = updown::build_table(core.cfg.kx(), core.cfg.ky(), &on);
         }
     }
 }
@@ -126,7 +130,7 @@ impl PowerMechanism for Nord {
         for n in 0..core.nodes() as NodeId {
             match core.power(n) {
                 PowerState::Active => {
-                    let gated = !core.core_active[n as usize];
+                    let gated = !core.router_core_active(n);
                     let idle =
                         core.routers[n as usize].local_idle(now) >= self.idle_threshold as u64;
                     // No AON column and no sleep-adjacency limit — but two
@@ -151,7 +155,7 @@ impl PowerMechanism for Nord {
                     }
                 }
                 PowerState::Draining => {
-                    if core.core_active[n as usize] || core.nic_pending(n) {
+                    if core.router_core_active(n) || core.nic_pending(n) {
                         core.abort_drain(n);
                         continue;
                     }
@@ -180,7 +184,7 @@ impl PowerMechanism for Nord {
                     // ring-exit flits stranded in the transfer queue: the
                     // ring froze their mesh-entry node at ingress and this
                     // router gated before they arrived (see module docs).
-                    if core.core_active[n as usize] || core.ring_transfer_pending(n) {
+                    if core.router_core_active(n) || core.ring_transfer_pending(n) {
                         core.begin_wakeup(n);
                         let c = &mut self.ctl[n as usize];
                         c.ramp = core.cfg.wakeup_latency;
@@ -210,9 +214,9 @@ impl PowerMechanism for Nord {
     }
 
     fn route(&self, core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
-        let k = core.cfg.k;
-        let at = ctx.at.id(k);
-        let dst = ctx.dst.id(k);
+        let kx = ctx.kx;
+        let at = ctx.at.y * kx + ctx.at.x;
+        let dst = ctx.dst.y * kx + ctx.dst.x;
         if at == dst {
             return Some(Port::Local);
         }
@@ -250,7 +254,7 @@ impl PowerMechanism for Nord {
                 // Mid-handshake FSMs count stable/ramp cycles every step.
                 PowerState::Draining | PowerState::Wakeup => return Some(now),
                 PowerState::Active => {
-                    if core.core_active[n as usize] {
+                    if core.router_core_active(n) {
                         continue;
                     }
                     // The neighbor-draining blocker is covered: a Draining
@@ -267,7 +271,7 @@ impl PowerMechanism for Nord {
                     // stranded ring transfers demand a flush — transfers
                     // only land while the ring is live, which also keeps
                     // the fabric non-quiescent, but pin the horizon anyway.
-                    if core.core_active[n as usize] || core.ring_transfer_pending(n) {
+                    if core.router_core_active(n) || core.ring_transfer_pending(n) {
                         return Some(now);
                     }
                 }
@@ -328,11 +332,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "even mesh radix")]
     fn odd_mesh_has_no_ring() {
-        // The paper's critique of NoRD, as an API contract.
+        // The paper's critique of NoRD, as an API contract: an odd-radix
+        // mesh admits no Hamiltonian cycle, so the config is rejected with
+        // a structured error instead of a panic.
         let c = NocConfig { k: 5, enable_ring: true, ..NocConfig::default() };
-        let _ = flov_noc::network::NetworkCore::new(c);
+        match flov_noc::network::NetworkCore::try_new(c) {
+            Err(flov_noc::ConfigError::RingUnsupported { topology }) => {
+                assert_eq!(topology, "mesh5x5");
+            }
+            Err(other) => panic!("expected RingUnsupported, got {other:?}"),
+            Ok(_) => panic!("odd-radix mesh ring config must not validate"),
+        }
+    }
+
+    #[test]
+    fn torus_admits_a_ring_at_odd_radix() {
+        // The wrap links remove NoRD's even-radix restriction: a 5x5 torus
+        // has a Hamiltonian cycle, so the same config validates once the
+        // topology is a torus (with the escape VC the torus requires).
+        let c = NocConfig {
+            k: 5,
+            enable_ring: true,
+            topology: Some(flov_noc::TopologySpec::Torus { k: 5 }),
+            ..NocConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        let _ = Nord::new(&c);
     }
 
     #[test]

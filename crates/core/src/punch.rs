@@ -84,11 +84,11 @@ impl PowerPunch {
     /// Walk the YX path from `src` to `dst`, punching every non-active
     /// router (including the destination).
     fn punch_path(&mut self, core: &mut NetworkCore, src: NodeId, dst: NodeId) {
-        let k = core.cfg.k;
-        let mut at = Coord::of(src, k);
-        let dstc = Coord::of(dst, k);
+        let (kx, ky) = (core.cfg.kx(), core.cfg.ky());
+        let mut at = Coord { x: src % kx, y: src / kx };
+        let dstc = Coord { x: dst % kx, y: dst / kx };
         loop {
-            let n = at.id(k);
+            let n = at.y * kx + at.x;
             let now = core.cycle;
             self.ctl[n as usize].punch_hold_until = now + self.punch_hold as u64;
             match core.power(n) {
@@ -110,7 +110,7 @@ impl PowerPunch {
             }
             let p = yx_route(at, dstc);
             let Some(d) = p.dir() else { break };
-            at = at.neighbor(d, k).expect("yx stays in the mesh");
+            at = flov_noc::topology::grid_step(at, d, kx, ky).expect("yx stays in the grid");
         }
     }
 }
@@ -184,7 +184,7 @@ impl PowerMechanism for PowerPunch {
         for n in 0..core.nodes() as NodeId {
             match core.power(n) {
                 PowerState::Active => {
-                    let gated = !core.core_active[n as usize];
+                    let gated = !core.router_core_active(n);
                     let idle =
                         core.routers[n as usize].local_idle(now) >= self.idle_threshold as u64;
                     let held = now < self.ctl[n as usize].punch_hold_until;
@@ -209,7 +209,7 @@ impl PowerMechanism for PowerPunch {
                 }
                 PowerState::Draining => {
                     let held = now < self.ctl[n as usize].punch_hold_until;
-                    if core.core_active[n as usize] || core.nic_pending(n) || held {
+                    if core.router_core_active(n) || core.nic_pending(n) || held {
                         core.abort_drain(n);
                         continue;
                     }
@@ -230,7 +230,7 @@ impl PowerMechanism for PowerPunch {
                     }
                 }
                 PowerState::Sleep => {
-                    if core.core_active[n as usize] || core.nic_pending(n) {
+                    if core.router_core_active(n) || core.nic_pending(n) {
                         core.begin_wakeup(n);
                         let c = &mut self.ctl[n as usize];
                         c.ramp = core.cfg.wakeup_latency;
@@ -266,8 +266,9 @@ impl PowerMechanism for PowerPunch {
         let out = yx_route(ctx.at, ctx.dst);
         let Some(d) = out.dir() else { return Some(out) };
         // No bypass datapath: wait until the (punched) next hop is Active.
-        let next = ctx.at.neighbor(d, core.cfg.k).expect("yx stays in the mesh");
-        if core.power(next.id(core.cfg.k)) == PowerState::Active {
+        let next =
+            flov_noc::topology::grid_step(ctx.at, d, ctx.kx, ctx.ky).expect("yx stays in the grid");
+        if core.power(next.y * ctx.kx + next.x) == PowerState::Active {
             Some(out)
         } else {
             None
@@ -283,7 +284,7 @@ impl PowerMechanism for PowerPunch {
             match core.power(n) {
                 PowerState::Draining | PowerState::Wakeup => return Some(now),
                 PowerState::Active => {
-                    if core.core_active[n as usize] {
+                    if core.router_core_active(n) {
                         continue;
                     }
                     let c = &self.ctl[n as usize];
@@ -295,7 +296,7 @@ impl PowerMechanism for PowerPunch {
                     next = Some(next.map_or(t, |b| b.min(t)));
                 }
                 PowerState::Sleep => {
-                    if core.core_active[n as usize] {
+                    if core.router_core_active(n) {
                         return Some(now);
                     }
                 }

@@ -119,7 +119,16 @@ mod tests {
                 neighbors[d.index()] = None;
             }
         }
-        RouteCtx { k, at: atc, in_port, dst: Coord::new(dst.0, dst.1), escape, neighbors }
+        RouteCtx {
+            kx: k,
+            ky: k,
+            torus: false,
+            at: atc,
+            in_port,
+            dst: Coord::new(dst.0, dst.1),
+            escape,
+            neighbors,
+        }
     }
 
     #[test]
@@ -220,7 +229,9 @@ mod tests {
                 let mut hops = 0;
                 loop {
                     let c = RouteCtx {
-                        k,
+                        kx: k,
+                        ky: k,
+                        torus: false,
                         at,
                         in_port: travel.map_or(Port::Local, |t| Port::from_dir(t.opposite())),
                         dst,
@@ -284,7 +295,9 @@ mod tests {
                 let mut hops = 0;
                 loop {
                     let c = RouteCtx {
-                        k,
+                        kx: k,
+                        ky: k,
+                        torus: false,
                         at,
                         in_port,
                         dst,

@@ -79,8 +79,9 @@ impl RouterParking {
             mode,
             min_stall: 700,
             phase: Phase::Running,
-            applied: vec![true; n],
-            table: updown::build_table(cfg.k, &vec![true; n]),
+            // Tracks the core-activity vector (core-space under CMesh).
+            applied: vec![true; cfg.cores()],
+            table: updown::build_table(cfg.kx(), cfg.ky(), &vec![true; n]),
             parked: vec![false; n],
             load_probe_cycle: 0,
             load_probe_flits: 0,
@@ -126,11 +127,13 @@ impl RouterParking {
     }
 
     fn apply_reconfig(&mut self, core: &mut NetworkCore, policy: ParkPolicy) {
-        let k = core.cfg.k;
+        let (kx, ky) = (core.cfg.kx(), core.cfg.ky());
         let n = core.nodes();
-        // Keep-set: active cores plus endpoints of still-queued traffic
-        // (the FM quiesces outstanding traffic before parking a router).
-        let mut keep: Vec<bool> = core.core_active.clone();
+        // Keep-set (router-space): routers with any active core, plus
+        // endpoints of still-queued traffic (the FM quiesces outstanding
+        // traffic before parking a router).
+        let mut keep: Vec<bool> =
+            (0..n as NodeId).map(|node| core.router_core_active(node)).collect();
         for (node, nic) in core.nics.iter().enumerate() {
             if nic.pending() {
                 keep[node] = true;
@@ -141,7 +144,7 @@ impl RouterParking {
                 }
             }
         }
-        let parked = parking::select_parked(k, &keep, policy);
+        let parked = parking::select_parked(kx, ky, &keep, policy);
         for node in 0..n as NodeId {
             let want_off = parked[node as usize];
             match (core.power(node), want_off) {
@@ -158,7 +161,7 @@ impl RouterParking {
             }
         }
         let on: Vec<bool> = parked.iter().map(|&p| !p).collect();
-        self.table = updown::build_table(k, &on);
+        self.table = updown::build_table(kx, ky, &on);
         self.parked = parked;
         self.applied = core.core_active.clone();
         self.applied_policy = policy;
@@ -223,8 +226,8 @@ impl PowerMechanism for RouterParking {
             return Some(flov_noc::routing::yx_route(ctx.at, ctx.dst));
         }
         let n = core.nodes();
-        let src = ctx.at.id(core.cfg.k) as usize;
-        let dst = ctx.dst.id(core.cfg.k) as usize;
+        let src = (ctx.at.y * ctx.kx + ctx.at.x) as usize;
+        let dst = (ctx.dst.y * ctx.kx + ctx.dst.x) as usize;
         let e = self.table[src * n + dst];
         assert_ne!(
             e,

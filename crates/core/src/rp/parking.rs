@@ -8,8 +8,15 @@
 //! decides whether to conservatively or aggressively power-gate") switches
 //! to it under high load.
 
+use flov_noc::topology::grid_step;
 use flov_noc::types::{Coord, Dir, NodeId};
 use std::collections::VecDeque;
+
+/// Grid neighbor of `n` in `d`, as a node id.
+#[inline]
+fn step(n: NodeId, d: Dir, kx: u16, ky: u16) -> Option<NodeId> {
+    grid_step(Coord { x: n % kx, y: n / kx }, d, kx, ky).map(|c| c.y * kx + c.x)
+}
 
 /// Parking aggressiveness for one reconfiguration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,17 +28,16 @@ pub enum ParkPolicy {
 }
 
 /// True if all `keep` nodes are mutually reachable over non-parked routers.
-fn keeps_connected(k: u16, parked: &[bool], keep: &[bool]) -> bool {
-    let n = (k as usize) * (k as usize);
+fn keeps_connected(kx: u16, ky: u16, parked: &[bool], keep: &[bool]) -> bool {
+    let n = (kx as usize) * (ky as usize);
     let Some(start) = (0..n).find(|&i| keep[i]) else { return true };
     let mut seen = vec![false; n];
     let mut q = VecDeque::new();
     seen[start] = true;
     q.push_back(start as NodeId);
     while let Some(cur) = q.pop_front() {
-        let c = Coord::of(cur, k);
         for d in Dir::ALL {
-            if let Some(m) = c.neighbor(d, k).map(|c| c.id(k)) {
+            if let Some(m) = step(cur, d, kx, ky) {
                 if !parked[m as usize] && !seen[m as usize] {
                     seen[m as usize] = true;
                     q.push_back(m);
@@ -45,8 +51,8 @@ fn keeps_connected(k: u16, parked: &[bool], keep: &[bool]) -> bool {
 /// Select the parked set. `keep[n]` marks routers that must stay on (active
 /// cores, pending traffic endpoints). Deterministic: candidates are
 /// considered in ascending id order.
-pub fn select_parked(k: u16, keep: &[bool], policy: ParkPolicy) -> Vec<bool> {
-    let n = (k as usize) * (k as usize);
+pub fn select_parked(kx: u16, ky: u16, keep: &[bool], policy: ParkPolicy) -> Vec<bool> {
+    let n = (kx as usize) * (ky as usize);
     debug_assert_eq!(keep.len(), n);
     let mut parked = vec![false; n];
     for cand in 0..n {
@@ -54,16 +60,15 @@ pub fn select_parked(k: u16, keep: &[bool], policy: ParkPolicy) -> Vec<bool> {
             continue;
         }
         if policy == ParkPolicy::Spread {
-            let c = Coord::of(cand as NodeId, k);
             let adjacent_parked = Dir::ALL
                 .iter()
-                .any(|&d| c.neighbor(d, k).is_some_and(|m| parked[m.id(k) as usize]));
+                .any(|&d| step(cand as NodeId, d, kx, ky).is_some_and(|m| parked[m as usize]));
             if adjacent_parked {
                 continue;
             }
         }
         parked[cand] = true;
-        if !keeps_connected(k, &parked, keep) {
+        if !keeps_connected(kx, ky, &parked, keep) {
             parked[cand] = false;
         }
     }
@@ -81,14 +86,14 @@ mod tests {
     #[test]
     fn nothing_parked_when_all_kept() {
         let keep = vec![true; 16];
-        let parked = select_parked(4, &keep, ParkPolicy::Aggressive);
+        let parked = select_parked(4, 4, &keep, ParkPolicy::Aggressive);
         assert_eq!(count(&parked), 0);
     }
 
     #[test]
     fn everything_parked_when_nothing_kept() {
         let keep = vec![false; 16];
-        let parked = select_parked(4, &keep, ParkPolicy::Aggressive);
+        let parked = select_parked(4, 4, &keep, ParkPolicy::Aggressive);
         assert_eq!(count(&parked), 16);
     }
 
@@ -99,8 +104,8 @@ mod tests {
         for n in [0usize, 3, 12, 15] {
             keep[n] = true;
         }
-        let parked = select_parked(4, &keep, ParkPolicy::Aggressive);
-        assert!(keeps_connected(4, &parked, &keep));
+        let parked = select_parked(4, 4, &keep, ParkPolicy::Aggressive);
+        assert!(keeps_connected(4, 4, &parked, &keep));
         for n in [0usize, 3, 12, 15] {
             assert!(!parked[n]);
         }
@@ -111,7 +116,7 @@ mod tests {
     #[test]
     fn spread_never_parks_adjacent_pairs() {
         let keep = vec![false; 64];
-        let parked = select_parked(8, &keep, ParkPolicy::Spread);
+        let parked = select_parked(8, 8, &keep, ParkPolicy::Spread);
         for n in 0..64u16 {
             if !parked[n as usize] {
                 continue;
@@ -131,8 +136,8 @@ mod tests {
         let mut keep = vec![false; 64];
         keep[0] = true;
         keep[63] = true;
-        let a = count(&select_parked(8, &keep, ParkPolicy::Aggressive));
-        let s = count(&select_parked(8, &keep, ParkPolicy::Spread));
+        let a = count(&select_parked(8, 8, &keep, ParkPolicy::Aggressive));
+        let s = count(&select_parked(8, 8, &keep, ParkPolicy::Spread));
         assert!(a > s, "aggressive {a} <= spread {s}");
     }
 
@@ -141,9 +146,9 @@ mod tests {
         let mut keep = vec![false; 16];
         keep[5] = true;
         keep[10] = true;
-        let parked = select_parked(4, &keep, ParkPolicy::Aggressive);
+        let parked = select_parked(4, 4, &keep, ParkPolicy::Aggressive);
         assert!(!parked[5] && !parked[10]);
-        assert!(keeps_connected(4, &parked, &keep));
+        assert!(keeps_connected(4, 4, &parked, &keep));
     }
 
     #[test]
@@ -157,8 +162,8 @@ mod tests {
         let mut keep = vec![false; 16];
         keep[0] = true; // (0,0)
         keep[3] = true; // (3,0)
-        assert!(!keeps_connected(k, &parked, &keep));
+        assert!(!keeps_connected(k, k, &parked, &keep));
         parked[1] = false; // open a gap
-        assert!(keeps_connected(k, &parked, &keep));
+        assert!(keeps_connected(k, k, &parked, &keep));
     }
 }

@@ -7,24 +7,39 @@
 //! (hence deadlock-free) on arbitrary connected subgraphs — exactly what RP
 //! needs after parking an irregular set of routers — at the price of
 //! non-minimal detours, which is the RP behavior the paper measures against.
+//!
+//! Tables are built over the *grid* view of the fabric (`kx x ky`, no wrap
+//! links): on a torus the wrap edges are simply not used, which keeps the
+//! orientation argument untouched.
 
+use flov_noc::topology::grid_step;
 use flov_noc::types::{Coord, Dir, NodeId, Port};
 use std::collections::VecDeque;
 
 /// Marker for "no route" in the next-hop table.
 pub const NO_ROUTE: u8 = u8::MAX;
 
+#[inline]
+fn coord(n: NodeId, kx: u16) -> Coord {
+    Coord { x: n % kx, y: n / kx }
+}
+
+/// Grid neighbor of `n` in `d`, as a node id.
+#[inline]
+fn step(n: NodeId, d: Dir, kx: u16, ky: u16) -> Option<NodeId> {
+    grid_step(coord(n, kx), d, kx, ky).map(|c| c.y * kx + c.x)
+}
+
 /// BFS levels from `root` over the on-subgraph; `u32::MAX` = unreachable.
-fn bfs_levels(k: u16, on: &[bool], root: NodeId) -> Vec<u32> {
-    let n = (k as usize) * (k as usize);
+fn bfs_levels(kx: u16, ky: u16, on: &[bool], root: NodeId) -> Vec<u32> {
+    let n = (kx as usize) * (ky as usize);
     let mut level = vec![u32::MAX; n];
     let mut q = VecDeque::new();
     level[root as usize] = 0;
     q.push_back(root);
     while let Some(cur) = q.pop_front() {
-        let c = Coord::of(cur, k);
         for d in Dir::ALL {
-            if let Some(m) = c.neighbor(d, k).map(|c| c.id(k)) {
+            if let Some(m) = step(cur, d, kx, ky) {
                 if on[m as usize] && level[m as usize] == u32::MAX {
                     level[m as usize] = level[cur as usize] + 1;
                     q.push_back(m);
@@ -43,18 +58,18 @@ fn is_up(level: &[u32], a: NodeId, b: NodeId) -> bool {
     lb < la || (lb == la && b < a)
 }
 
-/// Pick the root: the on-router closest to the mesh center (deterministic
+/// Pick the root: the on-router closest to the grid center (deterministic
 /// tie-break by id). Returns `None` when no router is on.
-pub fn pick_root(k: u16, on: &[bool]) -> Option<NodeId> {
-    let cx = (k - 1) as f64 / 2.0;
-    let cy = (k - 1) as f64 / 2.0;
+pub fn pick_root(kx: u16, ky: u16, on: &[bool]) -> Option<NodeId> {
+    let cx = (kx - 1) as f64 / 2.0;
+    let cy = (ky - 1) as f64 / 2.0;
     (0..on.len() as NodeId).filter(|&n| on[n as usize]).min_by(|&a, &b| {
         let da = {
-            let c = Coord::of(a, k);
+            let c = coord(a, kx);
             (c.x as f64 - cx).abs() + (c.y as f64 - cy).abs()
         };
         let db = {
-            let c = Coord::of(b, k);
+            let c = coord(b, kx);
             (c.x as f64 - cx).abs() + (c.y as f64 - cy).abs()
         };
         da.partial_cmp(&db).unwrap().then(a.cmp(&b))
@@ -65,8 +80,8 @@ pub fn pick_root(k: u16, on: &[bool]) -> Option<NodeId> {
 /// rooted at its own center-most router (the up/down orientation input).
 /// The on-subgraph may legally have several components: parking can strand
 /// powered routers that no kept traffic needs.
-pub fn component_levels(k: u16, on: &[bool]) -> Vec<u32> {
-    let n = (k as usize) * (k as usize);
+pub fn component_levels(kx: u16, ky: u16, on: &[bool]) -> Vec<u32> {
+    let n = (kx as usize) * (ky as usize);
     let mut level = vec![u32::MAX; n];
     loop {
         let mut remaining = vec![false; n];
@@ -80,8 +95,8 @@ pub fn component_levels(k: u16, on: &[bool]) -> Vec<u32> {
         if !any {
             break;
         }
-        let root = pick_root(k, &remaining).expect("non-empty remaining set");
-        let part = bfs_levels(k, on, root);
+        let root = pick_root(kx, ky, &remaining).expect("non-empty remaining set");
+        let part = bfs_levels(kx, ky, on, root);
         for i in 0..n {
             if part[i] != u32::MAX && level[i] == u32::MAX {
                 level[i] = part[i];
@@ -111,13 +126,13 @@ pub fn hop_is_up(level: &[u32], a: NodeId, b: NodeId) -> bool {
 /// per-hop table lookups can never produce an up move after a down move, so
 /// no down→up channel dependency exists anywhere and the routing is
 /// deadlock-free on any connected subgraph.
-pub fn build_table(k: u16, on: &[bool]) -> Vec<u8> {
-    let n = (k as usize) * (k as usize);
+pub fn build_table(kx: u16, ky: u16, on: &[bool]) -> Vec<u8> {
+    let n = (kx as usize) * (ky as usize);
     let mut table = vec![NO_ROUTE; n * n];
-    if pick_root(k, on).is_none() {
+    if pick_root(kx, ky, on).is_none() {
         return table;
     }
-    let level = component_levels(k, on);
+    let level = component_levels(kx, ky, on);
     // Topological order for up edges: an up move strictly decreases
     // (level, id), so scanning in increasing (level, id) sees every
     // up-target before the nodes that climb to it.
@@ -137,9 +152,8 @@ pub fn build_table(k: u16, on: &[bool]) -> Vec<u8> {
         let mut q = VecDeque::new();
         q.push_back(dst);
         while let Some(m) = q.pop_front() {
-            let c = Coord::of(m, k);
             for d in Dir::ALL {
-                let Some(p) = c.neighbor(d, k).map(|c| c.id(k)) else { continue };
+                let Some(p) = step(m, d, kx, ky) else { continue };
                 if !on[p as usize] || level[p as usize] == u32::MAX {
                     continue;
                 }
@@ -157,10 +171,9 @@ pub fn build_table(k: u16, on: &[bool]) -> Vec<u8> {
             if dist_down[x as usize] != u32::MAX {
                 continue; // D-node: final
             }
-            let c = Coord::of(x, k);
             let mut best = u32::MAX;
             for d in Dir::ALL {
-                let Some(m) = c.neighbor(d, k).map(|c| c.id(k)) else { continue };
+                let Some(m) = step(x, d, kx, ky) else { continue };
                 if !on[m as usize] || level[m as usize] == u32::MAX {
                     continue;
                 }
@@ -184,12 +197,11 @@ pub fn build_table(k: u16, on: &[bool]) -> Vec<u8> {
             if dist_total[src as usize] == u32::MAX {
                 continue; // stays NO_ROUTE
             }
-            let c = Coord::of(src, k);
             let in_d = dist_down[src as usize] != u32::MAX;
             let mut best: Option<(u32, u8)> = None;
             for i in 0..4 {
                 let d = Dir::from_index((i + dst as usize) % 4);
-                let Some(m) = c.neighbor(d, k).map(|c| c.id(k)) else { continue };
+                let Some(m) = step(src, d, kx, ky) else { continue };
                 if !on[m as usize] || level[m as usize] == u32::MAX {
                     continue;
                 }
@@ -219,8 +231,8 @@ pub fn build_table(k: u16, on: &[bool]) -> Vec<u8> {
 
 /// Walk the table from `src` to `dst`, returning the hop count, or `None`
 /// if the table has a gap or a loop. Test/diagnostic helper.
-pub fn walk(table: &[u8], k: u16, src: NodeId, dst: NodeId) -> Option<u32> {
-    let n = (k as usize) * (k as usize);
+pub fn walk(table: &[u8], kx: u16, ky: u16, src: NodeId, dst: NodeId) -> Option<u32> {
+    let n = (kx as usize) * (ky as usize);
     let mut cur = src;
     let mut hops = 0;
     while cur != dst {
@@ -229,7 +241,7 @@ pub fn walk(table: &[u8], k: u16, src: NodeId, dst: NodeId) -> Option<u32> {
             return None;
         }
         let d = Port::from_index(e as usize).dir().unwrap();
-        cur = Coord::of(cur, k).neighbor(d, k)?.id(k);
+        cur = step(cur, d, kx, ky)?;
         hops += 1;
         if hops > 4 * n as u32 {
             return None; // loop
@@ -246,15 +258,34 @@ mod tests {
     fn full_mesh_all_pairs_routable() {
         let k = 4;
         let on = vec![true; 16];
-        let table = build_table(k, &on);
+        let table = build_table(k, k, &on);
         for s in 0..16u16 {
             for d in 0..16u16 {
                 if s == d {
                     assert_eq!(table[s as usize * 16 + d as usize], Port::Local.index() as u8);
                 } else {
-                    let hops = walk(&table, k, s, d).expect("unroutable pair");
+                    let hops = walk(&table, k, k, s, d).expect("unroutable pair");
                     assert!(hops >= Coord::of(s, k).manhattan(Coord::of(d, k)));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_grid_all_pairs_routable() {
+        let (kx, ky) = (5u16, 3u16);
+        let n = (kx * ky) as usize;
+        let on = vec![true; n];
+        let table = build_table(kx, ky, &on);
+        for s in 0..n as u16 {
+            for d in 0..n as u16 {
+                if s == d {
+                    continue;
+                }
+                let hops = walk(&table, kx, ky, s, d).expect("unroutable pair on 5x3");
+                let (sc, dc) = (coord(s, kx), coord(d, kx));
+                let min = sc.x.abs_diff(dc.x) as u32 + sc.y.abs_diff(dc.y) as u32;
+                assert!(hops >= min);
             }
         }
     }
@@ -267,13 +298,13 @@ mod tests {
         for n in [5u16, 6, 9] {
             on[n as usize] = false;
         }
-        let table = build_table(k, &on);
+        let table = build_table(k, k, &on);
         for s in 0..16u16 {
             for d in 0..16u16 {
                 if s == d || !on[s as usize] || !on[d as usize] {
                     continue;
                 }
-                let hops = walk(&table, k, s, d).expect("unroutable with holes");
+                let hops = walk(&table, k, k, s, d).expect("unroutable with holes");
                 // Paths exist and never cross parked routers (walk uses the
                 // table; verify the path avoids holes).
                 let mut cur = s;
@@ -288,7 +319,7 @@ mod tests {
         // Detour check: (0,1) -> (3,1) is 3 hops minimal but the hole forces
         // at least one extra hop... actually row 1 has (1,1),(2,1) parked:
         // going along row 1 is impossible, so > 3 hops.
-        let hops = walk(&table, k, 4, 7).unwrap();
+        let hops = walk(&table, k, k, 4, 7).unwrap();
         assert!(hops > 3, "expected a detour, got {hops}");
     }
 
@@ -298,9 +329,9 @@ mod tests {
         let mut on = vec![true; 16];
         on[5] = false;
         on[10] = false;
-        let table = build_table(k, &on);
-        let root = pick_root(k, &on).unwrap();
-        let level = bfs_levels(k, &on, root);
+        let table = build_table(k, k, &on);
+        let root = pick_root(k, k, &on).unwrap();
+        let level = bfs_levels(k, k, &on, root);
         for s in 0..16u16 {
             for d in 0..16u16 {
                 if s == d || !on[s as usize] || !on[d as usize] {
@@ -330,24 +361,24 @@ mod tests {
         // Isolate corner (0,0) by parking (1,0) and (0,1).
         on[1] = false;
         on[4] = false;
-        let table = build_table(k, &on);
+        let table = build_table(k, k, &on);
         // Root is center-ish, so corner 0 is the disconnected one.
         assert_eq!(table[15], NO_ROUTE);
         assert_eq!(table[15 * 16], NO_ROUTE);
         // The rest still routes.
-        assert!(walk(&table, k, 2, 15).is_some());
+        assert!(walk(&table, k, k, 2, 15).is_some());
     }
 
     #[test]
     fn empty_on_set_is_all_no_route() {
-        let table = build_table(4, &[false; 16]);
+        let table = build_table(4, 4, &[false; 16]);
         assert!(table.iter().all(|&e| e == NO_ROUTE));
     }
 
     #[test]
     fn root_prefers_center() {
         let on = vec![true; 16];
-        let root = pick_root(4, &on).unwrap();
+        let root = pick_root(4, 4, &on).unwrap();
         // Center candidates of a 4x4 are (1,1),(2,1),(1,2),(2,2) = 5,6,9,10;
         // deterministic tie-break picks the smallest id.
         assert_eq!(root, 5);

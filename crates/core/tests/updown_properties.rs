@@ -9,8 +9,8 @@ use flov_noc::rng::Rng;
 use flov_noc::types::{Coord, NodeId, Port};
 use proptest::prelude::*;
 
-fn random_keep(k: u16, keep_count: usize, seed: u64) -> Vec<bool> {
-    let n = (k as usize) * (k as usize);
+fn random_keep(kx: u16, ky: u16, keep_count: usize, seed: u64) -> Vec<bool> {
+    let n = (kx as usize) * (ky as usize);
     let mut rng = Rng::new(seed);
     let mut ids: Vec<usize> = (0..n).collect();
     rng.shuffle(&mut ids);
@@ -21,12 +21,12 @@ fn random_keep(k: u16, keep_count: usize, seed: u64) -> Vec<bool> {
     keep
 }
 
-fn check_tables(k: u16, keep: &[bool], policy: ParkPolicy) {
-    let parked = parking::select_parked(k, keep, policy);
+fn check_tables(kx: u16, ky: u16, keep: &[bool], policy: ParkPolicy) {
+    let parked = parking::select_parked(kx, ky, keep, policy);
     let on: Vec<bool> = parked.iter().map(|&p| !p).collect();
-    let table = updown::build_table(k, &on);
-    let n = (k as usize) * (k as usize);
-    let level = updown::component_levels(k, &on);
+    let table = updown::build_table(kx, ky, &on);
+    let n = (kx as usize) * (ky as usize);
+    let level = updown::component_levels(kx, ky, &on);
     for s in 0..n as NodeId {
         for d in 0..n as NodeId {
             if s == d || !keep[s as usize] || !keep[d as usize] {
@@ -41,7 +41,10 @@ fn check_tables(k: u16, keep: &[bool], policy: ParkPolicy) {
                 let e = table[cur as usize * n + d as usize];
                 assert_ne!(e, updown::NO_ROUTE, "no route {s}->{d} at {cur}");
                 let dir = Port::from_index(e as usize).dir().expect("local mid-route");
-                let next = Coord::of(cur, k).neighbor(dir, k).expect("walked off mesh").id(k);
+                let next =
+                    flov_noc::topology::grid_step(Coord { x: cur % kx, y: cur / kx }, dir, kx, ky)
+                        .map(|c| c.y * kx + c.x)
+                        .expect("walked off grid");
                 assert!(on[next as usize], "route {s}->{d} crosses parked {next}");
                 let up = updown::hop_is_up(&level, cur, next);
                 assert!(!(up && went_down), "up after down on {s}->{d} at {cur}");
@@ -64,7 +67,7 @@ proptest! {
         keep_count in 1usize..30,
         seed in 0u64..1_000_000,
     ) {
-        check_tables(8, &random_keep(8, keep_count, seed), ParkPolicy::Aggressive);
+        check_tables(8, 8, &random_keep(8, 8, keep_count, seed), ParkPolicy::Aggressive);
     }
 
     #[test]
@@ -72,7 +75,7 @@ proptest! {
         keep_count in 1usize..30,
         seed in 0u64..1_000_000,
     ) {
-        check_tables(8, &random_keep(8, keep_count, seed), ParkPolicy::Spread);
+        check_tables(8, 8, &random_keep(8, 8, keep_count, seed), ParkPolicy::Spread);
     }
 
     #[test]
@@ -81,7 +84,17 @@ proptest! {
         seed in 0u64..100_000,
     ) {
         let n = (k as usize) * (k as usize);
-        check_tables(k, &random_keep(k, n / 3, seed), ParkPolicy::Aggressive);
+        check_tables(k, k, &random_keep(k, k, n / 3, seed), ParkPolicy::Aggressive);
+    }
+
+    #[test]
+    fn rectangular_grids_work_too(
+        kx in 2u16..7,
+        ky in 2u16..5,
+        seed in 0u64..100_000,
+    ) {
+        let n = (kx as usize) * (ky as usize);
+        check_tables(kx, ky, &random_keep(kx, ky, n / 3, seed), ParkPolicy::Aggressive);
     }
 
     #[test]
@@ -89,9 +102,9 @@ proptest! {
         keep_count in 1usize..40,
         seed in 0u64..1_000_000,
     ) {
-        let keep = random_keep(8, keep_count, seed);
+        let keep = random_keep(8, 8, keep_count, seed);
         for policy in [ParkPolicy::Aggressive, ParkPolicy::Spread] {
-            let parked = parking::select_parked(8, &keep, policy);
+            let parked = parking::select_parked(8, 8, &keep, policy);
             for i in 0..64 {
                 prop_assert!(!(keep[i] && parked[i]), "keep node {i} parked");
             }
@@ -103,10 +116,10 @@ proptest! {
         keep_count in 1usize..40,
         seed in 0u64..1_000_000,
     ) {
-        let keep = random_keep(8, keep_count, seed);
-        let agg = parking::select_parked(8, &keep, ParkPolicy::Aggressive)
+        let keep = random_keep(8, 8, keep_count, seed);
+        let agg = parking::select_parked(8, 8, &keep, ParkPolicy::Aggressive)
             .iter().filter(|&&p| p).count();
-        let spr = parking::select_parked(8, &keep, ParkPolicy::Spread)
+        let spr = parking::select_parked(8, 8, &keep, ParkPolicy::Spread)
             .iter().filter(|&&p| p).count();
         prop_assert!(agg >= spr, "aggressive {agg} < spread {spr}");
     }

@@ -3,7 +3,7 @@
 //! injecting.
 
 use crate::network::NetworkCore;
-use crate::routing::{yx_route, RouteCtx};
+use crate::routing::{torus_yx_route, yx_route, RouteCtx};
 use crate::traits::PowerMechanism;
 use crate::types::{Cycle, NodeId, Port};
 
@@ -19,7 +19,14 @@ impl PowerMechanism for AlwaysOnYx {
     fn step(&mut self, _core: &mut NetworkCore) {}
 
     fn route(&self, _core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
-        Some(yx_route(ctx.at, ctx.dst))
+        // On a torus the regular VCs route wrap-minimally; escape packets
+        // keep strict grid YX (the acyclic Duato escape layer that breaks
+        // the intra-dimension wrap cycles).
+        if ctx.torus && !ctx.escape {
+            Some(torus_yx_route(ctx.at, ctx.dst, ctx.kx, ctx.ky))
+        } else {
+            Some(yx_route(ctx.at, ctx.dst))
+        }
     }
 
     fn injection_allowed(&self, _core: &NetworkCore, _node: NodeId) -> bool {

@@ -1,6 +1,91 @@
 //! Simulation configuration (paper Table I).
 
-use serde::{Deserialize, Serialize};
+use crate::topology::{AnyTopology, TopologySpec};
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// A structured configuration rejection from [`NocConfig::validate`].
+///
+/// The CLI surfaces these as diagnostics instead of panics; library users
+/// get them from [`crate::network::NetworkCore::try_new`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// Router grid smaller than 2 in some dimension.
+    RadixTooSmall { kx: u16, ky: u16 },
+    /// Concentrated mesh with zero cores per router.
+    ZeroConcentration,
+    /// No virtual networks.
+    NoVnets,
+    /// No regular (non-escape) VCs.
+    NoRegularVcs,
+    /// More than one escape VC per vnet.
+    TooManyEscapeVcs { escape_vcs: usize },
+    /// Per-port VC bitmasks hold at most 64 VCs.
+    TooManyVcs { total: usize },
+    /// Zero-depth input buffers.
+    ZeroBufDepth,
+    /// Zero-stage router pipeline.
+    ZeroPipelineStages,
+    /// Zero-cycle links.
+    ZeroLinkLatency,
+    /// Zero-flit packets.
+    ZeroPacketLen,
+    /// Zero escape timeout.
+    ZeroEscapeTimeout,
+    /// NoRD enabled on a topology with no Hamiltonian cycle over its
+    /// routers — the paper's §II critique (e.g. an odd-radix mesh).
+    RingUnsupported { topology: String },
+    /// The ring exit is stamped into the 8-bit flit VC field.
+    RingTooLarge { nodes: usize },
+    /// Ring-to-mesh transfers reserve the last regular VC.
+    RingNeedsTransferVc,
+    /// Wrap-minimal torus routing relies on the escape sub-network for
+    /// deadlock freedom.
+    TorusNeedsEscapeVc,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::RadixTooSmall { kx, ky } => {
+                write!(f, "mesh radix must be at least 2 in each dimension (got {kx}x{ky})")
+            }
+            ConfigError::ZeroConcentration => {
+                write!(f, "concentrated mesh needs at least one core per router")
+            }
+            ConfigError::NoVnets => write!(f, "at least one vnet required"),
+            ConfigError::NoRegularVcs => write!(f, "at least one regular VC required"),
+            ConfigError::TooManyEscapeVcs { escape_vcs } => {
+                write!(f, "at most one escape VC per vnet is supported (got {escape_vcs})")
+            }
+            ConfigError::TooManyVcs { total } => {
+                write!(f, "per-port VC bitmasks hold at most 64 VCs (got {total})")
+            }
+            ConfigError::ZeroBufDepth => write!(f, "buffers must hold at least one flit"),
+            ConfigError::ZeroPipelineStages => write!(f, "router needs at least one stage"),
+            ConfigError::ZeroLinkLatency => write!(f, "links take at least one cycle"),
+            ConfigError::ZeroPacketLen => write!(f, "packets have at least one flit"),
+            ConfigError::ZeroEscapeTimeout => write!(f, "escape timeout must be positive"),
+            ConfigError::RingUnsupported { topology } => write!(
+                f,
+                "NoRD bypass ring requires a topology with a Hamiltonian cycle over its \
+                 routers; {topology} has none (an even mesh radix, one even rectangle side, \
+                 or any torus works)"
+            ),
+            ConfigError::RingTooLarge { nodes } => {
+                write!(f, "ring exit stamping supports at most 256 nodes (got {nodes})")
+            }
+            ConfigError::RingNeedsTransferVc => {
+                write!(f, "the ring transfer path reserves one regular VC (need at least 2)")
+            }
+            ConfigError::TorusNeedsEscapeVc => {
+                write!(f, "torus routing needs the escape sub-network (escape_vcs >= 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of the simulated NoC.
 ///
@@ -8,9 +93,10 @@ use serde::{Deserialize, Serialize};
 /// 8x8 mesh, 3-stage routers at 2 GHz, 6-flit input buffers, 3 regular VCs +
 /// 1 escape VC per virtual network, 3 virtual networks, 1-cycle 16-byte
 /// links, 10-cycle wakeup latency and 17.7 pJ power-gating overhead.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NocConfig {
-    /// Mesh radix: the network is a `k x k` 2D mesh.
+    /// Mesh radix: with no explicit [`NocConfig::topology`], the network is
+    /// a square `k x k` 2D mesh (the seed behavior).
     pub k: u16,
     /// Number of virtual networks (message classes).
     pub vnets: usize,
@@ -41,10 +127,11 @@ pub struct NocConfig {
     /// pressure is reported (statistics only; the queue itself is unbounded).
     pub nic_queue_warn: usize,
     /// Enable the NoRD bypass ring (node-router decoupling): a Hamiltonian
-    /// ring over all NICs that keeps gated nodes reachable without FLOV
-    /// links. Requires even `k` (no Hamiltonian cycle exists otherwise —
-    /// the paper's critique of NoRD), at most 256 nodes, and at least two
-    /// regular VCs (ring-to-mesh transfers reserve the last one).
+    /// ring over all routers that keeps gated nodes reachable without FLOV
+    /// links. Requires a topology admitting a Hamiltonian cycle (the
+    /// paper's critique of NoRD: a square mesh needs even `k`; a torus or
+    /// concentration lifts the restriction), at most 256 routers, and at
+    /// least two regular VCs (ring-to-mesh transfers reserve the last one).
     pub enable_ring: bool,
     /// Seed for all simulation-internal randomness (arbitration tie-breaks
     /// are deterministic; this seeds workload-facing RNG forks).
@@ -52,6 +139,70 @@ pub struct NocConfig {
     /// Cycles without any network event after which the watchdog declares a
     /// deadlock (0 disables).
     pub watchdog_cycles: u64,
+    /// Explicit topology selection; `None` means the default square
+    /// `k x k` mesh. Serialized (and thus cache-key-affecting) only when
+    /// set, so seed configurations keep byte-identical encodings.
+    pub topology: Option<TopologySpec>,
+}
+
+// `NocConfig` carries a hand-written serde impl instead of the derive:
+// the compat shim has no `skip_serializing_if`, and the `topology` field
+// must vanish from the encoding when unset so every pre-topology cache
+// key and golden JSON stays byte-identical. Field order below mirrors
+// the struct declaration (the shim's canonical map order).
+impl Serialize for NocConfig {
+    fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> = vec![
+            ("k".into(), self.k.to_value()),
+            ("vnets".into(), self.vnets.to_value()),
+            ("regular_vcs".into(), self.regular_vcs.to_value()),
+            ("escape_vcs".into(), self.escape_vcs.to_value()),
+            ("buf_depth".into(), self.buf_depth.to_value()),
+            ("pipeline_stages".into(), self.pipeline_stages.to_value()),
+            ("link_latency".into(), self.link_latency.to_value()),
+            ("wakeup_latency".into(), self.wakeup_latency.to_value()),
+            ("idle_threshold".into(), self.idle_threshold.to_value()),
+            ("escape_timeout".into(), self.escape_timeout.to_value()),
+            ("synth_packet_len".into(), self.synth_packet_len.to_value()),
+            ("clock_hz".into(), self.clock_hz.to_value()),
+            ("nic_queue_warn".into(), self.nic_queue_warn.to_value()),
+            ("enable_ring".into(), self.enable_ring.to_value()),
+            ("seed".into(), self.seed.to_value()),
+            ("watchdog_cycles".into(), self.watchdog_cycles.to_value()),
+        ];
+        if let Some(spec) = &self.topology {
+            m.push(("topology".into(), spec.to_value()));
+        }
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for NocConfig {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(NocConfig {
+            k: u16::from_value(v.field("k")?)?,
+            vnets: usize::from_value(v.field("vnets")?)?,
+            regular_vcs: usize::from_value(v.field("regular_vcs")?)?,
+            escape_vcs: usize::from_value(v.field("escape_vcs")?)?,
+            buf_depth: usize::from_value(v.field("buf_depth")?)?,
+            pipeline_stages: u32::from_value(v.field("pipeline_stages")?)?,
+            link_latency: u32::from_value(v.field("link_latency")?)?,
+            wakeup_latency: u32::from_value(v.field("wakeup_latency")?)?,
+            idle_threshold: u32::from_value(v.field("idle_threshold")?)?,
+            escape_timeout: u32::from_value(v.field("escape_timeout")?)?,
+            synth_packet_len: u16::from_value(v.field("synth_packet_len")?)?,
+            clock_hz: f64::from_value(v.field("clock_hz")?)?,
+            nic_queue_warn: usize::from_value(v.field("nic_queue_warn")?)?,
+            enable_ring: bool::from_value(v.field("enable_ring")?)?,
+            seed: u64::from_value(v.field("seed")?)?,
+            watchdog_cycles: u64::from_value(v.field("watchdog_cycles")?)?,
+            // Absent in every pre-topology encoding.
+            topology: match v.field("topology") {
+                Ok(t) => Option::<TopologySpec>::from_value(t)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl Default for NocConfig {
@@ -73,6 +224,7 @@ impl Default for NocConfig {
             enable_ring: false,
             seed: 0xF10F_F10F,
             watchdog_cycles: 50_000,
+            topology: None,
         }
     }
 }
@@ -119,23 +271,100 @@ impl NocConfig {
         vc >= self.regular_vcs
     }
 
-    /// Number of nodes in the mesh.
+    /// The effective topology selection (`None` means square `k x k` mesh).
     #[inline]
-    pub fn nodes(&self) -> usize {
-        self.k as usize * self.k as usize
+    pub fn topology_spec(&self) -> TopologySpec {
+        self.topology.unwrap_or(TopologySpec::Mesh { k: self.k })
     }
 
-    /// Validate invariants; panics with a clear message on misconfiguration.
-    pub fn validate(&self) {
-        assert!(self.k >= 2, "mesh radix must be at least 2");
-        assert!(self.vnets >= 1, "at least one vnet required");
-        assert!(self.regular_vcs >= 1, "at least one regular VC required");
-        assert!(self.escape_vcs <= 1, "at most one escape VC per vnet is supported");
-        assert!(self.buf_depth >= 1, "buffers must hold at least one flit");
-        assert!(self.pipeline_stages >= 1, "router needs at least one stage");
-        assert!(self.link_latency >= 1, "links take at least one cycle");
-        assert!(self.synth_packet_len >= 1, "packets have at least one flit");
-        assert!(self.escape_timeout >= 1, "escape timeout must be positive");
+    /// Instantiate the configured topology.
+    pub fn build_topology(&self) -> AnyTopology {
+        self.topology_spec().build()
+    }
+
+    /// Router-grid width.
+    #[inline]
+    pub fn kx(&self) -> u16 {
+        self.topology_spec().kx()
+    }
+
+    /// Router-grid height.
+    #[inline]
+    pub fn ky(&self) -> u16 {
+        self.topology_spec().ky()
+    }
+
+    /// Cores per router (1 except for concentrated meshes).
+    #[inline]
+    pub fn concentration(&self) -> u16 {
+        self.topology_spec().concentration()
+    }
+
+    /// Number of routers (= nodes of the fabric).
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.topology_spec().routers()
+    }
+
+    /// Number of cores (traffic endpoints): routers times concentration.
+    #[inline]
+    pub fn cores(&self) -> usize {
+        self.topology_spec().cores()
+    }
+
+    /// Validate invariants, returning a structured [`ConfigError`] on
+    /// misconfiguration (surfaced by the CLI as a diagnostic; panicking
+    /// entry points wrap this).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let spec = self.topology_spec();
+        if spec.kx() < 2 || spec.ky() < 2 {
+            return Err(ConfigError::RadixTooSmall { kx: spec.kx(), ky: spec.ky() });
+        }
+        if spec.concentration() == 0 {
+            return Err(ConfigError::ZeroConcentration);
+        }
+        if self.vnets < 1 {
+            return Err(ConfigError::NoVnets);
+        }
+        if self.regular_vcs < 1 {
+            return Err(ConfigError::NoRegularVcs);
+        }
+        if self.escape_vcs > 1 {
+            return Err(ConfigError::TooManyEscapeVcs { escape_vcs: self.escape_vcs });
+        }
+        if self.total_vcs() > 64 {
+            return Err(ConfigError::TooManyVcs { total: self.total_vcs() });
+        }
+        if self.buf_depth < 1 {
+            return Err(ConfigError::ZeroBufDepth);
+        }
+        if self.pipeline_stages < 1 {
+            return Err(ConfigError::ZeroPipelineStages);
+        }
+        if self.link_latency < 1 {
+            return Err(ConfigError::ZeroLinkLatency);
+        }
+        if self.synth_packet_len < 1 {
+            return Err(ConfigError::ZeroPacketLen);
+        }
+        if self.escape_timeout < 1 {
+            return Err(ConfigError::ZeroEscapeTimeout);
+        }
+        if spec.wraps() && self.escape_vcs == 0 {
+            return Err(ConfigError::TorusNeedsEscapeVc);
+        }
+        if self.enable_ring {
+            if !spec.admits_ring() {
+                return Err(ConfigError::RingUnsupported { topology: spec.label() });
+            }
+            if spec.routers() > 256 {
+                return Err(ConfigError::RingTooLarge { nodes: spec.routers() });
+            }
+            if self.regular_vcs < 2 {
+                return Err(ConfigError::RingNeedsTransferVc);
+            }
+        }
+        Ok(())
     }
 
     /// Convenience: Table I configuration (the defaults).
@@ -166,7 +395,8 @@ mod tests {
         assert_eq!(c.wakeup_latency, 10);
         assert_eq!(c.synth_packet_len, 4);
         assert_eq!(c.clock_hz, 2.0e9);
-        c.validate();
+        assert_eq!(c.topology, None);
+        c.validate().unwrap();
     }
 
     #[test]
@@ -192,14 +422,115 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "mesh radix")]
     fn validate_rejects_tiny_mesh() {
-        NocConfig { k: 1, ..NocConfig::default() }.validate();
+        let err = NocConfig { k: 1, ..NocConfig::default() }.validate().unwrap_err();
+        assert_eq!(err, ConfigError::RadixTooSmall { kx: 1, ky: 1 });
+        assert!(err.to_string().contains("mesh radix"));
+    }
+
+    #[test]
+    fn validate_gates_the_ring_on_topology() {
+        // Odd square mesh: no Hamiltonian cycle — the paper's §II critique.
+        let odd = NocConfig { k: 5, enable_ring: true, ..NocConfig::default() };
+        assert!(matches!(odd.validate(), Err(ConfigError::RingUnsupported { .. })));
+        // The same odd radix on a torus admits the tornado cycle.
+        let torus = NocConfig {
+            topology: Some(TopologySpec::Torus { k: 5 }),
+            enable_ring: true,
+            ..NocConfig::default()
+        };
+        torus.validate().unwrap();
+        // Rectangle with one even side is fine; both odd is not.
+        let rect_ok = NocConfig {
+            topology: Some(TopologySpec::RectMesh { kx: 4, ky: 3 }),
+            enable_ring: true,
+            ..NocConfig::default()
+        };
+        rect_ok.validate().unwrap();
+        let rect_bad = NocConfig {
+            topology: Some(TopologySpec::RectMesh { kx: 5, ky: 3 }),
+            enable_ring: true,
+            ..NocConfig::default()
+        };
+        assert!(matches!(rect_bad.validate(), Err(ConfigError::RingUnsupported { .. })));
+        // Ring transfer VC and exit-stamping limits.
+        let one_vc = NocConfig { k: 4, enable_ring: true, regular_vcs: 1, ..NocConfig::default() };
+        assert_eq!(one_vc.validate(), Err(ConfigError::RingNeedsTransferVc));
+        let huge = NocConfig { k: 18, enable_ring: true, ..NocConfig::default() };
+        assert_eq!(huge.validate(), Err(ConfigError::RingTooLarge { nodes: 324 }));
+    }
+
+    #[test]
+    fn validate_requires_escape_on_torus() {
+        let c = NocConfig {
+            topology: Some(TopologySpec::Torus { k: 4 }),
+            escape_vcs: 0,
+            ..NocConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::TorusNeedsEscapeVc));
+    }
+
+    #[test]
+    fn validate_bounds_vc_bitmasks() {
+        let c = NocConfig { vnets: 13, regular_vcs: 4, escape_vcs: 1, ..NocConfig::default() };
+        assert_eq!(c.validate(), Err(ConfigError::TooManyVcs { total: 65 }));
     }
 
     #[test]
     fn node_count() {
         assert_eq!(NocConfig::default().nodes(), 64);
         assert_eq!(NocConfig::small_test().nodes(), 16);
+        let cmesh = NocConfig {
+            k: 4,
+            topology: Some(TopologySpec::CMesh { k: 4, c: 4 }),
+            ..NocConfig::default()
+        };
+        assert_eq!(cmesh.nodes(), 16);
+        assert_eq!(cmesh.cores(), 64);
+    }
+
+    #[test]
+    fn serialization_is_byte_identical_without_topology() {
+        // The seed encoding (no `topology` key) must be preserved exactly:
+        // the result cache keys on these bytes.
+        let v = NocConfig::default().to_value();
+        let Value::Map(entries) = &v else { panic!("config must encode as a map") };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "k",
+                "vnets",
+                "regular_vcs",
+                "escape_vcs",
+                "buf_depth",
+                "pipeline_stages",
+                "link_latency",
+                "wakeup_latency",
+                "idle_threshold",
+                "escape_timeout",
+                "synth_packet_len",
+                "clock_hz",
+                "nic_queue_warn",
+                "enable_ring",
+                "seed",
+                "watchdog_cycles"
+            ]
+        );
+        // And it round-trips (missing `topology` key tolerated).
+        let back = NocConfig::from_value(&v).unwrap();
+        assert_eq!(back, NocConfig::default());
+    }
+
+    #[test]
+    fn serialization_roundtrips_with_topology() {
+        let c = NocConfig {
+            topology: Some(TopologySpec::CMesh { k: 4, c: 4 }),
+            ..NocConfig::default()
+        };
+        let v = c.to_value();
+        let Value::Map(entries) = &v else { panic!("config must encode as a map") };
+        assert_eq!(entries.last().unwrap().0, "topology");
+        assert_eq!(NocConfig::from_value(&v).unwrap(), c);
     }
 }

@@ -55,14 +55,16 @@ pub mod rng;
 pub mod router;
 pub mod routing;
 pub mod stats;
+pub mod topology;
 pub mod traits;
 pub mod types;
 
 pub use activity::{ActivityCounters, Residency};
-pub use config::NocConfig;
+pub use config::{ConfigError, NocConfig};
 pub use network::audit;
 pub use network::audit::{AuditKind, AuditViolation, Auditor};
 pub use network::{KernelMode, NetworkCore, Simulation};
 pub use stats::NetStats;
+pub use topology::{AnyTopology, Topology, TopologySpec};
 pub use traits::{PacketRequest, PowerMechanism, Workload};
 pub use types::{Coord, Cycle, Dir, NodeId, PacketId, Port, PowerState};

@@ -35,6 +35,12 @@ impl NetworkCore {
             let Some(next) = self.neighbor(cur, d) else {
                 return ChainTarget { powered: None, blocked: false, dst_on_chain: None, sleepers };
             };
+            if next == from {
+                // Torus wrap cycle with every other router asleep: there is
+                // no powered receiver anywhere in this direction, so new
+                // transmissions must hold.
+                return ChainTarget { powered: None, blocked: true, dst_on_chain: None, sleepers };
+            }
             match self.power(next) {
                 PowerState::Active => {
                     return ChainTarget {
@@ -97,6 +103,10 @@ impl NetworkCore {
         let mut hops = 0;
         loop {
             let next = self.neighbor(cur, d)?;
+            if next == node {
+                // Torus wrap cycle of sleepers: no logical neighbor exists.
+                return None;
+            }
             if self.power(next) != PowerState::Sleep {
                 return Some((next, hops));
             }
@@ -123,7 +133,9 @@ impl NetworkCore {
                 return false;
             }
             if self.power(next).is_powered() {
-                // First powered router: no open wormhole toward us.
+                // First powered router: no open wormhole toward us. On a
+                // torus wrap cycle this may be `node` itself, in which case
+                // its own outbound wormholes would circle back around.
                 let r = &self.routers[next as usize];
                 let port = crate::types::Port::from_dir(toward);
                 for v in 0..r.total_vcs() {
@@ -137,6 +149,11 @@ impl NetworkCore {
             // us must be empty.
             if self.routers[next as usize].latches[toward.index()].is_some() {
                 return false;
+            }
+            if next == node {
+                // Unpowered `node` on a fully-unpowered torus wrap cycle:
+                // every wire and latch on the cycle has been checked clean.
+                return true;
             }
             cur = next;
         }

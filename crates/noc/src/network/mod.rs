@@ -29,7 +29,7 @@ pub use chain::ChainTarget;
 
 use crate::active::ActiveSet;
 use crate::activity::{ActivityCounters, Residency};
-use crate::config::NocConfig;
+use crate::config::{ConfigError, NocConfig};
 use crate::flit::Flit;
 use crate::link::Channel;
 use crate::nic::Nic;
@@ -37,6 +37,7 @@ use crate::packet::Packet;
 use crate::ring::{BypassRing, RingDelivery};
 use crate::router::Router;
 use crate::stats::NetStats;
+use crate::topology::{AnyTopology, Topology};
 use crate::traits::{PacketRequest, PowerMechanism, Workload};
 use crate::types::{Coord, Cycle, Dir, NodeId, PacketId, PowerState};
 
@@ -95,6 +96,9 @@ impl SchedSets {
 /// The network state, without the mechanism/workload policies.
 pub struct NetworkCore {
     pub cfg: NocConfig,
+    /// The instantiated fabric topology (from `cfg.topology`); all
+    /// adjacency queries go through it.
+    pub topo: AnyTopology,
     pub cycle: Cycle,
     pub routers: Vec<Router>,
     /// Directed inter-router channels, indexed `node * 4 + dir`; the channel
@@ -104,7 +108,10 @@ pub struct NetworkCore {
     /// Ejection channels, router -> NIC, one per node.
     eject: Vec<Channel>,
     pub nics: Vec<Nic>,
-    /// OS-visible core power state, driven by the workload.
+    /// OS-visible core power state, driven by the workload. Indexed by
+    /// *core* id (`cfg.cores()` entries): on a concentrated mesh several
+    /// cores share a router (core `c` attaches to router
+    /// `c / concentration`); everywhere else core ids equal router ids.
     pub core_active: Vec<bool>,
     wake_flag: Vec<bool>,
     wake_list: Vec<NodeId>,
@@ -158,16 +165,27 @@ pub struct NetworkCore {
 }
 
 impl NetworkCore {
+    /// Construct the network, panicking on misconfiguration (the original
+    /// entry point; library callers wanting diagnostics use
+    /// [`NetworkCore::try_new`]).
     pub fn new(cfg: NocConfig) -> NetworkCore {
-        cfg.validate();
-        let n = cfg.nodes();
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("invalid NoC configuration: {e}"))
+    }
+
+    /// Construct the network, returning a structured [`ConfigError`] on
+    /// misconfiguration (including NoRD on a ring-less topology).
+    pub fn try_new(cfg: NocConfig) -> Result<NetworkCore, ConfigError> {
+        cfg.validate()?;
+        let topo = cfg.build_topology();
+        let n = topo.routers();
+        let cores = topo.cores();
         let measure_from = 0;
-        NetworkCore {
+        Ok(NetworkCore {
             routers: (0..n).map(|i| Router::new(&cfg, i as NodeId)).collect(),
             channels: (0..n * 4).map(|_| Channel::new()).collect(),
             eject: (0..n).map(|_| Channel::new()).collect(),
             nics: (0..n).map(|_| Nic::new(cfg.vnets)).collect(),
-            core_active: vec![true; n],
+            core_active: vec![true; cores],
             wake_flag: vec![false; n],
             wake_list: Vec::new(),
             activity: ActivityCounters::default(),
@@ -182,10 +200,10 @@ impl NetworkCore {
             cycles_skipped: 0,
             link_util: vec![0; n * 4],
             ring: if cfg.enable_ring {
-                assert!(cfg.k.is_multiple_of(2), "NoRD bypass ring requires an even mesh radix");
-                assert!(n <= 256, "ring exit stamping supports at most 256 nodes");
-                assert!(cfg.regular_vcs >= 2, "the ring transfer path reserves one regular VC");
-                Some(BypassRing::new(cfg.k).expect("even-radix ring construction"))
+                // `validate` established that the topology admits a
+                // Hamiltonian cycle, n <= 256, and regular_vcs >= 2.
+                let succ = topo.ring_successors().expect("validated ring topology");
+                Some(BypassRing::from_successors(succ))
             } else {
                 None
             },
@@ -198,8 +216,9 @@ impl NetworkCore {
             sched: SchedSets::new(n),
             va_order: Vec::new(),
             cycle: 0,
+            topo,
             cfg,
-        }
+        })
     }
 
     // --- Active-set marking -------------------------------------------------
@@ -246,28 +265,67 @@ impl NetworkCore {
         self.sched.eject.insert(node as usize);
     }
 
-    /// Mesh radix.
+    /// Router-grid width (`kx`; the historical square radix).
     #[inline]
     pub fn k(&self) -> u16 {
-        self.cfg.k
+        self.topo.kx()
     }
 
-    /// Number of nodes.
+    /// Router-grid height.
+    #[inline]
+    pub fn ky(&self) -> u16 {
+        self.topo.ky()
+    }
+
+    /// Number of routers.
     #[inline]
     pub fn nodes(&self) -> usize {
         self.routers.len()
     }
 
+    /// Number of cores (`core_active` entries): routers x concentration.
+    #[inline]
+    pub fn cores(&self) -> usize {
+        self.core_active.len()
+    }
+
+    /// Attachment router of core `core`.
+    #[inline]
+    pub fn core_router(&self, core: NodeId) -> NodeId {
+        core / self.topo.concentration()
+    }
+
+    /// True if any core attached to router `node` is OS-active. With
+    /// concentration 1 this is exactly `core_active[node]`; mechanisms key
+    /// their gating decisions off this view.
+    #[inline]
+    pub fn router_core_active(&self, node: NodeId) -> bool {
+        let c = self.topo.concentration() as usize;
+        if c == 1 {
+            self.core_active[node as usize]
+        } else {
+            self.core_active[node as usize * c..(node as usize + 1) * c].iter().any(|&a| a)
+        }
+    }
+
     /// Coordinate of `node`.
     #[inline]
     pub fn coord(&self, node: NodeId) -> Coord {
-        Coord::of(node, self.cfg.k)
+        self.topo.coord(node)
     }
 
-    /// Neighbor of `node` in `d`, if any.
+    /// Physical (link-level, wrap-aware on a torus) neighbor of `node` in
+    /// `d`, if any. The datapath — delivery, latch chains, credit relays —
+    /// follows this view; routing policy uses [`NetworkCore::grid_neighbor`].
     #[inline]
     pub fn neighbor(&self, node: NodeId, d: Dir) -> Option<NodeId> {
-        self.coord(node).neighbor(d, self.cfg.k).map(|c| c.id(self.cfg.k))
+        self.topo.neighbor_dir(node, d)
+    }
+
+    /// Mesh-semantic (never wrapping) neighbor of `node` in `d`, if any.
+    #[inline]
+    pub fn grid_neighbor(&self, node: NodeId, d: Dir) -> Option<NodeId> {
+        self.topo.grid_neighbor(node, d)
     }
 
     /// Index of the outgoing channel of `node` in direction `d`.
@@ -294,11 +352,14 @@ impl NetworkCore {
         self.routers[node as usize].power
     }
 
-    /// Physical-neighbor power states as seen from `node` (the PSR view).
+    /// Grid-neighbor power states as seen from `node` (the PSR view).
+    /// Deliberately the *grid* view: routing policy and the mechanisms'
+    /// edge logic stay mesh-semantic on a torus (wrap links carry only the
+    /// baseline's wrap-minimal traffic and physical transit).
     pub fn psr(&self, node: NodeId) -> [Option<PowerState>; 4] {
         let mut out = [None; 4];
         for d in Dir::ALL {
-            out[d.index()] = self.neighbor(node, d).map(|m| self.power(m));
+            out[d.index()] = self.grid_neighbor(node, d).map(|m| self.power(m));
         }
         out
     }
@@ -333,35 +394,33 @@ impl NetworkCore {
         &self.wake_list
     }
 
-    /// Enqueue a generated packet at its source NIC.
+    /// Enqueue a generated packet at its source NIC. Request endpoints are
+    /// *core* ids; on a concentrated mesh they are mapped down to the
+    /// attachment routers (each router's NIC is shared by its cores).
     ///
-    /// Self-addressed requests (`src == dst`) are rejected and counted in
-    /// `stats.self_addressed_dropped` rather than admitted: the model has
-    /// no local loopback path, so such a packet would inflate
+    /// Requests whose endpoints share a router (`src == dst` after the
+    /// mapping — including self-addressed requests) are rejected and
+    /// counted in `stats.self_addressed_dropped` rather than admitted: the
+    /// model has no local loopback path, so such a packet would inflate
     /// `in_flight_packets` forever (a silent stats corruption in release
     /// builds when this was only a `debug_assert`). Returns the assigned
     /// packet id, or `None` for a rejected request.
     pub fn submit(&mut self, req: PacketRequest) -> Option<PacketId> {
-        debug_assert!((req.src as usize) < self.nodes() && (req.dst as usize) < self.nodes());
+        debug_assert!((req.src as usize) < self.cores() && (req.dst as usize) < self.cores());
         debug_assert!((req.vnet as usize) < self.cfg.vnets);
-        if req.src == req.dst {
+        let src = self.core_router(req.src);
+        let dst = self.core_router(req.dst);
+        if src == dst {
             self.stats.self_addressed_dropped += 1;
             return None;
         }
         let id = self.next_packet;
         self.next_packet += 1;
-        let pkt = Packet {
-            id,
-            src: req.src,
-            dst: req.dst,
-            vnet: req.vnet,
-            len: req.len,
-            birth: self.cycle,
-        };
-        self.nics[req.src as usize].enqueue(pkt);
-        self.routers[req.src as usize].touch_local(self.cycle);
+        let pkt = Packet { id, src, dst, vnet: req.vnet, len: req.len, birth: self.cycle };
+        self.nics[src as usize].enqueue(pkt);
+        self.routers[src as usize].touch_local(self.cycle);
         self.in_flight_packets += 1;
-        self.mark_inject(req.src);
+        self.mark_inject(src);
         Some(id)
     }
 
@@ -645,18 +704,41 @@ impl NetworkCore {
         self.note_progress();
     }
 
+    /// True if a credit relayed onward from `from` in `travel` can ever
+    /// reach a powered consumer. Trivially true on a mesh (the relay path
+    /// either hits a powered router or falls off the edge and is dropped);
+    /// on a torus a fully-gated wrap cycle would relay the credit forever,
+    /// so the (rare, sleeping-router-only) relay path checks ahead.
+    fn relay_has_consumer(&self, from: NodeId, travel: Dir) -> bool {
+        if !self.topo.wraps() {
+            return true;
+        }
+        let mut cur = from;
+        loop {
+            let Some(next) = self.neighbor(cur, travel) else { return false };
+            if next == from {
+                return false; // full wrap: nothing powered on the cycle
+            }
+            if self.routers[next as usize].power.is_powered() {
+                return true;
+            }
+            cur = next;
+        }
+    }
+
     fn deliver_credit(&mut self, target: NodeId, travel: Dir, c: crate::link::CreditMsg) {
         let now = self.cycle;
         if self.routers[target as usize].power.is_flov() {
             // Relay upstream: one extra cycle per sleeping hop.
-            if self.neighbor(target, travel).is_some() {
+            if self.neighbor(target, travel).is_some() && self.relay_has_consumer(target, travel) {
                 self.activity.credit_msgs += 1;
                 self.activity.credit_relays += 1;
                 let e = self.edge(target, travel);
                 self.channels[e].send_credit(now + 1, c);
                 self.mark_chan(e);
             }
-            // At a mesh edge the credit has no consumer left; drop it.
+            // At a mesh edge (or on a fully-gated torus wrap cycle) the
+            // credit has no consumer left; drop it.
         } else {
             let out_port = crate::types::Port::from_dir(travel.opposite());
             let vc_flat = self.cfg.vc_index(c.vnet as usize, c.vc as usize);

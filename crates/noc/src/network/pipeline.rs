@@ -23,8 +23,11 @@ pub fn build_route_ctx(
     dst: NodeId,
     escape: bool,
 ) -> RouteCtx {
+    use crate::topology::Topology;
     RouteCtx {
-        k: core.cfg.k,
+        kx: core.topo.kx(),
+        ky: core.topo.ky(),
+        torus: core.topo.wraps(),
         at: core.coord(at),
         in_port,
         dst: core.coord(dst),

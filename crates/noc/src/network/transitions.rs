@@ -178,7 +178,15 @@ impl NetworkCore {
         loop {
             let next = self.neighbor(cur, d)?;
             if self.power(next).is_powered() {
+                // On a torus wrap cycle this may be `node` itself (the only
+                // powered router on the cycle): flits it sends in `d` fly
+                // over every sleeper and wrap back to its own input, so the
+                // self-loop is the correct logical downstream.
                 return Some(next);
+            }
+            if next == node {
+                // Fully-unpowered torus wrap cycle: no powered router.
+                return None;
             }
             cur = next;
         }

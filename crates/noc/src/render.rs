@@ -25,15 +25,15 @@ pub fn power_glyph(s: PowerState) -> char {
 /// y=0  A A A A
 /// ```
 pub fn power_map(core: &NetworkCore) -> String {
-    let k = core.k();
+    let (kx, ky) = (core.k(), core.ky());
     let mut out = String::new();
-    for y in (0..k).rev() {
+    for y in (0..ky).rev() {
         let _ = write!(out, "y={y:<2} ");
-        for x in 0..k {
-            let n = Coord::new(x, y).id(k);
+        for x in 0..kx {
+            let n = Coord::new(x, y).id(kx);
             let mut g = power_glyph(core.power(n));
-            if !core.core_active[n as usize] && g == 'A' {
-                g = 'a'; // powered router, gated core
+            if !core.router_core_active(n) && g == 'A' {
+                g = 'a'; // powered router, all attached cores gated
             }
             let _ = write!(out, " {g}");
         }
@@ -44,12 +44,12 @@ pub fn power_map(core: &NetworkCore) -> String {
 
 /// Render buffered-flit counts per router (single hex-ish digit, capped).
 pub fn occupancy_map(core: &NetworkCore) -> String {
-    let k = core.k();
+    let (kx, ky) = (core.k(), core.ky());
     let mut out = String::new();
-    for y in (0..k).rev() {
+    for y in (0..ky).rev() {
         let _ = write!(out, "y={y:<2} ");
-        for x in 0..k {
-            let n = Coord::new(x, y).id(k);
+        for x in 0..kx {
+            let n = Coord::new(x, y).id(kx);
             let occ = core.routers[n as usize].buffered_flits();
             let c = match occ {
                 0 => '.',
@@ -95,13 +95,13 @@ pub fn link_util_summary(core: &NetworkCore) -> (u64, f64, f64) {
 /// Render the east-going link utilization as a heatmap of digits 0-9
 /// normalized to the maximum (coarse hotspot view).
 pub fn eastlink_heatmap(core: &NetworkCore) -> String {
-    let k = core.k();
+    let (kx, ky) = (core.k(), core.ky());
     let (max, _, _) = link_util_summary(core);
     let mut out = String::new();
-    for y in (0..k).rev() {
+    for y in (0..ky).rev() {
         let _ = write!(out, "y={y:<2} ");
-        for x in 0..k - 1 {
-            let n = Coord::new(x, y).id(k);
+        for x in 0..kx - 1 {
+            let n = Coord::new(x, y).id(kx);
             let u = core.link_util[n as usize * 4 + Dir::East.index()];
             let level = if max == 0 { 0 } else { (u * 9 / max.max(1)) as u32 };
             let _ = write!(out, " {}", char::from_digit(level, 10).unwrap());

@@ -144,13 +144,21 @@ impl BypassRing {
     /// Build the ring for an even-radix mesh. `None` when no Hamiltonian
     /// cycle exists (odd `k`).
     pub fn new(k: u16) -> Option<BypassRing> {
-        let succ = ring_successors(k)?;
+        Some(BypassRing::from_successors(ring_successors(k)?))
+    }
+
+    /// Build the ring transport over an arbitrary Hamiltonian successor
+    /// map (one entry per node; `succ[n]` is n's ring successor). The
+    /// topology layer supplies these — the seed serpentine for even square
+    /// meshes, generalized serpentines for rectangles, and the "tornado"
+    /// cycle for tori (which admit a ring at any radix, odd included).
+    pub fn from_successors(succ: Vec<NodeId>) -> BypassRing {
         let n = succ.len();
         let mut pred = vec![0 as NodeId; n];
         for (a, &b) in succ.iter().enumerate() {
             pred[b as usize] = a as NodeId;
         }
-        Some(BypassRing {
+        BypassRing {
             succ,
             pred,
             nodes: vec![RingNode::default(); n],
@@ -159,7 +167,7 @@ impl BypassRing {
             dateline: 0,
             flits_forwarded: 0,
             flits_delivered: 0,
-        })
+        }
     }
 
     /// Ring successor of `n`.

@@ -89,7 +89,12 @@ pub struct Router {
 
 impl Router {
     pub fn new(cfg: &NocConfig, id: NodeId) -> Router {
-        let coord = Coord::of(id, cfg.k);
+        let spec = cfg.topology_spec();
+        let coord = Coord { x: id % spec.kx(), y: id / spec.kx() };
+        // FLOV latch capability: a gated router can fly flits over in a
+        // dimension iff it has physical links on both sides of it — the
+        // grid interior, or anywhere on a torus.
+        let (flov_x, flov_y) = spec.flov_capability(coord);
         let total_vcs = cfg.total_vcs();
         assert!(total_vcs <= 64, "per-port VC bitmasks hold at most 64 VCs");
         let n = NUM_PORTS * total_vcs;
@@ -101,8 +106,8 @@ impl Router {
             out_credits: (0..n).map(|_| CreditCounter::new_full(cfg.buf_depth)).collect(),
             out_vc_state: vec![VcOwner::Free; n],
             latches: [None; 4],
-            flov_x: coord.x > 0 && coord.x + 1 < cfg.k,
-            flov_y: coord.y > 0 && coord.y + 1 < cfg.k,
+            flov_x,
+            flov_y,
             sa_in: (0..NUM_PORTS).map(|_| RoundRobin::new(total_vcs)).collect(),
             sa_out: (0..NUM_PORTS).map(|_| RoundRobin::new(NUM_PORTS)).collect(),
             va_rr: RoundRobin::new(NUM_PORTS * total_vcs),

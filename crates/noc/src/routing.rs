@@ -5,13 +5,18 @@ use crate::types::{Coord, Dir, Port, PowerState};
 
 /// Everything a routing function may consult for one head flit at one
 /// powered router. Deliberately local: coordinates, destination, the input
-/// port, the escape flag, and the *physical neighbor* power states (the
-/// router's PSR view) — matching the paper's claim that FLOV routing needs
-/// no global network information.
+/// port, the escape flag, grid dimensions, and the *grid neighbor* power
+/// states (the router's PSR view) — matching the paper's claim that FLOV
+/// routing needs no global network information.
 #[derive(Clone, Copy, Debug)]
 pub struct RouteCtx {
-    /// Mesh radix.
-    pub k: u16,
+    /// Router-grid width.
+    pub kx: u16,
+    /// Router-grid height.
+    pub ky: u16,
+    /// True on a wrapping (torus) fabric: the baseline may route
+    /// wrap-minimally; mechanism routing stays grid-semantic either way.
+    pub torus: bool,
     /// Router doing the route computation.
     pub at: Coord,
     /// Port the packet arrived on (`Local` for freshly injected packets).
@@ -20,8 +25,8 @@ pub struct RouteCtx {
     pub dst: Coord,
     /// True once the packet is in the escape sub-network.
     pub escape: bool,
-    /// Power state of the physical neighbor in each direction
-    /// (`None` at mesh edges). This is the PSR register contents.
+    /// Power state of the grid neighbor in each direction (`None` at grid
+    /// edges, even on a torus). This is the PSR register contents.
     pub neighbors: [Option<PowerState>; 4],
 }
 
@@ -72,6 +77,31 @@ pub fn xy_route(at: Coord, dst: Coord) -> Port {
         Port::North
     } else {
         Port::South
+    }
+}
+
+/// Wrap-minimal dimension-ordered YX routing on a `kx x ky` torus: finish
+/// the Y dimension first (shorter wrap direction; ties go North), then X
+/// (ties go East). Mirrors [`yx_route`]'s Y-then-X discipline, so the only
+/// turns are Y-travel into X-travel; the cyclic dependency that wrap links
+/// add within a dimension is broken by the escape sub-network (Duato),
+/// which is why torus configs require `escape_vcs >= 1`.
+#[inline]
+pub fn torus_yx_route(at: Coord, dst: Coord, kx: u16, ky: u16) -> Port {
+    if at == dst {
+        return Port::Local;
+    }
+    if at.y != dst.y {
+        let up = (dst.y + ky - at.y) % ky;
+        let down = ky - up;
+        return if up <= down { Port::North } else { Port::South };
+    }
+    let east = (dst.x + kx - at.x) % kx;
+    let west = kx - east;
+    if east <= west {
+        Port::East
+    } else {
+        Port::West
     }
 }
 
@@ -128,9 +158,62 @@ mod tests {
     }
 
     #[test]
+    fn torus_yx_takes_the_short_way_round() {
+        let (kx, ky) = (8, 8);
+        // (0,0) -> (6,0): west-wrap (2 hops) beats east (6 hops).
+        assert_eq!(torus_yx_route(Coord::new(0, 0), Coord::new(6, 0), kx, ky), Port::West);
+        // (0,0) -> (0,6): south-wrap.
+        assert_eq!(torus_yx_route(Coord::new(0, 0), Coord::new(0, 6), kx, ky), Port::South);
+        // Ties (distance 4 either way) go North / East.
+        assert_eq!(torus_yx_route(Coord::new(0, 0), Coord::new(0, 4), kx, ky), Port::North);
+        assert_eq!(torus_yx_route(Coord::new(0, 0), Coord::new(4, 0), kx, ky), Port::East);
+        // Y is finished before X, as in yx_route.
+        assert_eq!(torus_yx_route(Coord::new(2, 2), Coord::new(5, 6), kx, ky), Port::North);
+        assert_eq!(torus_yx_route(Coord::new(3, 3), Coord::new(3, 3), kx, ky), Port::Local);
+    }
+
+    #[test]
+    fn torus_yx_reaches_destination_minimally() {
+        let (kx, ky) = (5u16, 4u16);
+        let wrap = |c: Coord, d: Dir| {
+            let (dx, dy) = d.delta();
+            Coord::new(
+                (c.x as i32 + dx).rem_euclid(kx as i32) as u16,
+                (c.y as i32 + dy).rem_euclid(ky as i32) as u16,
+            )
+        };
+        let tdist = |a: Coord, b: Coord| {
+            let dx = (b.x + kx - a.x) % kx;
+            let dy = (b.y + ky - a.y) % ky;
+            dx.min(kx - dx) as u32 + dy.min(ky - dy) as u32
+        };
+        for s in 0..kx * ky {
+            for d in 0..kx * ky {
+                let mut at = Coord { x: s % kx, y: s / kx };
+                let dst = Coord { x: d % kx, y: d / kx };
+                let expect = tdist(at, dst);
+                let mut hops = 0;
+                loop {
+                    let p = torus_yx_route(at, dst, kx, ky);
+                    if p == Port::Local {
+                        break;
+                    }
+                    at = wrap(at, p.dir().unwrap());
+                    hops += 1;
+                    assert!(hops <= expect, "torus yx not minimal for {s}->{d}");
+                }
+                assert_eq!(at, dst);
+                assert_eq!(hops, expect);
+            }
+        }
+    }
+
+    #[test]
     fn ctx_neighbor_predicates() {
         let ctx = RouteCtx {
-            k: 8,
+            kx: 8,
+            ky: 8,
+            torus: false,
             at: Coord::new(0, 0),
             in_port: Port::Local,
             dst: Coord::new(3, 3),

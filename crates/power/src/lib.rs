@@ -22,6 +22,7 @@ pub mod params;
 
 pub use area::AreaModel;
 pub use model::{
-    compute, directed_links, residency_delta, DynamicEnergy, GatedResidual, PowerReport,
+    compute, compute_links, directed_links, residency_delta, DynamicEnergy, GatedResidual,
+    PowerReport,
 };
 pub use params::PowerParams;

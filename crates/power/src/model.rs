@@ -117,6 +117,19 @@ pub fn compute(
     cycles: u64,
     residual: GatedResidual,
 ) -> PowerReport {
+    compute_links(params, directed_links(k), activity, residency, cycles, residual)
+}
+
+/// [`compute`] with an explicit directed-link count, for fabrics that are
+/// not `k x k` meshes (torus wrap links, rectangular grids).
+pub fn compute_links(
+    params: &PowerParams,
+    links: u64,
+    activity: &ActivityCounters,
+    residency: &[Residency],
+    cycles: u64,
+    residual: GatedResidual,
+) -> PowerReport {
     assert!(cycles > 0, "empty measurement window");
     let seconds = cycles as f64 / params.clock_hz;
     // Static: leakage weighted by residency.
@@ -136,7 +149,7 @@ pub fn compute(
             }
         }
     }
-    let static_link_w = directed_links(k) as f64 * params.p_link_leak;
+    let static_link_w = links as f64 * params.p_link_leak;
     let static_w = static_router_w + static_link_w;
     // Dynamic: event counts x per-event energies.
     let e = DynamicEnergy {

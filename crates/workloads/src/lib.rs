@@ -18,5 +18,5 @@ pub mod synthetic;
 
 pub use gating::GatingSchedule;
 pub use parsec::{benchmark, memory_controllers, BenchProfile, ParsecWorkload, PARSEC_BENCHMARKS};
-pub use patterns::Pattern;
+pub use patterns::{Pattern, PatternSpace};
 pub use synthetic::SyntheticWorkload;

@@ -4,6 +4,41 @@ use flov_noc::rng::Rng;
 use flov_noc::types::{Coord, NodeId};
 use serde::{Deserialize, Serialize};
 
+/// The coordinate space a pattern operates over: a `kx x ky` router grid
+/// with `c` cores concentrated on each router. Sources and destinations are
+/// *core* ids; spatial patterns act on the router coordinates and preserve
+/// the core slot within the router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternSpace {
+    pub kx: u16,
+    pub ky: u16,
+    /// Cores per router (1 for a plain mesh).
+    pub c: u16,
+}
+
+impl PatternSpace {
+    /// The classic square `k x k` mesh with one core per router.
+    pub fn square(k: u16) -> PatternSpace {
+        PatternSpace { kx: k, ky: k, c: 1 }
+    }
+
+    /// Total number of cores (pattern endpoints).
+    pub fn cores(&self) -> u64 {
+        self.kx as u64 * self.ky as u64 * self.c as u64
+    }
+
+    /// Router grid coordinate of a core.
+    fn coord(&self, core: NodeId) -> Coord {
+        let router = core / self.c;
+        Coord { x: router % self.kx, y: router / self.kx }
+    }
+
+    /// Core id at a router coordinate, keeping `src`'s slot.
+    fn core_at(&self, coord: Coord, src: NodeId) -> NodeId {
+        (coord.y * self.kx + coord.x) * self.c + src % self.c
+    }
+}
+
 /// A spatial traffic pattern: maps a source to a destination.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Pattern {
@@ -27,17 +62,33 @@ impl Pattern {
     /// Compute the destination for `src` in a `k x k` mesh. Deterministic
     /// patterns ignore `rng`. May return `src` itself (callers skip those).
     pub fn dest(&self, src: NodeId, k: u16, rng: &mut Rng) -> NodeId {
-        let n = k as u64 * k as u64;
-        let c = Coord::of(src, k);
+        self.dest_in(src, PatternSpace::square(k), rng)
+    }
+
+    /// Compute the destination for core `src` in an arbitrary pattern space.
+    /// For `PatternSpace::square(k)` this draws the exact same RNG stream as
+    /// the historical `k x k` form.
+    pub fn dest_in(&self, src: NodeId, space: PatternSpace, rng: &mut Rng) -> NodeId {
+        let n = space.cores();
+        let c = space.coord(src);
         match *self {
             Pattern::UniformRandom => rng.below(n) as NodeId,
             Pattern::Tornado => {
-                let shift = k.div_ceil(2) - 1;
-                Coord::new((c.x + shift) % k, c.y).id(k)
+                let shift = space.kx.div_ceil(2) - 1;
+                space.core_at(Coord::new((c.x + shift) % space.kx, c.y), src)
             }
-            Pattern::Transpose => Coord::new(c.y, c.x).id(k),
+            Pattern::Transpose => {
+                // Swapping router coordinates needs a square grid; on a
+                // rectangular one the pair has no partner and stays silent
+                // (callers skip self-sends).
+                if space.kx == space.ky {
+                    space.core_at(Coord::new(c.y, c.x), src)
+                } else {
+                    src
+                }
+            }
             Pattern::BitComplement => (n - 1) as NodeId - src,
-            Pattern::Neighbor => Coord::new((c.x + 1) % k, c.y).id(k),
+            Pattern::Neighbor => space.core_at(Coord::new((c.x + 1) % space.kx, c.y), src),
             Pattern::Hotspot { hotspot, p_hot_pct } => {
                 if rng.below(100) < p_hot_pct as u64 {
                     hotspot
@@ -119,5 +170,66 @@ mod tests {
         let mut rng = Rng::new(1);
         assert_eq!(Pattern::Neighbor.dest(7, 8, &mut rng), 0); // (7,0) -> (0,0)
         assert_eq!(Pattern::Neighbor.dest(0, 8, &mut rng), 1);
+    }
+
+    #[test]
+    fn square_space_matches_legacy_form() {
+        // Same seed, same draw stream, same destinations.
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        let space = PatternSpace::square(8);
+        for src in 0..64u16 {
+            for p in [
+                Pattern::UniformRandom,
+                Pattern::Tornado,
+                Pattern::Transpose,
+                Pattern::BitComplement,
+                Pattern::Neighbor,
+                Pattern::Hotspot { hotspot: 9, p_hot_pct: 30 },
+            ] {
+                assert_eq!(p.dest(src, 8, &mut a), p.dest_in(src, space, &mut b));
+            }
+        }
+    }
+
+    #[test]
+    fn concentrated_patterns_preserve_the_core_slot() {
+        // CMesh 4x4 with c=4 (the 64-core config): tornado/transpose act on
+        // router coordinates and keep the sender's slot.
+        let mut rng = Rng::new(1);
+        let space = PatternSpace { kx: 4, ky: 4, c: 4 };
+        for src in 0..64u16 {
+            let d = Pattern::Tornado.dest_in(src, space, &mut rng);
+            assert_eq!(d % 4, src % 4, "tornado changed the core slot");
+            assert_eq!((d / 4) / 4, (src / 4) / 4, "tornado left its router row");
+            let t = Pattern::Transpose.dest_in(src, space, &mut rng);
+            assert_eq!(Pattern::Transpose.dest_in(t, space, &mut rng), src);
+            let b = Pattern::BitComplement.dest_in(src, space, &mut rng);
+            assert_eq!(b, 63 - src);
+        }
+    }
+
+    #[test]
+    fn rectangular_space_stays_in_bounds() {
+        let mut rng = Rng::new(5);
+        let space = PatternSpace { kx: 6, ky: 3, c: 1 };
+        let n = space.cores() as u16;
+        for src in 0..n {
+            for p in [
+                Pattern::UniformRandom,
+                Pattern::Tornado,
+                Pattern::Transpose,
+                Pattern::BitComplement,
+                Pattern::Neighbor,
+            ] {
+                let d = p.dest_in(src, space, &mut rng);
+                assert!(d < n, "{p:?} escaped the 6x3 grid: {src} -> {d}");
+            }
+            // Transpose has no partner off the square diagonal.
+            assert_eq!(Pattern::Transpose.dest_in(src, space, &mut rng), src);
+            // Tornado stays in the router row.
+            let t = Pattern::Tornado.dest_in(src, space, &mut rng);
+            assert_eq!(t / 6, src / 6);
+        }
     }
 }

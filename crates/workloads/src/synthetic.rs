@@ -9,7 +9,7 @@
 //! exact next-event horizon for time-domain skipping.
 
 use crate::gating::GatingSchedule;
-use crate::patterns::Pattern;
+use crate::patterns::{Pattern, PatternSpace};
 use flov_noc::rng::Rng;
 use flov_noc::traits::{PacketRequest, Workload};
 use flov_noc::types::{Cycle, NodeId};
@@ -31,7 +31,7 @@ pub struct SyntheticWorkload {
     pub stop_at: Cycle,
     gating: GatingSchedule,
     rng: Rng,
-    k: u16,
+    space: PatternSpace,
     active_cache: Vec<NodeId>,
     cache_dirty: bool,
     /// Per-node precomputed injection cycle; `NEVER` while inactive. A
@@ -54,6 +54,20 @@ impl SyntheticWorkload {
         gating: GatingSchedule,
         seed: u64,
     ) -> SyntheticWorkload {
+        Self::with_space(PatternSpace::square(k), pattern, rate, pkt_len, stop_at, gating, seed)
+    }
+
+    /// Generator over an arbitrary pattern space (rectangular, concentrated).
+    /// `PatternSpace::square(k)` reproduces `new` exactly, draw for draw.
+    pub fn with_space(
+        space: PatternSpace,
+        pattern: Pattern,
+        rate: f64,
+        pkt_len: u16,
+        stop_at: Cycle,
+        gating: GatingSchedule,
+        seed: u64,
+    ) -> SyntheticWorkload {
         SyntheticWorkload {
             pattern,
             rate,
@@ -62,7 +76,7 @@ impl SyntheticWorkload {
             stop_at,
             gating,
             rng: Rng::new(seed),
-            k,
+            space,
             active_cache: Vec::new(),
             cache_dirty: true,
             next_inject: Vec::new(),
@@ -120,7 +134,7 @@ impl Workload for SyntheticWorkload {
             return;
         }
         let p = self.p();
-        let k = self.k;
+        let space = self.space;
         let mut min_next = NEVER;
         for i in 0..self.active_cache.len() {
             let src = self.active_cache[i];
@@ -151,7 +165,7 @@ impl Workload for SyntheticWorkload {
                     }
                 }
                 _ => {
-                    let d = self.pattern.dest(src, k, &mut self.rng);
+                    let d = self.pattern.dest_in(src, space, &mut self.rng);
                     // Deterministic patterns: if the partner is gated (or
                     // self), the pair does not communicate this cycle.
                     if d == src || !active[d as usize] {
