@@ -55,13 +55,18 @@ tools:
               [--mech M] [--pattern P] [--rate R] [--gated F] [--cycles N]
               [--warmup N] [--seed S] [--k K] [--parsec BENCH] [--json] [--map]
               [--audit] [--topology mesh|torus|cmesh:C|rect:KXxKY]
+              [--threads N] (sharded parallel kernel with N tiles)
   sweep       run a batch of serialized RunSpecs
               --spec FILE.json (one spec or an array); JSON results on stdout
   bench-kernel  time the cycle kernels (active-set vs reference) on 8x8
-              idle/low-load/mid-load/saturated traffic; verifies they stay
-              bit-identical; report to stdout and --out (BENCH_kernel.json)
-              [--quick] [--min-cps N] [--min-skip FRAC] [--out PATH]
-  fuzz        differential fuzzer: random specs through both kernels with
+              idle/low-load/mid-load/saturated traffic, plus the sharded
+              parallel kernel (2/4 tiles) on 16x16/32x32; verifies all
+              kernels stay bit-identical; report to stdout and --out
+              (BENCH_kernel.json)
+              [--quick] [--min-cps N] [--min-skip FRAC]
+              [--min-parallel-speedup X] [--out PATH]
+  fuzz        differential fuzzer: random specs through all three kernels
+              (active-set, reference, sharded parallel) with
               the invariant auditor on; failures shrink to repro JSONs in
               results/fuzz/ and exit nonzero
               [--runs N] [--max-cycles N] [--seed S] [--out DIR]
@@ -328,8 +333,11 @@ fn main() {
                 flag_value(rest, "--min-cps").map(|v| parse_or_die("--min-cps", &v));
             let min_skip: Option<f64> =
                 flag_value(rest, "--min-skip").map(|v| parse_or_die("--min-skip", &v));
+            let min_parallel_speedup: Option<f64> = flag_value(rest, "--min-parallel-speedup")
+                .map(|v| parse_or_die("--min-parallel-speedup", &v));
             let out = flag_value(rest, "--out").unwrap_or_else(|| "BENCH_kernel.json".into());
-            let report = flov_bench::kernel_bench::run_bench(quick, min_cps, min_skip);
+            let report =
+                flov_bench::kernel_bench::run_bench(quick, min_cps, min_skip, min_parallel_speedup);
             let json = serde_json::to_string_pretty(&report).expect("bench report serialization");
             std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| {
                 eprintln!("error: cannot write {out}: {e}");
@@ -429,6 +437,7 @@ fn sim(engine: &Engine, rest: &[String]) {
     let mut json = false;
     let mut map = false;
     let mut audit = false;
+    let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < rest.len() {
         let val = |i: &mut usize| -> String {
@@ -452,6 +461,7 @@ fn sim(engine: &Engine, rest: &[String]) {
             "--json" => json = true,
             "--map" => map = true,
             "--audit" => audit = true,
+            "--threads" => threads = Some(parse_or_die("--threads", &val(&mut i))),
             // Global flags were already consumed in main.
             "--quick" | "--no-cache" | "--quiet" => {}
             "--cache-dir" => {
@@ -478,6 +488,19 @@ fn sim(engine: &Engine, rest: &[String]) {
     };
     let spec = b.build();
     validate_or_die(&spec);
+    if let Some(t) = threads {
+        // Reject t == 0 here: a cache hit would otherwise skip the kernel
+        // lookup (kernel mode is not in the cache key) and mask the error.
+        if t == 0 {
+            eprintln!("error: --threads must be >= 1");
+            std::process::exit(2);
+        }
+        // Route the run through the sharded parallel kernel. Kernel choice
+        // never enters the cache key (all kernels are bit-identical), so
+        // env selection is safe for cached engines too.
+        std::env::set_var("FLOV_KERNEL", "parallel");
+        std::env::set_var("FLOV_THREADS", t.to_string());
+    }
     let r = engine.run_one(&spec);
     if json {
         println!("{}", serde_json::to_string_pretty(&r).expect("result serializes"));

@@ -1,5 +1,6 @@
-//! Differential fuzzer: random [`RunSpec`]s through both cycle kernels
-//! with the invariant auditor attached, results diffed bit-for-bit.
+//! Differential fuzzer: random [`RunSpec`]s through the cycle kernels
+//! (active-set, reference, and the sharded parallel kernel) with the
+//! invariant auditor attached, results diffed bit-for-bit.
 //!
 //! Release builds compile out every `debug_assert!` in the simulator, so
 //! a protocol bug that only trips an assertion ships silently. This
@@ -9,9 +10,11 @@
 //!    attached, so the global invariants (flit/credit conservation, gated
 //!    residency, ring conservation, per-mechanism state legality, and the
 //!    no-progress watchdog) are checked structurally;
-//! 2. every sampled run executes under **both** [`KernelMode`]s and the
-//!    serialized [`RunResult`]s must match byte-for-byte — the active-set
-//!    and time-skip optimizations are only correct if invisible;
+//! 2. every sampled run executes under **all three** [`KernelMode`]s (the
+//!    parallel kernel at a spec-derived tile count of 2 or 4) and the
+//!    serialized [`RunResult`]s must match byte-for-byte — the active-set,
+//!    time-skip, and tile-sharding optimizations are only correct if
+//!    invisible;
 //! 3. panics (from either kernel) are caught and reported as findings
 //!    instead of killing the campaign.
 //!
@@ -187,12 +190,25 @@ pub fn sample_spec(rng: &mut Rng, max_cycles: Cycle) -> RunSpec {
         .build()
 }
 
-/// Run `spec` through both kernels, auditor attached, and classify the
-/// outcome: `None` means clean, `Some((kind, detail))` is a finding.
-/// Failure precedence: panic > audit violation > kernel divergence.
+/// Run `spec` through all three kernels — active-set, reference, and the
+/// sharded parallel kernel at a spec-derived tile count — auditor
+/// attached, and classify the outcome: `None` means clean,
+/// `Some((kind, detail))` is a finding. Failure precedence:
+/// panic > audit violation > kernel divergence.
 pub fn check_spec(spec: &RunSpec) -> Option<(String, String)> {
-    let mut outcomes = Vec::with_capacity(2);
-    for (name, mode) in [("active", KernelMode::ActiveSet), ("reference", KernelMode::Reference)] {
+    // Tile count sampled deterministically from the workload seed, so a
+    // replayed repro exercises the same kernel trio that found it.
+    let tiles = match &spec.workload {
+        WorkloadSpec::Synthetic { seed, .. } => 2 + 2 * (seed % 2) as usize,
+        WorkloadSpec::Parsec { seed, .. } => 2 + 2 * (seed % 2) as usize,
+    };
+    let parallel_name = if tiles == 2 { "parallel2" } else { "parallel4" };
+    let mut outcomes = Vec::with_capacity(3);
+    for (name, mode) in [
+        ("active", KernelMode::ActiveSet),
+        ("reference", KernelMode::Reference),
+        (parallel_name, KernelMode::Parallel { tiles }),
+    ] {
         let run = catch_unwind(AssertUnwindSafe(|| run_kernel_audited(spec, mode)));
         match run {
             Err(payload) => {
@@ -214,16 +230,18 @@ pub fn check_spec(spec: &RunSpec) -> Option<(String, String)> {
         }
     }
     let a = serde_json::to_string(&outcomes[0].1.result).expect("result serializes");
-    let b = serde_json::to_string(&outcomes[1].1.result).expect("result serializes");
-    if a != b {
-        return Some((
-            "divergence".into(),
-            format!(
-                "kernels disagree: active {} bytes vs reference {} bytes of JSON",
-                a.len(),
-                b.len()
-            ),
-        ));
+    for (name, run) in &outcomes[1..] {
+        let b = serde_json::to_string(&run.result).expect("result serializes");
+        if a != b {
+            return Some((
+                "divergence".into(),
+                format!(
+                    "kernels disagree: active {} bytes vs {name} {} bytes of JSON",
+                    a.len(),
+                    b.len()
+                ),
+            ));
+        }
     }
     None
 }

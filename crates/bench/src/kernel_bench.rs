@@ -3,7 +3,10 @@
 //! Times raw `Simulation::run` throughput (cycles/sec and flit-events/sec)
 //! for idle, mid-load and saturated 8×8 configurations, per mechanism, for
 //! both the active-set and the reference kernel, and verifies along the way
-//! that the two kernels stay bit-identical on every measured pair. The
+//! that the two kernels stay bit-identical on every measured pair. A second
+//! matrix times the sharded parallel kernel on larger meshes (16×16, 32×32)
+//! at 2 and 4 tiles against the sequential active-set baseline, asserting
+//! bit-identity and recording per-lane speedup and scaling efficiency. The
 //! report establishes the repo's perf trajectory and is written to
 //! `BENCH_kernel.json`.
 
@@ -25,6 +28,18 @@ pub const MECHANISMS: [&str; 5] = ["Baseline", "RP", "rFLOV", "gFLOV", "NoRD"];
 pub const LANES: [(&str, Option<TopologySpec>); 2] =
     [("mesh8x8", None), ("cmesh64", Some(TopologySpec::CMesh { k: 4, c: 4 }))];
 
+/// Parallel-scaling lanes: larger meshes where per-cycle work dwarfs the
+/// barrier cost, timed with the sharded kernel at each tile count.
+pub const PARALLEL_LANES: [(&str, TopologySpec); 2] =
+    [("mesh16x16", TopologySpec::Mesh { k: 16 }), ("mesh32x32", TopologySpec::Mesh { k: 32 })];
+
+/// Mechanisms timed in the parallel matrix (a subset: Baseline bounds the
+/// raw datapath, rFLOV adds the FLOV latch/chain machinery).
+pub const PARALLEL_MECHANISMS: [&str; 2] = ["Baseline", "rFLOV"];
+
+/// Tile counts timed in the parallel matrix.
+pub const PARALLEL_TILES: [usize; 2] = [2, 4];
+
 /// `(name, injection rate flits/cycle/node, gated core fraction)`.
 ///
 /// `lowload` is the time-skip showcase: only ~5% of cores inject, so the
@@ -40,6 +55,9 @@ pub struct BenchRow {
     pub mechanism: String,
     pub load: String,
     pub kernel: String,
+    /// Worker-thread count (tile count for the parallel kernel; 1 for the
+    /// sequential kernels).
+    pub threads: usize,
     pub cycles: u64,
     /// Cycles the kernel jumped over without stepping (always 0 for the
     /// reference kernel, which never jumps).
@@ -60,13 +78,33 @@ pub struct SpeedupRow {
     pub speedup: f64,
 }
 
+/// Parallel-vs-sequential summary for one `(lane, mechanism, load, tiles)`
+/// cell. `efficiency` is `speedup / threads` (1.0 = perfect scaling).
+#[derive(Clone, Debug, Serialize)]
+pub struct ParallelRow {
+    pub lane: String,
+    pub mechanism: String,
+    pub load: String,
+    pub threads: usize,
+    pub base_cps: f64,
+    pub parallel_cps: f64,
+    pub speedup: f64,
+    pub efficiency: f64,
+}
+
 /// The full `BENCH_kernel.json` payload.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchReport {
     pub mesh: String,
     pub quick: bool,
+    /// Host hardware parallelism at measurement time. Parallel speedups in
+    /// this report are only meaningful when this is >= the row's `threads`
+    /// (the kernel stays bit-identical regardless; it just runs surplus
+    /// tiles inline).
+    pub host_threads: usize,
     pub rows: Vec<BenchRow>,
     pub speedups: Vec<SpeedupRow>,
+    pub parallel: Vec<ParallelRow>,
 }
 
 fn make_sim(
@@ -136,6 +174,11 @@ fn measure_one(
         kernel: match kernel {
             KernelMode::ActiveSet => "active".to_string(),
             KernelMode::Reference => "reference".to_string(),
+            KernelMode::Parallel { tiles } => format!("parallel{tiles}"),
+        },
+        threads: match kernel {
+            KernelMode::Parallel { tiles } => tiles,
+            _ => 1,
         },
         cycles,
         cycles_skipped,
@@ -150,8 +193,17 @@ fn measure_one(
 /// diverges (the cheap always-on equivalence check), or, when `min_cps` is
 /// set, if any active-kernel row falls below the cycles/sec floor, or,
 /// when `min_skip` is set, if any `lowload` active-kernel row skips less
-/// than that fraction of its timed cycles.
-pub fn run_bench(quick: bool, min_cps: Option<f64>, min_skip: Option<f64>) -> BenchReport {
+/// than that fraction of its timed cycles, or, when
+/// `min_parallel_speedup` is set, if the saturated 2-tile mesh32x32 lane
+/// falls below that speedup over the sequential active-set kernel. Every
+/// parallel row is also checked bit-identical against its sequential
+/// baseline.
+pub fn run_bench(
+    quick: bool,
+    min_cps: Option<f64>,
+    min_skip: Option<f64>,
+    min_parallel_speedup: Option<f64>,
+) -> BenchReport {
     let warmup = 2_000u64;
     let base = if quick { 20_000u64 } else { 200_000u64 };
     let mut rows = Vec::new();
@@ -191,8 +243,93 @@ pub fn run_bench(quick: bool, min_cps: Option<f64>, min_skip: Option<f64>) -> Be
             }
         }
     }
+    // Parallel-scaling matrix: larger meshes, saturated load, 2 and 4
+    // tiles against the sequential active-set baseline.
+    let mut parallel = Vec::new();
+    for (lane, topology) in PARALLEL_LANES {
+        let cycles = match (lane, quick) {
+            ("mesh32x32", true) => 2_000u64,
+            ("mesh32x32", false) => 8_000,
+            (_, true) => 5_000,
+            (_, false) => 20_000,
+        };
+        let par_warmup = 500u64;
+        for mech in PARALLEL_MECHANISMS {
+            let cell = ("saturated", 0.30, 0.0);
+            let (base, base_digest) = measure_one(
+                lane,
+                Some(topology),
+                mech,
+                cell,
+                KernelMode::ActiveSet,
+                par_warmup,
+                cycles,
+            );
+            for tiles in PARALLEL_TILES {
+                let (par, par_digest) = measure_one(
+                    lane,
+                    Some(topology),
+                    mech,
+                    cell,
+                    KernelMode::Parallel { tiles },
+                    par_warmup,
+                    cycles,
+                );
+                assert_eq!(
+                    base_digest, par_digest,
+                    "kernel divergence: {lane}/{mech} parallel({tiles}) vs active \
+                     end states differ"
+                );
+                let speedup = par.cycles_per_sec / base.cycles_per_sec;
+                eprintln!(
+                    "[flov] bench-kernel {lane:>9} {mech:>8} saturated: active {:>12.0} cyc/s, \
+                     parallel x{tiles} {:>12.0} cyc/s ({speedup:.2}x, {:.0}% efficiency)",
+                    base.cycles_per_sec,
+                    par.cycles_per_sec,
+                    100.0 * speedup / tiles as f64,
+                );
+                parallel.push(ParallelRow {
+                    lane: lane.to_string(),
+                    mechanism: mech.to_string(),
+                    load: "saturated".to_string(),
+                    threads: tiles,
+                    base_cps: base.cycles_per_sec,
+                    parallel_cps: par.cycles_per_sec,
+                    speedup,
+                    efficiency: speedup / tiles as f64,
+                });
+                rows.push(par);
+            }
+            rows.push(base);
+        }
+    }
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if let Some(floor) = min_parallel_speedup {
+        if host_threads < 2 {
+            eprintln!(
+                "[flov] bench-kernel: host has {host_threads} hardware thread(s); \
+                 skipping the --min-parallel-speedup {floor} gate (scaling is \
+                 unmeasurable without spare cores)"
+            );
+        } else {
+            for r in parallel.iter().filter(|r| r.lane == "mesh32x32" && r.threads == 2) {
+                assert!(
+                    r.speedup >= floor,
+                    "parallel-scaling regression: {}/{} at {} tiles reached only {:.2}x \
+                     over sequential < floor {floor:.2}x",
+                    r.lane,
+                    r.mechanism,
+                    r.threads,
+                    r.speedup
+                );
+            }
+        }
+    }
+    // The cps/skip floors are calibrated for the seed-scale lanes; the
+    // large parallel-scaling lanes are gated by relative speedup instead.
+    let seq_lane = |r: &&BenchRow| LANES.iter().any(|(l, _)| r.lane == *l);
     if let Some(floor) = min_cps {
-        for r in rows.iter().filter(|r| r.kernel == "active") {
+        for r in rows.iter().filter(seq_lane).filter(|r| r.kernel == "active") {
             assert!(
                 r.cycles_per_sec >= floor,
                 "perf floor regression: {}/{} active kernel at {:.0} cycles/sec < floor {floor:.0}",
@@ -203,7 +340,9 @@ pub fn run_bench(quick: bool, min_cps: Option<f64>, min_skip: Option<f64>) -> Be
         }
     }
     if let Some(floor) = min_skip {
-        for r in rows.iter().filter(|r| r.kernel == "active" && r.load == "lowload") {
+        for r in
+            rows.iter().filter(seq_lane).filter(|r| r.kernel == "active" && r.load == "lowload")
+        {
             let frac = r.cycles_skipped as f64 / r.cycles as f64;
             assert!(
                 frac >= floor,
@@ -216,5 +355,12 @@ pub fn run_bench(quick: bool, min_cps: Option<f64>, min_skip: Option<f64>) -> Be
             );
         }
     }
-    BenchReport { mesh: "mesh8x8+cmesh64".to_string(), quick, rows, speedups }
+    BenchReport {
+        mesh: "mesh8x8+cmesh64+mesh16x16+mesh32x32".to_string(),
+        quick,
+        host_threads,
+        rows,
+        speedups,
+        parallel,
+    }
 }

@@ -39,15 +39,29 @@ use flov_power::GatedResidual;
 use flov_workloads::{GatingSchedule, ParsecWorkload, PatternSpace, SyntheticWorkload};
 
 /// Kernel selected by the `FLOV_KERNEL` environment variable (`active` |
-/// `reference`); defaults to the active-set kernel. Both kernels produce
-/// bit-identical results (enforced by the equivalence suite), so this is a
+/// `reference` | `parallel`); defaults to the active-set kernel. For
+/// `parallel`, `FLOV_THREADS` sets the tile count (default 4; clamped to
+/// the grid height per network). All kernels produce bit-identical results
+/// (enforced by the equivalence suite), so this is a
 /// debugging/benchmarking switch, not an experiment parameter — it never
 /// enters the result cache key.
 pub fn kernel_from_env() -> KernelMode {
     match std::env::var("FLOV_KERNEL").ok().as_deref() {
         None | Some("") | Some("active") | Some("active-set") => KernelMode::ActiveSet,
         Some("reference") | Some("ref") => KernelMode::Reference,
-        Some(other) => panic!("unknown FLOV_KERNEL value {other:?} (use active|reference)"),
+        Some("parallel") | Some("par") => {
+            let tiles =
+                match std::env::var("FLOV_THREADS").ok().as_deref() {
+                    None | Some("") => 4,
+                    Some(v) => v.parse::<usize>().ok().filter(|&t| t >= 1).unwrap_or_else(|| {
+                        panic!("bad FLOV_THREADS value {v:?} (positive integer)")
+                    }),
+                };
+            KernelMode::Parallel { tiles }
+        }
+        Some(other) => {
+            panic!("unknown FLOV_KERNEL value {other:?} (use active|reference|parallel)")
+        }
     }
 }
 

@@ -8,6 +8,11 @@
 //! the jumps are invisible in the results even when they cover most of
 //! the run.
 //!
+//! The sharded parallel kernel ([`KernelMode::Parallel`]) joins the same
+//! contract: tile-partitioned execution with deterministic boundary
+//! exchange must be bit-identical to the sequential active-set kernel at
+//! every tile count, on every topology, including across clock jumps.
+//!
 //! The kernel *mode* never enters the result cache key (both modes agree
 //! bit-for-bit), but `KERNEL_VERSION` is at 3: v2 made the synthetic
 //! workload draw geometric inter-arrival gaps instead of per-cycle
@@ -141,6 +146,105 @@ fn topology_rows_stay_bit_identical_between_kernels() {
     assert!(failures.is_empty(), "topology equivalence failures:\n{}", failures.join("\n"));
 }
 
+/// The sharded parallel kernel is held to the same contract as the
+/// active-set kernel: for every mechanism × pattern × tile count, the
+/// tile-partitioned simulation with boundary exchange must produce a
+/// `RunResult` bit-identical to the sequential active-set kernel. Tile
+/// counts 2 and 4 exercise both the single-boundary and multi-boundary
+/// partitions of the 8×8 grid.
+#[test]
+fn parallel_kernel_matches_active_set_on_the_full_matrix() {
+    let cells: Vec<(&str, &str, Pattern, usize)> = MECHANISMS
+        .iter()
+        .flat_map(|&m| {
+            patterns()
+                .into_iter()
+                .flat_map(move |(pn, p)| [2usize, 4].into_iter().map(move |t| (m, pn, p, t)))
+        })
+        .collect();
+    let failures: Vec<String> = cells
+        .par_iter()
+        .map(|&(mech, pat_name, pattern, tiles)| {
+            eprintln!("cell start: {mech}/{pat_name}/tiles={tiles}");
+            let s = spec(mech, pattern);
+            let active = run_kernel(&s, KernelMode::ActiveSet);
+            let parallel = run_kernel(&s, KernelMode::Parallel { tiles });
+            let aj = serde_json::to_string(&active).expect("serialize active result");
+            let pj = serde_json::to_string(&parallel).expect("serialize parallel result");
+            if active.packets <= 100 {
+                return Some(format!(
+                    "{mech}/{pat_name}/tiles={tiles}: too little traffic ({} packets)",
+                    active.packets
+                ));
+            }
+            if aj != pj {
+                return Some(format!(
+                    "{mech}/{pat_name}/tiles={tiles}: parallel and active-set kernels diverged"
+                ));
+            }
+            None
+        })
+        .collect::<Vec<Option<String>>>()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(failures.is_empty(), "parallel equivalence failures:\n{}", failures.join("\n"));
+}
+
+/// Parallel bit-identity on the non-mesh fabrics: the torus wraparound
+/// datapath and the concentrated mesh must shard cleanly too (cross-tile
+/// wrap channels are just more boundary channels).
+#[test]
+fn parallel_kernel_matches_active_set_on_other_topologies() {
+    let topologies =
+        [("torus8", TopologySpec::Torus { k: 8 }), ("cmesh64", TopologySpec::CMesh { k: 4, c: 4 })];
+    let cells: Vec<(&str, TopologySpec, &str, usize)> = topologies
+        .iter()
+        .flat_map(|&(tn, t)| {
+            MECHANISMS
+                .iter()
+                .flat_map(move |&m| [2usize, 4].into_iter().map(move |k| (tn, t, m, k)))
+        })
+        .collect();
+    let failures: Vec<String> = cells
+        .par_iter()
+        .map(|&(topo_name, topology, mech, tiles)| {
+            eprintln!("cell start: {topo_name}/{mech}/tiles={tiles}");
+            let s = RunSpec::builder()
+                .mechanism(mech)
+                .topology(topology)
+                .pattern(Pattern::UniformRandom)
+                .rate(0.05)
+                .gated_fraction(0.3)
+                .seed(0xF10F)
+                .warmup(1_500)
+                .cycles(6_000)
+                .drain(25_000)
+                .build();
+            let active = run_kernel(&s, KernelMode::ActiveSet);
+            let parallel = run_kernel(&s, KernelMode::Parallel { tiles });
+            let aj = serde_json::to_string(&active).expect("serialize active result");
+            let pj = serde_json::to_string(&parallel).expect("serialize parallel result");
+            if active.packets <= 100 {
+                return Some(format!(
+                    "{topo_name}/{mech}/tiles={tiles}: too little traffic ({} packets)",
+                    active.packets
+                ));
+            }
+            if aj != pj {
+                return Some(format!(
+                    "{topo_name}/{mech}/tiles={tiles}: parallel and active-set diverged"
+                ));
+            }
+            None
+        })
+        .collect::<Vec<Option<String>>>()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(failures.is_empty(), "parallel topology failures:\n{}", failures.join("\n"));
+}
+
 /// One end-state digest plus the skip counter for the low-rate rows, which
 /// need `cycles_skipped` — deliberately *not* part of `RunResult` (it
 /// would break the bit-identity the matrix above asserts).
@@ -181,11 +285,21 @@ fn low_rate_rows_skip_most_cycles_and_stay_bit_identical() {
         .map(|&mech| {
             let (active, skipped, cycles) = run_low_rate(mech, KernelMode::ActiveSet);
             let (reference, ref_skipped, _) = run_low_rate(mech, KernelMode::Reference);
+            let (parallel, par_skipped, _) = run_low_rate(mech, KernelMode::Parallel { tiles: 4 });
             if active != reference {
                 return Some(format!("{mech}: low-rate active vs reference end states differ"));
             }
             if ref_skipped != 0 {
                 return Some(format!("{mech}: reference kernel skipped {ref_skipped} cycles"));
+            }
+            if parallel != active {
+                return Some(format!("{mech}: low-rate parallel vs active end states differ"));
+            }
+            if par_skipped != skipped {
+                return Some(format!(
+                    "{mech}: parallel kernel skipped {par_skipped} cycles, active {skipped} \
+                     (jump horizons must agree)"
+                ));
             }
             let frac = skipped as f64 / cycles as f64;
             if frac <= 0.5 {

@@ -12,7 +12,7 @@
 use crate::routing::flov_route;
 use flov_noc::network::NetworkCore;
 use flov_noc::routing::RouteCtx;
-use flov_noc::traits::PowerMechanism;
+use flov_noc::traits::{PowerMechanism, PowerView};
 use flov_noc::types::{Cycle, Dir, NodeId, Port, PowerState};
 use serde::{Deserialize, Serialize};
 
@@ -284,7 +284,7 @@ impl PowerMechanism for Flov {
         }
     }
 
-    fn route(&self, _core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
+    fn route(&self, _net: &dyn PowerView, ctx: &RouteCtx) -> Option<Port> {
         flov_route(ctx)
     }
 

@@ -25,7 +25,7 @@
 use crate::rp::updown;
 use flov_noc::network::NetworkCore;
 use flov_noc::routing::RouteCtx;
-use flov_noc::traits::PowerMechanism;
+use flov_noc::traits::{PowerMechanism, PowerView};
 use flov_noc::types::{Cycle, NodeId, Port, PowerState};
 use flov_noc::Topology;
 
@@ -86,10 +86,10 @@ impl Nord {
     /// Nearest powered node at or ring-upstream of `dst` (the mesh exit
     /// proxy for a gated destination). Returns `dst` itself if powered, or
     /// if nothing on the ring is powered.
-    fn proxy(&self, core: &NetworkCore, dst: NodeId) -> NodeId {
+    fn proxy(&self, net: &dyn PowerView, dst: NodeId) -> NodeId {
         let mut cur = dst;
         loop {
-            if core.routers[cur as usize].power.is_powered() {
+            if net.power(cur).is_powered() {
                 return cur;
             }
             cur = self.pred[cur as usize];
@@ -213,7 +213,7 @@ impl PowerMechanism for Nord {
         self.rebuild_if_changed(core);
     }
 
-    fn route(&self, core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
+    fn route(&self, net: &dyn PowerView, ctx: &RouteCtx) -> Option<Port> {
         let kx = ctx.kx;
         let at = ctx.at.y * kx + ctx.at.x;
         let dst = ctx.dst.y * kx + ctx.dst.x;
@@ -221,13 +221,12 @@ impl PowerMechanism for Nord {
             return Some(Port::Local);
         }
         // Mesh target: the destination if powered, else its ring proxy.
-        let target =
-            if core.routers[dst as usize].power.is_powered() { dst } else { self.proxy(core, dst) };
+        let target = if net.power(dst).is_powered() { dst } else { self.proxy(net, dst) };
         if target == at {
             // We are the proxy: eject to the bypass ring.
             return Some(Port::Local);
         }
-        let n = core.nodes();
+        let n = net.nodes();
         let e = self.table[at as usize * n + target as usize];
         if e == updown::NO_ROUTE {
             // Mesh cannot reach the target (split powered subgraph): the

@@ -25,7 +25,7 @@
 
 use flov_noc::network::NetworkCore;
 use flov_noc::routing::{yx_route, RouteCtx};
-use flov_noc::traits::PowerMechanism;
+use flov_noc::traits::{PowerMechanism, PowerView};
 use flov_noc::types::{Coord, Cycle, NodeId, PacketId, Port, PowerState};
 
 /// Configuration adjustments Power Punch needs: no escape VCs (waiting on a
@@ -262,13 +262,13 @@ impl PowerMechanism for PowerPunch {
         }
     }
 
-    fn route(&self, core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
+    fn route(&self, net: &dyn PowerView, ctx: &RouteCtx) -> Option<Port> {
         let out = yx_route(ctx.at, ctx.dst);
         let Some(d) = out.dir() else { return Some(out) };
         // No bypass datapath: wait until the (punched) next hop is Active.
         let next =
             flov_noc::topology::grid_step(ctx.at, d, ctx.kx, ctx.ky).expect("yx stays in the grid");
-        if core.power(next.y * ctx.kx + next.x) == PowerState::Active {
+        if net.power(next.y * ctx.kx + next.x) == PowerState::Active {
             Some(out)
         } else {
             None

@@ -18,7 +18,7 @@ pub use parking::ParkPolicy;
 
 use flov_noc::network::NetworkCore;
 use flov_noc::routing::RouteCtx;
-use flov_noc::traits::PowerMechanism;
+use flov_noc::traits::{PowerMechanism, PowerView};
 use flov_noc::types::{Cycle, NodeId, Port, PowerState};
 
 /// Parking aggressiveness policy across the run.
@@ -215,7 +215,7 @@ impl PowerMechanism for RouterParking {
         }
     }
 
-    fn route(&self, core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
+    fn route(&self, net: &dyn PowerView, ctx: &RouteCtx) -> Option<Port> {
         if ctx.at == ctx.dst {
             return Some(Port::Local);
         }
@@ -225,7 +225,7 @@ impl PowerMechanism for RouterParking {
         if !self.parked.iter().any(|&p| p) {
             return Some(flov_noc::routing::yx_route(ctx.at, ctx.dst));
         }
-        let n = core.nodes();
+        let n = net.nodes();
         let src = (ctx.at.y * ctx.kx + ctx.at.x) as usize;
         let dst = (ctx.dst.y * ctx.kx + ctx.dst.x) as usize;
         let e = self.table[src * n + dst];
@@ -237,7 +237,7 @@ impl PowerMechanism for RouterParking {
         Some(Port::from_index(e as usize))
     }
 
-    fn injection_allowed(&self, _core: &NetworkCore, _node: NodeId) -> bool {
+    fn injection_allowed(&self, _net: &dyn PowerView, _node: NodeId) -> bool {
         matches!(self.phase, Phase::Running)
     }
 

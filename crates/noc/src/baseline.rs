@@ -4,7 +4,7 @@
 
 use crate::network::NetworkCore;
 use crate::routing::{torus_yx_route, yx_route, RouteCtx};
-use crate::traits::PowerMechanism;
+use crate::traits::{PowerMechanism, PowerView};
 use crate::types::{Cycle, NodeId, Port};
 
 /// Always-on network with YX routing.
@@ -18,7 +18,7 @@ impl PowerMechanism for AlwaysOnYx {
 
     fn step(&mut self, _core: &mut NetworkCore) {}
 
-    fn route(&self, _core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
+    fn route(&self, _net: &dyn PowerView, ctx: &RouteCtx) -> Option<Port> {
         // On a torus the regular VCs route wrap-minimally; escape packets
         // keep strict grid YX (the acyclic Duato escape layer that breaks
         // the intra-dimension wrap cycles).
@@ -29,7 +29,7 @@ impl PowerMechanism for AlwaysOnYx {
         }
     }
 
-    fn injection_allowed(&self, _core: &NetworkCore, _node: NodeId) -> bool {
+    fn injection_allowed(&self, _net: &dyn PowerView, _node: NodeId) -> bool {
         true
     }
 

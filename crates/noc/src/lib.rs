@@ -66,5 +66,5 @@ pub use network::audit::{AuditKind, AuditViolation, Auditor};
 pub use network::{KernelMode, NetworkCore, Simulation};
 pub use stats::NetStats;
 pub use topology::{AnyTopology, Topology, TopologySpec};
-pub use traits::{PacketRequest, PowerMechanism, Workload};
+pub use traits::{PacketRequest, PowerMechanism, PowerView, Workload};
 pub use types::{Coord, Cycle, Dir, NodeId, PacketId, Port, PowerState};

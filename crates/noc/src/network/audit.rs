@@ -33,9 +33,13 @@
 //!    pairs, RP's two-state discipline, ...).
 //! 6. **No progress** — with packets in flight, *something* must move
 //!    within `stall_horizon` cycles: a delivery-path event
-//!    (`last_progress`) or any churn in the escape sub-network (the
-//!    deadlock-recovery lane, tracked by an occupancy digest). This is
-//!    the release-mode, non-panicking form of the step watchdog.
+//!    (`last_progress`), any churn in the escape sub-network (the
+//!    deadlock-recovery lane, tracked by an occupancy digest), or any
+//!    churn at the NIC source queues (enqueues and serialization
+//!    progress count as movement — a mechanism legitimately holding
+//!    traffic at the source, like RP's Phase-I stall, is not a stalled
+//!    network). This is the release-mode, non-panicking form of the
+//!    step watchdog.
 //!
 //! The auditor is read-only: attaching it never changes simulation
 //! results, so differential (two-kernel) runs stay bit-identical with
@@ -283,9 +287,20 @@ impl Auditor {
 
     /// Digest of the escape sub-network's occupancy: per escape VC, the
     /// buffer length and front flit identity, plus per-channel in-flight
-    /// escape counts. Any change means the deadlock-recovery lane moved.
+    /// escape counts, plus per-NIC source-queue occupancy (queue length,
+    /// head packet identity/age, serialization progress). Any change means
+    /// the deadlock-recovery lane — or the injection frontier — moved.
     /// With no escape VCs configured (PowerPunch), every VC participates,
     /// so the digest degrades to "any buffered flit moved".
+    ///
+    /// The NIC terms matter for mechanisms that legitimately hold traffic
+    /// at the source: Router Parking's Phase-I reconfiguration stall parks
+    /// whole packets in NIC queues with *zero* flits resident, and a run
+    /// whose fabric never carried a flit has `last_progress == 0` — the
+    /// stall clock would then measure from cycle 0 and report a
+    /// no-progress violation seconds after the first packet was enqueued.
+    /// Counting enqueues/serialization advances as movement bounds the
+    /// no-progress clock to *actual* frozen-network time.
     fn escape_occupancy_digest(core: &NetworkCore) -> u64 {
         let mut h: u64 = 0xcbf29ce484222325;
         let mut mix = |v: u64| {
@@ -324,6 +339,28 @@ impl Auditor {
                         mix(vc as u64);
                         mix(n as u64);
                     }
+                }
+            }
+        }
+        for (i, nic) in core.nics.iter().enumerate() {
+            for (vn, q) in nic.queues.iter().enumerate() {
+                if q.is_empty() {
+                    continue;
+                }
+                mix(0x4e49_4351 ^ i as u64); // "NICQ" domain tag
+                mix(vn as u64);
+                mix(q.len() as u64);
+                if let Some(p) = q.front() {
+                    mix(p.id);
+                    mix(p.birth);
+                }
+            }
+            for (vn, st) in nic.in_progress.iter().enumerate() {
+                if let Some(st) = st {
+                    mix(0x4e49_4350 ^ i as u64); // "NICP" domain tag
+                    mix(vn as u64);
+                    mix(st.pkt.id);
+                    mix(st.next as u64);
                 }
             }
         }
@@ -399,13 +436,34 @@ impl Auditor {
                         note(format!("bypass ring: {} flits circulating", ring.flits_in_ring()));
                     }
                 }
+                for (i, nic) in core.nics.iter().enumerate() {
+                    for (vn, q) in nic.queues.iter().enumerate() {
+                        if let Some(p) = q.front() {
+                            note(format!(
+                                "nic {i} vnet {vn} ({} queued): packet {} -> node {} (born {})",
+                                q.len(),
+                                p.id,
+                                p.dst,
+                                p.birth
+                            ));
+                        }
+                    }
+                    for (vn, st) in nic.in_progress.iter().enumerate() {
+                        if let Some(st) = st {
+                            note(format!(
+                                "nic {i} vnet {vn} serializing: packet {} at flit {}/{}",
+                                st.pkt.id, st.next, st.pkt.len
+                            ));
+                        }
+                    }
+                }
                 self.push(
                     core.cycle,
                     AuditKind::NoProgress,
                     format!(
-                        "no delivery-path progress and no escape-VC movement for {} cycles with \
-                         {} packet(s) in flight ({} flits resident); stuck at [{}]; power \
-                         states: {:?}",
+                        "no delivery-path progress and no escape-VC or NIC-queue movement for {} \
+                         cycles with {} packet(s) in flight ({} flits resident); stuck at [{}]; \
+                         power states: {:?}",
                         core.cycle - progressed,
                         core.in_flight_packets,
                         core.flits_in_network(),

@@ -19,6 +19,7 @@
 
 pub mod audit;
 mod chain;
+mod par;
 mod pipeline;
 #[cfg(test)]
 mod tests;
@@ -43,7 +44,7 @@ use crate::types::{Coord, Cycle, Dir, NodeId, PacketId, PowerState};
 
 /// Scheduling strategy for the per-cycle kernel loops.
 ///
-/// Not part of [`NocConfig`]: the two kernels are proven bit-identical by
+/// Not part of [`NocConfig`]: all kernel modes are proven bit-identical by
 /// the equivalence suite, so the choice never affects results (or result
 /// cache keys) — only wall-clock speed. Switching modes mid-run is safe:
 /// the active sets are maintained unconditionally and cleaned lazily.
@@ -60,6 +61,18 @@ pub enum KernelMode {
     /// Full scan of every router, slot and channel each cycle, never
     /// skipping — the original kernel, kept as the equivalence oracle.
     Reference,
+    /// The sharded in-run parallel kernel: [`KernelMode::ActiveSet`]
+    /// scheduling (including the time-domain skip), with phases 2, 3, 5
+    /// and 6 fanned out over `tiles` row-stripe tiles on persistent worker
+    /// threads and a deterministic boundary exchange merging cross-tile
+    /// effects in sequential order (see the `par` module). Bit-identical
+    /// to the sequential kernels; `tiles` is clamped to the grid height,
+    /// and `Parallel { tiles: 1 }` degenerates to single-threaded
+    /// execution on the driving thread.
+    Parallel {
+        /// Requested tile (worker) count.
+        tiles: usize,
+    },
 }
 
 /// Active-set scheduling state: which resources may have work this cycle.
@@ -136,8 +149,9 @@ pub struct NetworkCore {
     /// Packets diverted into the escape sub-network by the timeout.
     pub escape_diversions: u64,
     /// Cycles the clock jumped over while the fabric was quiescent (the
-    /// time-domain skip; only ever non-zero under [`KernelMode::ActiveSet`],
-    /// and never part of results — skipped cycles are provable no-ops).
+    /// time-domain skip; only ever non-zero under [`KernelMode::ActiveSet`]
+    /// or [`KernelMode::Parallel`], and never part of results — skipped
+    /// cycles are provable no-ops).
     pub cycles_skipped: u64,
     /// Flit count per directed channel (`node * 4 + dir`), for hotspot
     /// analysis (the paper attributes RP's contention to routing hotspots).
@@ -162,6 +176,9 @@ pub struct NetworkCore {
     sched: SchedSets,
     /// Scratch: occupied VA slots in rotated scan order (see `va_stage`).
     va_order: Vec<u16>,
+    /// Parallel-kernel state (tile plan, worker pool, per-tile buffers),
+    /// created lazily on the first [`KernelMode::Parallel`] phase.
+    par: Option<Box<par::ParState>>,
 }
 
 impl NetworkCore {
@@ -215,6 +232,7 @@ impl NetworkCore {
             kernel: KernelMode::default(),
             sched: SchedSets::new(n),
             va_order: Vec::new(),
+            par: None,
             cycle: 0,
             topo,
             cfg,
@@ -545,6 +563,7 @@ impl NetworkCore {
                 }
                 self.sched.scratch = scratch;
             }
+            KernelMode::Parallel { tiles } => par::latch_phase(self, tiles),
         }
     }
 
@@ -629,6 +648,7 @@ impl NetworkCore {
                 }
                 self.sched.scratch = scratch;
             }
+            KernelMode::Parallel { tiles } => par::delivery_phase(self, tiles),
         }
     }
 
@@ -1043,7 +1063,9 @@ impl Simulation {
     ///
     /// Returns true if the clock moved.
     fn try_jump(&mut self, deadline: Cycle) -> bool {
-        if self.core.kernel != KernelMode::ActiveSet || !self.core.quiescent() {
+        if !matches!(self.core.kernel, KernelMode::ActiveSet | KernelMode::Parallel { .. })
+            || !self.core.quiescent()
+        {
             return false;
         }
         let now = self.core.cycle;

@@ -1,0 +1,1458 @@
+//! The sharded in-run parallel kernel: tile-partitioned execution of the
+//! four hot per-cycle phases (FLOV latches, link delivery, NIC injection,
+//! router pipelines) with a deterministic boundary exchange, bit-identical
+//! to the sequential [`KernelMode::ActiveSet`] kernel.
+//!
+//! # Partitioning
+//!
+//! The router grid is cut into horizontal row stripes ([`TilePlan`]), one
+//! per tile; tile 0 runs on the driving thread and each further tile on a
+//! persistent pooled worker ([`Pool`]). Every phase is a fork-join: the
+//! driver collects the phase's global active set (ascending, exactly the
+//! order the sequential kernel iterates), partitions it per tile, runs the
+//! tiles concurrently, and joins before the next phase. Ownership per
+//! phase is single-writer per element:
+//!
+//! * latch / injection / pipeline phases partition by the *owning* router
+//!   — a body touches only its router, its NIC, its outgoing channels and
+//!   its ejection channel;
+//! * the delivery phase partitions channels by the *receiving* router (a
+//!   directed channel has exactly one receiver), so all four inbound
+//!   channels of a router are drained by the same tile, in the same
+//!   relative (ascending-index) order as the sequential scan.
+//!
+//! # Boundary exchange
+//!
+//! Everything a tile would write outside its own elements is buffered in a
+//! per-tile [`Delta`] and applied by the driver *after* the join, in tile
+//! order (which equals ascending node order, i.e. the sequential order):
+//! global counters and statistics, delivered packets, wakeup requests,
+//! NoRD ring enqueues, cross-tile credit relays, and every scheduling-set
+//! mark. Set marks apply all removals before all inserts — an insert from
+//! one tile must survive a concurrent lazy removal by the channel's
+//! consumer tile, exactly as the sequential kernel's in-order interleaving
+//! guarantees (a relayed credit arrives at `now + 1`, so the sequential
+//! consumer never removes the mark either). Buffered credit relays are
+//! equally invisible intra-phase: nothing with arrival `now + 1` can be
+//! received at `now`.
+//!
+//! # Power snapshot
+//!
+//! Power states change only in phase 4 (the mechanism step) and are *read*
+//! across tile boundaries by routing (`psr`, FLOV chain walks, credit
+//! relay checks). Each parallel phase therefore snapshots the power vector
+//! up front and evaluates all cross-tile power reads — including the
+//! mechanism's [`PowerMechanism::route`] / `injection_allowed` hooks, via
+//! [`SnapView`] — against the immutable snapshot, while a tile reads its
+//! *own* routers' states directly (identical by construction).
+//!
+//! # Determinism argument (summary; see DESIGN.md §7)
+//!
+//! Within a phase, bodies of different tiles touch disjoint mutable state,
+//! and every shared effect is buffered and replayed in the sequential
+//! order. Arbitration (VA/SA round-robins, rotating VC scans) is per
+//! router and stays inside a tile. The time-skip horizon reduction runs on
+//! the driver over the *global* quiescence predicate and the same
+//! mechanism/workload horizons as the sequential kernel, so jumps happen
+//! at exactly the same cycles. Hence every cycle's end state — and every
+//! `RunResult` — is bit-for-bit identical to the sequential kernel, which
+//! is why `KernelMode` stays out of result cache keys.
+
+use super::NetworkCore;
+use crate::activity::ActivityCounters;
+use crate::config::NocConfig;
+use crate::flit::Flit;
+use crate::link::{Channel, CreditMsg};
+use crate::nic::{InjectState, Nic};
+use crate::packet::DeliveredPacket;
+use crate::router::{Router, VcOwner};
+use crate::routing::RouteCtx;
+use crate::topology::{AnyTopology, Topology};
+use crate::traits::{PowerMechanism, PowerView};
+use crate::types::{Cycle, Dir, NodeId, PacketId, Port, PowerState, NUM_PORTS};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+// --- Tile plan --------------------------------------------------------------
+
+/// Horizontal row stripes over the router grid: tile `t` owns rows
+/// `[t*ky/T, (t+1)*ky/T)`, i.e. the contiguous node range
+/// `[starts[t], starts[t+1])`. Contiguity is what lets ascending active-set
+/// snapshots be partitioned into per-tile subslices by binary search.
+#[derive(Debug)]
+struct TilePlan {
+    starts: Vec<u32>,
+}
+
+impl TilePlan {
+    fn new(kx: u16, ky: u16, tiles: usize) -> TilePlan {
+        let t = tiles.clamp(1, ky as usize);
+        let starts =
+            (0..=t).map(|i| (i * ky as usize / t * kx as usize) as u32).collect::<Vec<_>>();
+        TilePlan { starts }
+    }
+
+    fn tiles(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    fn tile_of(&self, node: u32) -> usize {
+        // starts is ascending; the owning tile is the last start <= node.
+        self.starts.partition_point(|&s| s <= node) - 1
+    }
+}
+
+// --- Per-tile delta ---------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SetId {
+    Latch,
+    Work,
+    Inject,
+    Chan,
+    Eject,
+}
+
+/// Everything a tile body would write outside its own elements, buffered
+/// for in-order replay by the driver after the phase join.
+#[derive(Default)]
+struct Delta {
+    act: ActivityCounters,
+    delivered: Vec<DeliveredPacket>,
+    in_flight_dec: u64,
+    stalled: u64,
+    escape_diversions: u64,
+    progressed: bool,
+    wakes: Vec<NodeId>,
+    ring_enq: Vec<(NodeId, Flit)>,
+    /// Cross-tile credit relays: `(channel, arrival, credit)`.
+    credit_sends: Vec<(usize, Cycle, CreditMsg)>,
+    removes: Vec<(SetId, u32)>,
+    inserts: Vec<(SetId, u32)>,
+}
+
+fn add_activity(into: &mut ActivityCounters, d: &ActivityCounters) {
+    into.buffer_writes += d.buffer_writes;
+    into.buffer_reads += d.buffer_reads;
+    into.xbar_traversals += d.xbar_traversals;
+    into.sa_grants += d.sa_grants;
+    into.va_grants += d.va_grants;
+    into.link_flits += d.link_flits;
+    into.flov_latch_flits += d.flov_latch_flits;
+    into.ring_flits += d.ring_flits;
+    into.credit_msgs += d.credit_msgs;
+    into.credit_relays += d.credit_relays;
+    into.handshake_signals += d.handshake_signals;
+    into.gating_events += d.gating_events;
+    into.packets_injected += d.packets_injected;
+    into.flits_injected += d.flits_injected;
+    into.packets_delivered += d.packets_delivered;
+    into.flits_delivered += d.flits_delivered;
+}
+
+fn sched_set(core: &mut NetworkCore, id: SetId) -> &mut crate::active::ActiveSet {
+    match id {
+        SetId::Latch => &mut core.sched.latch,
+        SetId::Work => &mut core.sched.work,
+        SetId::Inject => &mut core.sched.inject,
+        SetId::Chan => &mut core.sched.chan,
+        SetId::Eject => &mut core.sched.eject,
+    }
+}
+
+/// Replay the per-tile deltas into the core, in tile order. Set removals
+/// apply before set inserts (see module docs); everything else commutes
+/// across tiles or is ordered ascending by construction.
+fn apply_deltas(core: &mut NetworkCore, deltas: &mut [Delta]) {
+    for t in deltas.iter() {
+        for &(s, idx) in &t.removes {
+            sched_set(core, s).remove(idx as usize);
+        }
+    }
+    for t in deltas.iter() {
+        for &(s, idx) in &t.inserts {
+            sched_set(core, s).insert(idx as usize);
+        }
+    }
+    for d in deltas.iter_mut() {
+        d.removes.clear();
+        d.inserts.clear();
+        add_activity(&mut core.activity, &d.act);
+        d.act = ActivityCounters::default();
+        for done in d.delivered.drain(..) {
+            core.stats.record(&done);
+        }
+        core.in_flight_packets -= d.in_flight_dec;
+        d.in_flight_dec = 0;
+        core.stalled_injection_node_cycles += d.stalled;
+        d.stalled = 0;
+        core.escape_diversions += d.escape_diversions;
+        d.escape_diversions = 0;
+        if d.progressed {
+            core.last_progress = core.cycle;
+            d.progressed = false;
+        }
+        for n in d.wakes.drain(..) {
+            core.request_wakeup(n);
+        }
+        for (e, t, c) in d.credit_sends.drain(..) {
+            core.channels[e].send_credit(t, c);
+        }
+        for (n, f) in d.ring_enq.drain(..) {
+            core.ring.as_mut().expect("ring enqueue without a ring").enqueue(n, f);
+        }
+    }
+}
+
+// --- Shared phase context ---------------------------------------------------
+
+/// Power view over the start-of-phase snapshot.
+struct SnapView<'a> {
+    powers: &'a [PowerState],
+}
+
+impl PowerView for SnapView<'_> {
+    #[inline]
+    fn nodes(&self) -> usize {
+        self.powers.len()
+    }
+
+    #[inline]
+    fn power(&self, n: NodeId) -> PowerState {
+        self.powers[n as usize]
+    }
+}
+
+/// Raw shard access to the core's element arrays, shared by all tiles of
+/// one phase. Soundness: per phase, every element is written by at most
+/// one tile (see module docs), and the driver joins all tiles before
+/// touching the core again.
+struct Shared<'a> {
+    now: Cycle,
+    cfg: &'a NocConfig,
+    topo: &'a AnyTopology,
+    powers: &'a [PowerState],
+    /// The mechanism, for the injection-gate and routing hooks; `None` in
+    /// the latch/delivery phases, which never consult it.
+    mech: Option<&'a dyn PowerMechanism>,
+    has_ring: bool,
+    nodes: usize,
+    routers: *mut Router,
+    channels: *mut Channel,
+    eject: *mut Channel,
+    nics: *mut Nic,
+    link_util: *mut u64,
+    ring_stage: *mut Vec<(PacketId, Vec<Flit>)>,
+}
+
+unsafe impl Send for Shared<'_> {}
+unsafe impl Sync for Shared<'_> {}
+
+/// One tile's execution context for one phase: shard access plus the
+/// tile-private delta and scratch.
+struct Lane<'a> {
+    sh: &'a Shared<'a>,
+    d: &'a mut Delta,
+    va_order: &'a mut Vec<u16>,
+}
+
+#[allow(clippy::mut_from_ref)] // per-phase single-writer discipline; see Shared
+impl Lane<'_> {
+    #[inline]
+    unsafe fn router(&self, i: usize) -> &mut Router {
+        debug_assert!(i < self.sh.nodes);
+        &mut *self.sh.routers.add(i)
+    }
+
+    #[inline]
+    unsafe fn chan(&self, e: usize) -> &mut Channel {
+        debug_assert!(e < self.sh.nodes * 4);
+        &mut *self.sh.channels.add(e)
+    }
+
+    #[inline]
+    unsafe fn eject_chan(&self, n: usize) -> &mut Channel {
+        debug_assert!(n < self.sh.nodes);
+        &mut *self.sh.eject.add(n)
+    }
+
+    #[inline]
+    unsafe fn nic(&self, n: usize) -> &mut Nic {
+        debug_assert!(n < self.sh.nodes);
+        &mut *self.sh.nics.add(n)
+    }
+
+    #[inline]
+    fn neighbor(&self, node: NodeId, d: Dir) -> Option<NodeId> {
+        self.sh.topo.neighbor_dir(node, d)
+    }
+
+    #[inline]
+    fn snap_power(&self, n: NodeId) -> PowerState {
+        self.sh.powers[n as usize]
+    }
+
+    /// PSR register contents from the snapshot (mirrors `NetworkCore::psr`).
+    fn psr(&self, node: NodeId) -> [Option<PowerState>; 4] {
+        let mut out = [None; 4];
+        for d in Dir::ALL {
+            out[d.index()] = self.sh.topo.grid_neighbor(node, d).map(|m| self.snap_power(m));
+        }
+        out
+    }
+
+    /// Snapshot twin of `NetworkCore::chain_walk`.
+    fn chain_walk(&self, from: NodeId, d: Dir, dst: NodeId) -> super::ChainTarget {
+        use super::ChainTarget;
+        let mut cur = from;
+        let mut sleepers = 0;
+        loop {
+            let Some(next) = self.neighbor(cur, d) else {
+                return ChainTarget { powered: None, blocked: false, dst_on_chain: None, sleepers };
+            };
+            if next == from {
+                return ChainTarget { powered: None, blocked: true, dst_on_chain: None, sleepers };
+            }
+            match self.snap_power(next) {
+                PowerState::Active => {
+                    return ChainTarget {
+                        powered: Some(next),
+                        blocked: false,
+                        dst_on_chain: None,
+                        sleepers,
+                    }
+                }
+                PowerState::Draining => {
+                    return ChainTarget {
+                        powered: Some(next),
+                        blocked: true,
+                        dst_on_chain: None,
+                        sleepers,
+                    }
+                }
+                PowerState::Wakeup => {
+                    return ChainTarget {
+                        powered: None,
+                        blocked: true,
+                        dst_on_chain: None,
+                        sleepers,
+                    };
+                }
+                PowerState::Sleep => {
+                    if next == dst {
+                        return ChainTarget {
+                            powered: None,
+                            blocked: true,
+                            dst_on_chain: Some(next),
+                            sleepers,
+                        };
+                    }
+                    if self.neighbor(next, d).is_none() {
+                        return ChainTarget {
+                            powered: None,
+                            blocked: false,
+                            dst_on_chain: None,
+                            sleepers,
+                        };
+                    }
+                    sleepers += 1;
+                    cur = next;
+                }
+            }
+        }
+    }
+
+    /// Snapshot twin of `NetworkCore::logical_neighbor` (assert diagnostics
+    /// in the credit path).
+    fn logical_neighbor(&self, node: NodeId, d: Dir) -> Option<(NodeId, u32)> {
+        let mut cur = node;
+        let mut hops = 0;
+        loop {
+            let next = self.neighbor(cur, d)?;
+            if next == node {
+                return None;
+            }
+            if self.snap_power(next) != PowerState::Sleep {
+                return Some((next, hops));
+            }
+            hops += 1;
+            cur = next;
+        }
+    }
+
+    /// Snapshot twin of `NetworkCore::relay_has_consumer`.
+    fn relay_has_consumer(&self, from: NodeId, travel: Dir) -> bool {
+        if !self.sh.topo.wraps() {
+            return true;
+        }
+        let mut cur = from;
+        loop {
+            let Some(next) = self.neighbor(cur, travel) else { return false };
+            if next == from {
+                return false;
+            }
+            if self.snap_power(next).is_powered() {
+                return true;
+            }
+            cur = next;
+        }
+    }
+
+    // --- Phase 2: FLOV latches (partitioned by owner) -----------------------
+
+    /// Active-set latch task for router `i`, including the lazy removal.
+    fn latch_task(&mut self, i: usize) {
+        unsafe {
+            if self.router(i).latches_empty() {
+                self.d.removes.push((SetId::Latch, i as u32));
+                return;
+            }
+            self.latch_router(i);
+            if self.router(i).latches_empty() {
+                self.d.removes.push((SetId::Latch, i as u32));
+            }
+        }
+    }
+
+    /// Body twin of `NetworkCore::latch_router`.
+    unsafe fn latch_router(&mut self, i: usize) {
+        let now = self.sh.now;
+        let link_lat = self.sh.cfg.link_latency as u64;
+        for d in Dir::ALL {
+            let Some((t0, flit)) = self.router(i).latches[d.index()] else { continue };
+            if t0 >= now {
+                continue; // latched this cycle; hold for one cycle
+            }
+            assert!(
+                self.neighbor(i as NodeId, d).is_some(),
+                "FLOV latch forwarding would leave the mesh"
+            );
+            let mut f = flit;
+            f.hops_link += 1;
+            self.d.act.link_flits += 1;
+            let e = i * 4 + d.index();
+            *self.sh.link_util.add(e) += 1;
+            self.chan(e).send_flit(now + link_lat, f);
+            self.d.inserts.push((SetId::Chan, e as u32));
+            self.router(i).latches[d.index()] = None;
+            self.d.progressed = true;
+        }
+    }
+
+    // --- Phase 3: delivery (partitioned by receiver) ------------------------
+
+    /// Active-set channel-delivery task for channel `e` (its receiver is in
+    /// this tile), including the lazy removal.
+    fn chan_task(&mut self, e: usize) {
+        let now = self.sh.now;
+        unsafe {
+            match self.chan(e).earliest_arrival() {
+                None => {
+                    self.d.removes.push((SetId::Chan, e as u32));
+                    return;
+                }
+                Some(a) if a > now => return,
+                Some(_) => {}
+            }
+            let node = (e / 4) as NodeId;
+            let d = Dir::from_index(e % 4);
+            let target = self.neighbor(node, d).expect("active channel on a mesh edge");
+            while let Some(flit) = self.chan(e).recv_flit(now) {
+                self.deliver_flit(target, d, flit);
+            }
+            while let Some(c) = self.chan(e).recv_credit(now) {
+                self.deliver_credit(target, d, c);
+            }
+            if self.chan(e).is_idle() {
+                self.d.removes.push((SetId::Chan, e as u32));
+            }
+        }
+    }
+
+    /// Body twin of `NetworkCore::deliver_flit` (`target` is tile-owned).
+    unsafe fn deliver_flit(&mut self, target: NodeId, travel: Dir, flit: Flit) {
+        let now = self.sh.now;
+        let r = self.router(target as usize);
+        if r.power.is_flov() {
+            debug_assert!(
+                r.has_flov(travel),
+                "flit flying over router {target} without FLOV capability in {travel:?}"
+            );
+            debug_assert!(flit.dst != target, "flit for a gated router reached its latch");
+            let slot = &mut r.latches[travel.index()];
+            assert!(slot.is_none(), "FLOV latch conflict at router {target}");
+            let mut f = flit;
+            f.hops_flov += 1;
+            *slot = Some((now, f));
+            self.d.act.flov_latch_flits += 1;
+            self.d.inserts.push((SetId::Latch, target as u32));
+        } else {
+            let in_port = Port::from_dir(travel.opposite());
+            let vc_flat = self.sh.cfg.vc_index(flit.vnet as usize, flit.vc as usize);
+            let slot = r.slot(in_port.index(), vc_flat);
+            r.push_flit(in_port.index(), slot, flit, now);
+            self.d.act.buffer_writes += 1;
+            self.d.inserts.push((SetId::Work, target as u32));
+        }
+        self.d.progressed = true;
+    }
+
+    /// Body twin of `NetworkCore::deliver_credit` (`target` is tile-owned;
+    /// onward relays may target another tile's channel and are buffered).
+    unsafe fn deliver_credit(&mut self, target: NodeId, travel: Dir, c: CreditMsg) {
+        let now = self.sh.now;
+        if self.router(target as usize).power.is_flov() {
+            if self.neighbor(target, travel).is_some() && self.relay_has_consumer(target, travel) {
+                self.d.act.credit_msgs += 1;
+                self.d.act.credit_relays += 1;
+                let e = target as usize * 4 + travel.index();
+                self.d.credit_sends.push((e, now + 1, c));
+                self.d.inserts.push((SetId::Chan, e as u32));
+            }
+        } else {
+            let out_port = Port::from_dir(travel.opposite());
+            let vc_flat = self.sh.cfg.vc_index(c.vnet as usize, c.vc as usize);
+            let logical = self.logical_neighbor(target, travel.opposite());
+            let r = self.router(target as usize);
+            let slot = r.slot(out_port.index(), vc_flat);
+            assert!(
+                r.out_credits[slot].available() < self.sh.cfg.buf_depth,
+                "credit overflow at router {target} port {out_port:?} vnet {} vc {} \
+                 (cycle {now}, router state {:?}, logical downstream {logical:?})",
+                c.vnet,
+                c.vc,
+                r.power,
+            );
+            r.out_credits[slot].refund();
+            self.d.inserts.push((SetId::Work, target as u32));
+        }
+    }
+
+    /// Active-set ejection task for node `n`, including the lazy removal.
+    fn eject_task(&mut self, n: usize) {
+        let now = self.sh.now;
+        unsafe {
+            if self.eject_chan(n).is_idle() {
+                self.d.removes.push((SetId::Eject, n as u32));
+                return;
+            }
+            while let Some(flit) = self.eject_chan(n).recv_flit(now) {
+                if flit.dst != n as NodeId {
+                    assert!(
+                        self.sh.has_ring,
+                        "flit misdelivered: dst {} ejected at {n} without a ring",
+                        flit.dst
+                    );
+                    let exit = flit.dst;
+                    self.ring_ingress(n as NodeId, flit, exit);
+                    continue;
+                }
+                self.d.act.flits_delivered += 1;
+                self.router(n).touch_local(now);
+                if let Some(done) = self.nic(n).receive(flit, now, n as NodeId) {
+                    self.d.act.packets_delivered += 1;
+                    self.d.in_flight_dec += 1;
+                    self.d.delivered.push(done);
+                }
+                self.d.progressed = true;
+            }
+            if self.eject_chan(n).is_idle() {
+                self.d.removes.push((SetId::Eject, n as u32));
+            }
+        }
+    }
+
+    /// Body twin of `NetworkCore::ring_ingress`: staging is tile-owned,
+    /// released whole packets are buffered for the driver to enqueue.
+    unsafe fn ring_ingress(&mut self, node: NodeId, mut flit: Flit, exit: NodeId) {
+        debug_assert!(exit != node);
+        flit.vc = exit as u8;
+        let is_tail = flit.kind.is_tail();
+        let stage = &mut *self.sh.ring_stage.add(node as usize);
+        match stage.iter_mut().find(|(p, _)| *p == flit.packet) {
+            Some((_, fs)) => fs.push(flit),
+            None => stage.push((flit.packet, vec![flit])),
+        }
+        if is_tail {
+            let pos = stage.iter().position(|(p, _)| *p == flit.packet).unwrap();
+            let (_, fs) = stage.swap_remove(pos);
+            for f in fs {
+                self.d.ring_enq.push((node, f));
+            }
+        }
+        self.d.progressed = true;
+    }
+
+    // --- Phase 5: NIC injection (partitioned by owner) ----------------------
+
+    /// Active-set injection task for node `n`, including the lazy removal
+    /// (gated nodes with backlog stay marked, exactly like the sequential
+    /// kernel).
+    fn inject_task(&mut self, node: NodeId) {
+        let now = self.sh.now;
+        let vnets = self.sh.cfg.vnets;
+        unsafe {
+            if !self.nic(node as usize).pending() {
+                self.d.removes.push((SetId::Inject, node as u32));
+                return;
+            }
+            if !self.router(node as usize).power.is_powered() {
+                return; // router gated; the mechanism is responsible for waking it
+            }
+            let mech = self.sh.mech.expect("injection phase requires the mechanism");
+            let gate_open = mech.injection_allowed(&SnapView { powers: self.sh.powers }, node);
+            if !gate_open && self.nic(node as usize).in_progress.iter().all(|p| p.is_none()) {
+                self.d.stalled += 1;
+                return;
+            }
+            let rr0 = self.nic(node as usize).vnet_rr;
+            for i in 0..vnets {
+                let vn = (rr0 + i) % vnets;
+                if self.nic(node as usize).in_progress[vn].is_none() {
+                    if !gate_open || self.nic(node as usize).queues[vn].is_empty() {
+                        continue;
+                    }
+                    let reg = self.sh.cfg.regular_vcs - usize::from(self.sh.has_ring);
+                    let mut chosen = None;
+                    for j in 0..reg {
+                        let vc = (now as usize + j) % reg;
+                        let flat = self.sh.cfg.vc_index(vn, vc);
+                        let r = self.router(node as usize);
+                        if r.inputs[r.slot(Port::Local.index(), flat)].buf.free() > 0 {
+                            chosen = Some(vc);
+                            break;
+                        }
+                    }
+                    let Some(vc) = chosen else { continue };
+                    let pkt = self.nic(node as usize).queues[vn].pop_front().unwrap();
+                    self.nic(node as usize).in_progress[vn] =
+                        Some(InjectState { pkt, next: 0, vc: vc as u8 });
+                }
+                let st = self.nic(node as usize).in_progress[vn].unwrap();
+                let flat = self.sh.cfg.vc_index(vn, st.vc as usize);
+                let slot = {
+                    let r = self.router(node as usize);
+                    r.slot(Port::Local.index(), flat)
+                };
+                if self.router(node as usize).inputs[slot].buf.free() == 0 {
+                    continue;
+                }
+                let mut f = st.pkt.flit(st.next, now);
+                f.vc = st.vc;
+                let r = self.router(node as usize);
+                r.push_flit(Port::Local.index(), slot, f, now);
+                r.touch_local(now);
+                self.d.act.buffer_writes += 1;
+                self.d.act.flits_injected += 1;
+                if st.next == 0 {
+                    self.d.act.packets_injected += 1;
+                }
+                let nic = self.nic(node as usize);
+                if st.next + 1 == st.pkt.len {
+                    nic.in_progress[vn] = None;
+                } else {
+                    nic.in_progress[vn] = Some(InjectState { next: st.next + 1, ..st });
+                }
+                nic.vnet_rr = (vn + 1) % vnets;
+                self.d.inserts.push((SetId::Work, node as u32));
+                self.d.progressed = true;
+                break; // one flit per node per cycle
+            }
+        }
+    }
+
+    // --- Phase 6: router pipelines (partitioned by owner) -------------------
+
+    /// Active-set pipeline task for node `n`, including the lazy removal.
+    fn pipeline_task(&mut self, node: NodeId) {
+        unsafe {
+            if self.router(node as usize).buffered_flits() == 0 {
+                self.d.removes.push((SetId::Work, node as u32));
+                return;
+            }
+            debug_assert!(self.router(node as usize).power.is_powered());
+        }
+        self.va_stage(node);
+        self.sa_stage(node);
+    }
+
+    fn build_route_ctx(&self, at: NodeId, in_port: Port, dst: NodeId, escape: bool) -> RouteCtx {
+        RouteCtx {
+            kx: self.sh.topo.kx(),
+            ky: self.sh.topo.ky(),
+            torus: self.sh.topo.wraps(),
+            at: self.sh.topo.coord(at),
+            in_port,
+            dst: self.sh.topo.coord(dst),
+            escape,
+            neighbors: self.psr(at),
+        }
+    }
+
+    /// Body twin of `pipeline::va_stage`.
+    fn va_stage(&mut self, node: NodeId) {
+        let now = self.sh.now;
+        let total_vcs = self.sh.cfg.total_vcs();
+        let nslots = NUM_PORTS * total_vcs;
+        let start = (now as usize).wrapping_mul(7) % nslots;
+        let mut order = std::mem::take(self.va_order);
+        order.clear();
+        unsafe {
+            let r = self.router(node as usize);
+            let sp = start / total_vcs;
+            let sv = start % total_vcs;
+            let low = (1u64 << sv) - 1;
+            push_busy(&mut order, sp, r.vc_busy[sp] & !low, total_vcs);
+            for off in 1..NUM_PORTS {
+                let p = (sp + off) % NUM_PORTS;
+                push_busy(&mut order, p, r.vc_busy[p], total_vcs);
+            }
+            push_busy(&mut order, sp, r.vc_busy[sp] & low, total_vcs);
+        }
+        for &s in &order {
+            let s = s as usize;
+            let port = s / total_vcs;
+            let (dst, vnet, mut escape, head_since);
+            unsafe {
+                let invc = &self.router(node as usize).inputs[s];
+                if invc.alloc.is_some() {
+                    continue;
+                }
+                let Some(f) = invc.buf.front() else { continue };
+                debug_assert!(f.kind.is_head(), "non-head flit at front without an allocation");
+                head_since = invc.head_since;
+                if now < head_since + 1 {
+                    continue; // still in the RC stage
+                }
+                dst = f.dst;
+                vnet = f.vnet as usize;
+                escape = f.escape;
+            }
+            if !escape
+                && self.sh.cfg.escape_vcs > 0
+                && now - head_since > self.sh.cfg.escape_timeout as u64
+            {
+                escape = true;
+                self.d.escape_diversions += 1;
+                unsafe {
+                    self.router(node as usize).inputs[s].buf.front_mut().unwrap().escape = true;
+                }
+            }
+            let in_port = Port::from_index(port);
+            let ctx = self.build_route_ctx(node, in_port, dst, escape);
+            let view = SnapView { powers: self.sh.powers };
+            let mech = self.sh.mech.expect("pipeline phase requires the mechanism");
+            let mut routed = mech.route(&view, &ctx);
+            if routed.is_none() && !escape && self.sh.cfg.escape_vcs > 0 {
+                escape = true;
+                self.d.escape_diversions += 1;
+                unsafe {
+                    self.router(node as usize).inputs[s].buf.front_mut().unwrap().escape = true;
+                }
+                routed = mech.route(&view, &RouteCtx { escape: true, ..ctx });
+            }
+            let Some(out) = routed else { continue };
+            debug_assert!(
+                escape || out == Port::Local || out != in_port,
+                "mechanism routed a non-escape U-turn at router {node}"
+            );
+            let cand_range = if escape {
+                let e = self.sh.cfg.escape_vc().expect("escape flit but no escape VC configured");
+                (e, 1)
+            } else {
+                (0, self.sh.cfg.regular_vcs)
+            };
+            if out == Port::Local {
+                debug_assert!(
+                    dst == node || self.sh.has_ring,
+                    "local ejection routed for a non-local flit without a ring"
+                );
+                self.try_grant(
+                    node,
+                    s,
+                    port,
+                    Port::Local.index(),
+                    vnet,
+                    0,
+                    self.sh.cfg.vcs_per_vnet(),
+                );
+                continue;
+            }
+            let d = out.dir().unwrap();
+            debug_assert!(
+                self.neighbor(node, d).is_some(),
+                "mechanism routed off the mesh at {node}"
+            );
+            let walk = self.chain_walk(node, d, dst);
+            if let Some(sleeper) = walk.dst_on_chain {
+                self.d.wakes.push(sleeper);
+                continue;
+            }
+            if walk.blocked || walk.powered.is_none() {
+                continue; // retry next cycle; handshakes resolve this
+            }
+            self.try_grant(node, s, port, out.index(), vnet, cand_range.0, cand_range.1);
+        }
+        *self.va_order = order;
+    }
+
+    /// Body twin of `pipeline::try_grant`.
+    #[allow(clippy::too_many_arguments)]
+    fn try_grant(
+        &mut self,
+        node: NodeId,
+        s: usize,
+        in_port: usize,
+        op: usize,
+        vnet: usize,
+        first: usize,
+        count: usize,
+    ) {
+        let now = self.sh.now as usize;
+        for j in 0..count {
+            let vc = first + (now + j) % count;
+            let flat = self.sh.cfg.vc_index(vnet, vc);
+            unsafe {
+                let r = self.router(node as usize);
+                let oslot = r.slot(op, flat);
+                if r.out_vc_state[oslot] == VcOwner::Free {
+                    r.out_vc_state[oslot] =
+                        VcOwner::Owned { in_port: in_port as u8, in_vc: s as u16 };
+                    r.inputs[s].alloc = Some((op as u8, vc as u8));
+                    self.d.act.va_grants += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Body twin of `pipeline::sa_stage`.
+    fn sa_stage(&mut self, node: NodeId) {
+        let now = self.sh.now;
+        let total_vcs = self.sh.cfg.total_vcs();
+        let mut cand: [Option<(usize, usize, u8)>; NUM_PORTS] = [None; NUM_PORTS];
+        #[allow(clippy::needless_range_loop)]
+        for p in 0..NUM_PORTS {
+            unsafe {
+                if self.router(node as usize).port_occupancy[p] == 0 {
+                    continue;
+                }
+                let mut mask: u64 = 0;
+                {
+                    let r = self.router(node as usize);
+                    let mut busy = r.vc_busy[p];
+                    while busy != 0 {
+                        let v = busy.trailing_zeros() as usize;
+                        busy &= busy - 1;
+                        let s = p * total_vcs + v;
+                        let invc = &r.inputs[s];
+                        let Some((op, ovc)) = invc.alloc else { continue };
+                        let f = invc.buf.front().expect("vc_busy bit set on an empty VC");
+                        if f.kind.is_head() && now < invc.head_since + 1 {
+                            continue;
+                        }
+                        if op as usize != Port::Local.index() {
+                            let flat = self.sh.cfg.vc_index(f.vnet as usize, ovc as usize);
+                            if !r.out_credits[r.slot(op as usize, flat)].has_credit() {
+                                continue;
+                            }
+                        }
+                        mask |= 1 << v;
+                    }
+                }
+                if mask == 0 {
+                    continue;
+                }
+                let r = self.router(node as usize);
+                let v = r.sa_in[p].grant(|i| mask & (1 << i) != 0).unwrap();
+                let (op, ovc) = r.inputs[p * total_vcs + v].alloc.unwrap();
+                cand[p] = Some((p * total_vcs + v, op as usize, ovc));
+            }
+        }
+        for op in 0..NUM_PORTS {
+            let mut mask: u64 = 0;
+            for (p, c) in cand.iter().enumerate() {
+                if c.is_some_and(|(_, o, _)| o == op) {
+                    mask |= 1 << p;
+                }
+            }
+            if mask == 0 {
+                continue;
+            }
+            let p = unsafe {
+                self.router(node as usize).sa_out[op].grant(|i| mask & (1 << i) != 0).unwrap()
+            };
+            let (s, _, ovc) = cand[p].unwrap();
+            self.st_traverse(node, p, s, op, ovc);
+        }
+    }
+
+    /// Body twin of `pipeline::st_traverse` (all writes are tile-owned:
+    /// the router, its outgoing channels, its ejection channel).
+    fn st_traverse(&mut self, node: NodeId, in_port: usize, s: usize, op: usize, ovc: u8) {
+        let now = self.sh.now;
+        let link_lat = self.sh.cfg.link_latency as u64;
+        unsafe {
+            let mut f = self.router(node as usize).pop_flit(in_port, s);
+            self.d.act.buffer_reads += 1;
+            self.d.act.xbar_traversals += 1;
+            self.d.act.sa_grants += 1;
+            f.vc = ovc;
+            if op != Port::Local.index() && self.sh.cfg.is_escape_vc(ovc as usize) {
+                f.escape = true;
+            }
+            f.hops_router += 1;
+            f.hops_link += 1;
+            self.d.act.link_flits += 1;
+            let arrival = now + link_lat + 2; // ST next cycle, then the wire
+            let vnet = f.vnet as usize;
+            let is_tail = f.kind.is_tail();
+            if op == Port::Local.index() {
+                self.eject_chan(node as usize).send_flit(arrival, f);
+                self.d.inserts.push((SetId::Eject, node as u32));
+            } else {
+                let d = Port::from_index(op).dir().unwrap();
+                let flat = self.sh.cfg.vc_index(vnet, ovc as usize);
+                {
+                    let r = self.router(node as usize);
+                    let oslot = r.slot(op, flat);
+                    r.out_credits[oslot].consume();
+                }
+                let e = node as usize * 4 + d.index();
+                *self.sh.link_util.add(e) += 1;
+                self.chan(e).send_flit(arrival, f);
+                self.d.inserts.push((SetId::Chan, e as u32));
+            }
+            if in_port != Port::Local.index() {
+                let d_up = Port::from_index(in_port).dir().unwrap();
+                if self.neighbor(node, d_up).is_some() {
+                    let (vn, vc) = self.sh.cfg.vc_split(s % self.sh.cfg.total_vcs());
+                    let e = node as usize * 4 + d_up.index();
+                    self.chan(e).send_credit(now + 3, CreditMsg { vnet: vn as u8, vc: vc as u8 });
+                    self.d.inserts.push((SetId::Chan, e as u32));
+                    self.d.act.credit_msgs += 1;
+                }
+            }
+            {
+                let r = self.router(node as usize);
+                if is_tail {
+                    let flat = self.sh.cfg.vc_index(vnet, ovc as usize);
+                    let oslot = r.slot(op, flat);
+                    r.out_vc_state[oslot] = VcOwner::Free;
+                    r.inputs[s].alloc = None;
+                }
+                if let Some(nf) = r.inputs[s].buf.front() {
+                    if nf.kind.is_head() {
+                        debug_assert!(is_tail, "head flit queued behind an open wormhole");
+                        r.inputs[s].head_since = now;
+                    }
+                }
+            }
+            self.d.progressed = true;
+        }
+    }
+}
+
+/// Twin of `pipeline::push_busy`.
+#[inline]
+fn push_busy(order: &mut Vec<u16>, p: usize, mask: u64, total_vcs: usize) {
+    let mut m = mask;
+    while m != 0 {
+        let v = m.trailing_zeros() as usize;
+        order.push((p * total_vcs + v) as u16);
+        m &= m - 1;
+    }
+}
+
+// --- Worker pool ------------------------------------------------------------
+
+/// A phase job: type-erased pointer to a [`JobCtx`] on the driver's stack
+/// plus the tile-runner entry point and the tile count. Valid only between
+/// publication and the join. Executor `x` of `E` runs tiles `x, x + E,
+/// x + 2E, ...` — each tile still writes only its own delta slot, so the
+/// worker count never has to match the tile count (a single-core host runs
+/// every tile inline on the driver).
+#[derive(Clone, Copy)]
+struct Job {
+    ctx: *const (),
+    run: unsafe fn(*const (), usize),
+    tiles: usize,
+}
+
+/// Run this executor's strided share of the job's tiles.
+unsafe fn run_stride(job: Job, executor: usize, executors: usize) {
+    let mut tile = executor;
+    while tile < job.tiles {
+        (job.run)(job.ctx, tile);
+        tile += executors;
+    }
+}
+
+struct PoolShared {
+    job: UnsafeCell<Option<Job>>,
+    /// Bumped (release) to publish the job in `job`.
+    epoch: AtomicU64,
+    /// Workers that finished the current job (release on increment).
+    done: AtomicU64,
+    stop: AtomicBool,
+    /// True if any worker tile panicked during the current job.
+    panicked: AtomicBool,
+    panic_msg: Mutex<Option<String>>,
+    /// Park/wake for idle workers (pure spinning would steal cores from
+    /// the across-run engine parallelism when this kernel is idle).
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+// Raw job pointers are handed across threads; the epoch/done protocol is
+// what synchronizes access (publish-before-bump, join-before-invalidate).
+unsafe impl Send for PoolShared {}
+unsafe impl Sync for PoolShared {}
+
+struct Pool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn `workers` persistent tile threads (executor ids `1..=workers`;
+    /// executor 0 is the driving thread). `workers` may be less than
+    /// `tiles - 1` — tiles are strided over the executors — and zero runs
+    /// everything inline on the driver.
+    fn new(workers: usize) -> Pool {
+        let shared = Arc::new(PoolShared {
+            job: UnsafeCell::new(None),
+            epoch: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        });
+        let executors = workers + 1;
+        let handles = (1..=workers)
+            .map(|executor| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("flov-tile-{executor}"))
+                    .spawn(move || worker_loop(&sh, executor, executors))
+                    .expect("spawn tile worker")
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+
+    /// Run `job` on all its tiles: workers take their strides, the caller
+    /// runs executor 0's stride, then joins. Propagates any worker panic
+    /// after the join (so shards are never left concurrently owned).
+    fn run(&self, job: Job) {
+        let n = self.handles.len() as u64;
+        if n == 0 {
+            for tile in 0..job.tiles {
+                unsafe { (job.run)(job.ctx, tile) };
+            }
+            return;
+        }
+        unsafe { *self.shared.job.get() = Some(job) };
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        {
+            // Pair with the worker's check-then-wait under the same lock:
+            // without this, a worker deciding to park right now would miss
+            // the notification.
+            let _g = self.shared.lock.lock().unwrap();
+            self.shared.cv.notify_all();
+        }
+        // Executor 0's stride on the driving thread, shielded like the
+        // workers so a panic still joins the fork before unwinding.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            run_stride(job, 0, self.handles.len() + 1)
+        }));
+        let mut spins = 0u32;
+        while self.shared.done.load(Ordering::Acquire) < n {
+            spins += 1;
+            if spins < 10_000 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        self.shared.done.store(0, Ordering::Relaxed);
+        if let Err(p) = r {
+            std::panic::resume_unwind(p);
+        }
+        if self.shared.panicked.swap(false, Ordering::Relaxed) {
+            let msg = self.shared.panic_msg.lock().unwrap().take();
+            panic!(
+                "parallel kernel tile worker panicked: {}",
+                msg.unwrap_or_else(|| "<non-string panic payload>".to_string())
+            );
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        {
+            let _g = self.shared.lock.lock().unwrap();
+            self.shared.cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(sh: &PoolShared, executor: usize, executors: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Spin briefly (phases arrive every few microseconds mid-run),
+        // then yield, then park until the next publication.
+        let mut spins = 0u32;
+        while sh.epoch.load(Ordering::Acquire) == seen {
+            spins += 1;
+            if spins < 10_000 {
+                std::hint::spin_loop();
+            } else if spins < 30_000 {
+                std::thread::yield_now();
+            } else {
+                let mut g = sh.lock.lock().unwrap();
+                while sh.epoch.load(Ordering::Acquire) == seen && !sh.stop.load(Ordering::Relaxed) {
+                    g = sh.cv.wait(g).unwrap();
+                }
+                break;
+            }
+        }
+        seen = sh.epoch.load(Ordering::Acquire);
+        if sh.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let Some(job) = (unsafe { *sh.job.get() }) else { continue };
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            run_stride(job, executor, executors)
+        }));
+        if let Err(p) = r {
+            let msg = p
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()));
+            let mut slot = sh.panic_msg.lock().unwrap();
+            if slot.is_none() {
+                *slot = msg;
+            }
+            sh.panicked.store(true, Ordering::Relaxed);
+        }
+        sh.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+// --- Phase driver -----------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PhaseKind {
+    Latch,
+    Deliver,
+    Inject,
+    Pipeline,
+}
+
+/// The driver-side job context one phase hands to all tiles.
+struct JobCtx<'a> {
+    sh: Shared<'a>,
+    kind: PhaseKind,
+    /// Node-indexed tasks (ascending); tile `t` runs
+    /// `tasks[bounds[t]..bounds[t + 1]]`. For `Deliver` these are the
+    /// ejection-channel tasks.
+    tasks: &'a [u32],
+    bounds: &'a [usize],
+    /// Per-tile channel tasks, ascending within each tile (`Deliver` only).
+    chan_tasks: &'a [Vec<u32>],
+    deltas: *mut Delta,
+    va_orders: *mut Vec<u16>,
+}
+
+unsafe fn run_tile(ctx: *const (), tile: usize) {
+    let j = &*(ctx as *const JobCtx);
+    let d = &mut *j.deltas.add(tile);
+    let va_order = &mut *j.va_orders.add(tile);
+    let mut lane = Lane { sh: &j.sh, d, va_order };
+    let mine = &j.tasks[j.bounds[tile]..j.bounds[tile + 1]];
+    match j.kind {
+        PhaseKind::Latch => {
+            for &i in mine {
+                lane.latch_task(i as usize);
+            }
+        }
+        PhaseKind::Deliver => {
+            for &e in &j.chan_tasks[tile] {
+                lane.chan_task(e as usize);
+            }
+            for &n in mine {
+                lane.eject_task(n as usize);
+            }
+        }
+        PhaseKind::Inject => {
+            for &n in mine {
+                lane.inject_task(n as NodeId);
+            }
+        }
+        PhaseKind::Pipeline => {
+            for &n in mine {
+                lane.pipeline_task(n as NodeId);
+            }
+        }
+    }
+}
+
+/// Per-core parallel-kernel state: the tile plan, the worker pool, and all
+/// per-tile buffers, built lazily on the first parallel phase (and rebuilt
+/// if the requested tile count changes).
+pub(super) struct ParState {
+    requested: usize,
+    plan: TilePlan,
+    pool: Pool,
+    deltas: Vec<Delta>,
+    powers: Vec<PowerState>,
+    tasks: Vec<u32>,
+    bounds: Vec<usize>,
+    chan_tasks: Vec<Vec<u32>>,
+    va_orders: Vec<Vec<u16>>,
+}
+
+impl ParState {
+    fn new(core: &NetworkCore, requested: usize) -> ParState {
+        let plan = TilePlan::new(core.topo.kx(), core.topo.ky(), requested);
+        let t = plan.tiles();
+        // Never spawn more workers than the host has spare cores: the
+        // partitioning (and hence the result) is fixed by the tile count,
+        // so surplus tiles stride over the executors instead of thrashing
+        // an oversubscribed scheduler. On a single-core host every tile
+        // runs inline on the driver.
+        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ParState {
+            requested,
+            pool: Pool::new((t - 1).min(avail.saturating_sub(1))),
+            deltas: (0..t).map(|_| Delta::default()).collect(),
+            powers: Vec::new(),
+            tasks: Vec::new(),
+            bounds: vec![0; t + 1],
+            chan_tasks: (0..t).map(|_| Vec::new()).collect(),
+            va_orders: (0..t).map(|_| Vec::new()).collect(),
+            plan,
+        }
+    }
+}
+
+/// Take the (lazily created) parallel state out of the core for a phase.
+/// Ownership moves out so the driver can alias the core's arrays without
+/// borrowing through `core.par`.
+fn take_state(core: &mut NetworkCore, tiles: usize) -> Box<ParState> {
+    match core.par.take() {
+        Some(st) if st.requested == tiles => st,
+        _ => Box::new(ParState::new(core, tiles)),
+    }
+}
+
+/// Partition the ascending node-task snapshot into per-tile subranges.
+fn node_bounds(plan: &TilePlan, tasks: &[u32], bounds: &mut [usize]) {
+    let t = plan.tiles();
+    bounds[0] = 0;
+    for (b, &limit) in bounds[1..=t].iter_mut().zip(&plan.starts[1..=t]) {
+        *b = tasks.partition_point(|&n| n < limit);
+    }
+}
+
+fn snapshot_powers(core: &NetworkCore, powers: &mut Vec<PowerState>) {
+    powers.clear();
+    powers.extend(core.routers.iter().map(|r| r.power));
+}
+
+fn make_shared<'a>(
+    core: &'a mut NetworkCore,
+    mech: Option<&'a dyn PowerMechanism>,
+    powers: &'a [PowerState],
+) -> Shared<'a> {
+    Shared {
+        now: core.cycle,
+        cfg: &core.cfg,
+        topo: &core.topo,
+        powers,
+        mech,
+        has_ring: core.ring.is_some(),
+        nodes: core.routers.len(),
+        routers: core.routers.as_mut_ptr(),
+        channels: core.channels.as_mut_ptr(),
+        eject: core.eject.as_mut_ptr(),
+        nics: core.nics.as_mut_ptr(),
+        link_util: core.link_util.as_mut_ptr(),
+        ring_stage: core.ring_stage.as_mut_ptr(),
+    }
+}
+
+/// Fork-join one phase over the prepared per-tile tasks, then replay the
+/// deltas. `st.tasks`, `st.bounds` and (for `Deliver`) `st.chan_tasks`
+/// must be filled before calling.
+fn run_phase(
+    core: &mut NetworkCore,
+    mech: Option<&dyn PowerMechanism>,
+    st: &mut ParState,
+    kind: PhaseKind,
+) {
+    {
+        let deltas = st.deltas.as_mut_ptr();
+        let va_orders = st.va_orders.as_mut_ptr();
+        let ctx = JobCtx {
+            sh: make_shared(core, mech, &st.powers),
+            kind,
+            tasks: &st.tasks,
+            bounds: &st.bounds,
+            chan_tasks: &st.chan_tasks,
+            deltas,
+            va_orders,
+        };
+        let tiles = st.plan.tiles();
+        st.pool.run(Job { ctx: &ctx as *const JobCtx as *const (), run: run_tile, tiles });
+    }
+    apply_deltas(core, &mut st.deltas);
+}
+
+/// Phase 2, parallel: FLOV latch forwarding over the latch set.
+pub(super) fn latch_phase(core: &mut NetworkCore, tiles: usize) {
+    let mut st = take_state(core, tiles);
+    core.sched.latch.collect_into(&mut st.tasks);
+    if !st.tasks.is_empty() {
+        node_bounds(&st.plan, &st.tasks, &mut st.bounds);
+        snapshot_powers(core, &mut st.powers);
+        run_phase(core, None, &mut st, PhaseKind::Latch);
+    }
+    core.par = Some(st);
+}
+
+/// Phase 3, parallel: link delivery. Channels partition by *receiver*;
+/// ejection channels by node.
+pub(super) fn delivery_phase(core: &mut NetworkCore, tiles: usize) {
+    let mut st = take_state(core, tiles);
+    let mut scratch = std::mem::take(&mut core.sched.scratch);
+    core.sched.chan.collect_into(&mut scratch);
+    for v in &mut st.chan_tasks {
+        v.clear();
+    }
+    for &e in &scratch {
+        let node = (e / 4) as NodeId;
+        let d = Dir::from_index(e as usize % 4);
+        // Edge channels are never sent on, hence never marked.
+        let target = core.neighbor(node, d).expect("active channel on a mesh edge");
+        // Ascending scan order is preserved within each bucket.
+        st.chan_tasks[st.plan.tile_of(target as u32)].push(e);
+    }
+    core.sched.scratch = scratch;
+    core.sched.eject.collect_into(&mut st.tasks);
+    if !st.tasks.is_empty() || st.chan_tasks.iter().any(|v| !v.is_empty()) {
+        node_bounds(&st.plan, &st.tasks, &mut st.bounds);
+        snapshot_powers(core, &mut st.powers);
+        run_phase(core, None, &mut st, PhaseKind::Deliver);
+    }
+    core.par = Some(st);
+}
+
+/// Phase 5, parallel: NIC injection over the inject set.
+pub(super) fn injection_phase(core: &mut NetworkCore, mech: &dyn PowerMechanism, tiles: usize) {
+    let mut st = take_state(core, tiles);
+    core.sched.inject.collect_into(&mut st.tasks);
+    if !st.tasks.is_empty() {
+        node_bounds(&st.plan, &st.tasks, &mut st.bounds);
+        snapshot_powers(core, &mut st.powers);
+        run_phase(core, Some(mech), &mut st, PhaseKind::Inject);
+    }
+    core.par = Some(st);
+}
+
+/// Phase 6, parallel: router pipelines over the work set.
+pub(super) fn pipeline_phase(core: &mut NetworkCore, mech: &dyn PowerMechanism, tiles: usize) {
+    let mut st = take_state(core, tiles);
+    core.sched.work.collect_into(&mut st.tasks);
+    if !st.tasks.is_empty() {
+        node_bounds(&st.plan, &st.tasks, &mut st.bounds);
+        snapshot_powers(core, &mut st.powers);
+        run_phase(core, Some(mech), &mut st, PhaseKind::Pipeline);
+    }
+    core.par = Some(st);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_plan_covers_grid_contiguously() {
+        for (kx, ky, tiles) in [(8u16, 8u16, 4usize), (4, 4, 2), (4, 4, 16), (16, 3, 4), (5, 1, 3)]
+        {
+            let plan = TilePlan::new(kx, ky, tiles);
+            let n = kx as usize * ky as usize;
+            assert_eq!(plan.starts[0], 0);
+            assert_eq!(*plan.starts.last().unwrap() as usize, n);
+            assert!(plan.tiles() <= tiles.max(1));
+            assert!(plan.starts.windows(2).all(|w| w[0] < w[1]), "empty tile in {plan:?}",);
+            for node in 0..n as u32 {
+                let t = plan.tile_of(node);
+                assert!(plan.starts[t] <= node && node < plan.starts[t + 1]);
+            }
+            // Row stripes: tile boundaries sit on row boundaries.
+            assert!(plan.starts.iter().all(|&s| (s as usize).is_multiple_of(kx as usize)));
+        }
+    }
+
+    #[test]
+    fn pool_runs_all_tiles_and_propagates_panics() {
+        let pool = Pool::new(3);
+        let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        struct Ctx<'a> {
+            hits: &'a [AtomicU64],
+        }
+        unsafe fn bump(ctx: *const (), tile: usize) {
+            let c = &*(ctx as *const Ctx);
+            c.hits[tile].fetch_add(1, Ordering::Relaxed);
+        }
+        let ctx = Ctx { hits: &hits };
+        for _ in 0..100 {
+            pool.run(Job { ctx: &ctx as *const Ctx as *const (), run: bump, tiles: 4 });
+        }
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 100));
+
+        unsafe fn boom(_ctx: *const (), tile: usize) {
+            if tile == 2 {
+                panic!("tile 2 exploded");
+            }
+        }
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(Job { ctx: std::ptr::null(), run: boom, tiles: 4 });
+        }));
+        let msg = format!("{:?}", r.expect_err("worker panic must propagate"));
+        assert!(msg.contains("tile 2 exploded"), "panic message lost: {msg}");
+        // The pool survives a panicked job.
+        pool.run(Job { ctx: &ctx as *const Ctx as *const (), run: bump, tiles: 4 });
+        assert_eq!(hits[0].load(Ordering::Relaxed), 101);
+    }
+
+    #[test]
+    fn pool_strides_tiles_over_fewer_executors() {
+        let hits: Vec<AtomicU64> = (0..7).map(|_| AtomicU64::new(0)).collect();
+        struct Ctx<'a> {
+            hits: &'a [AtomicU64],
+        }
+        unsafe fn bump(ctx: *const (), tile: usize) {
+            let c = &*(ctx as *const Ctx);
+            c.hits[tile].fetch_add(1, Ordering::Relaxed);
+        }
+        let ctx = Ctx { hits: &hits };
+        // 7 tiles over 2 executors (1 worker) and over 1 executor (inline).
+        for workers in [1usize, 0] {
+            let pool = Pool::new(workers);
+            pool.run(Job { ctx: &ctx as *const Ctx as *const (), run: bump, tiles: 7 });
+        }
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 2));
+    }
+}

@@ -63,6 +63,7 @@ pub(super) fn injection_phase(core: &mut NetworkCore, mech: &dyn PowerMechanism)
             }
             core.sched.scratch = scratch;
         }
+        KernelMode::Parallel { tiles } => super::par::injection_phase(core, mech, tiles),
     }
 }
 
@@ -178,6 +179,7 @@ pub(super) fn pipeline_phase(core: &mut NetworkCore, mech: &dyn PowerMechanism) 
             }
             core.sched.scratch = scratch;
         }
+        KernelMode::Parallel { tiles } => super::par::pipeline_phase(core, mech, tiles),
     }
 }
 

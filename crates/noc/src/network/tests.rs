@@ -5,7 +5,7 @@
 use super::*;
 use crate::baseline::AlwaysOnYx;
 use crate::routing::{yx_route, RouteCtx};
-use crate::traits::{PacketRequest, ScriptedWorkload, SilentWorkload};
+use crate::traits::{PacketRequest, PowerView, ScriptedWorkload, SilentWorkload};
 use crate::types::Port;
 
 /// A mechanism that executes scripted power transitions at fixed cycles and
@@ -45,7 +45,7 @@ impl PowerMechanism for ManualMech {
         }
     }
 
-    fn route(&self, _core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
+    fn route(&self, _net: &dyn PowerView, ctx: &RouteCtx) -> Option<Port> {
         Some(yx_route(ctx.at, ctx.dst))
     }
 }
@@ -335,10 +335,10 @@ fn stalled_injection_counts_node_cycles() {
             "closed-gate"
         }
         fn step(&mut self, _core: &mut NetworkCore) {}
-        fn route(&self, _core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
+        fn route(&self, _net: &dyn PowerView, ctx: &RouteCtx) -> Option<Port> {
             Some(yx_route(ctx.at, ctx.dst))
         }
-        fn injection_allowed(&self, _core: &NetworkCore, _node: NodeId) -> bool {
+        fn injection_allowed(&self, _net: &dyn PowerView, _node: NodeId) -> bool {
             false
         }
     }
@@ -368,7 +368,7 @@ fn escape_diversion_on_unroutable_is_immediate() {
             "staller"
         }
         fn step(&mut self, _core: &mut NetworkCore) {}
-        fn route(&self, _core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
+        fn route(&self, _net: &dyn PowerView, ctx: &RouteCtx) -> Option<Port> {
             if ctx.escape {
                 Some(yx_route(ctx.at, ctx.dst))
             } else {

@@ -4,14 +4,45 @@
 
 use crate::network::NetworkCore;
 use crate::routing::RouteCtx;
-use crate::types::{Cycle, NodeId, Port};
+use crate::types::{Cycle, NodeId, Port, PowerState};
+
+/// Read-only power-state view of the fabric.
+///
+/// The per-flit mechanism hooks ([`PowerMechanism::route`],
+/// [`PowerMechanism::injection_allowed`]) take this instead of the full
+/// [`NetworkCore`]: every implemented policy decides from power states (and
+/// its own tables) alone, and the narrow surface is what lets the parallel
+/// kernel evaluate those hooks inside worker tiles against an immutable
+/// start-of-phase snapshot while other tiles mutate router state.
+pub trait PowerView {
+    /// Number of routers.
+    fn nodes(&self) -> usize;
+    /// Power state of router `n`.
+    fn power(&self, n: NodeId) -> PowerState;
+}
+
+impl PowerView for NetworkCore {
+    #[inline]
+    fn nodes(&self) -> usize {
+        NetworkCore::nodes(self)
+    }
+
+    #[inline]
+    fn power(&self, n: NodeId) -> PowerState {
+        NetworkCore::power(self, n)
+    }
+}
 
 /// A power-gating mechanism: owns the power-state control decisions and the
 /// routing function. The simulator calls [`PowerMechanism::step`] once per
 /// cycle (after link delivery, before the router pipelines) and
 /// [`PowerMechanism::route`] for every head-flit route computation at a
 /// powered router.
-pub trait PowerMechanism {
+///
+/// `Sync` is a supertrait: the parallel kernel shares the mechanism
+/// immutably across tile workers during the routing phases (`step` keeps
+/// `&mut self` and always runs on the driving thread).
+pub trait PowerMechanism: Sync {
     /// Human-readable name, used in result tables ("Baseline", "RP", ...).
     fn name(&self) -> &'static str;
 
@@ -28,11 +59,11 @@ pub trait PowerMechanism {
     /// A returned port must exist (never walks off the mesh) and, for
     /// non-escape packets, must never be the input port (no U-turns, the
     /// paper's livelock guard).
-    fn route(&self, core: &NetworkCore, ctx: &RouteCtx) -> Option<Port>;
+    fn route(&self, net: &dyn PowerView, ctx: &RouteCtx) -> Option<Port>;
 
     /// Whether `node` may inject new packets this cycle. Router Parking
     /// stalls all injection during Fabric-Manager reconfiguration.
-    fn injection_allowed(&self, _core: &NetworkCore, _node: NodeId) -> bool {
+    fn injection_allowed(&self, _net: &dyn PowerView, _node: NodeId) -> bool {
         true
     }
 

@@ -12,7 +12,7 @@ use flov_core::routing::flov_route;
 use flov_core::Flov;
 use flov_noc::network::{NetworkCore, Simulation};
 use flov_noc::routing::RouteCtx;
-use flov_noc::traits::PowerMechanism;
+use flov_noc::traits::{PowerMechanism, PowerView};
 use flov_noc::types::{NodeId, Port, PowerState};
 use flov_noc::NocConfig;
 use flov_workloads::{GatingSchedule, Pattern, SyntheticWorkload};
@@ -88,7 +88,7 @@ impl PowerMechanism for CheckerFlov {
         }
     }
 
-    fn route(&self, _core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
+    fn route(&self, _net: &dyn PowerView, ctx: &RouteCtx) -> Option<Port> {
         flov_route(ctx)
     }
 }

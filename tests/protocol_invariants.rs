@@ -7,11 +7,11 @@ use flov_core::routing::escape_turn_legal;
 use flov_core::{Flov, FlovMode, FlovParams};
 use flov_noc::network::{NetworkCore, Simulation};
 use flov_noc::routing::RouteCtx;
-use flov_noc::traits::PowerMechanism;
+use flov_noc::traits::{PowerMechanism, PowerView};
 use flov_noc::types::{Dir, NodeId, Port, PowerState};
 use flov_noc::NocConfig;
 use flov_workloads::{GatingSchedule, Pattern, SyntheticWorkload};
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 fn make_sim(mode: FlovMode, fraction: f64, cycles: u64) -> Simulation {
     let cfg = NocConfig::paper_table1();
@@ -127,7 +127,7 @@ fn corner_routers_may_gate_but_never_hold_latched_flits() {
 /// Fig. 4(b) turn rules (after the first escape hop, which may reverse).
 struct TurnChecker {
     inner: Flov,
-    violations: RefCell<Vec<String>>,
+    violations: Mutex<Vec<String>>,
 }
 
 impl PowerMechanism for TurnChecker {
@@ -139,8 +139,8 @@ impl PowerMechanism for TurnChecker {
         self.inner.step(core);
     }
 
-    fn route(&self, core: &NetworkCore, ctx: &RouteCtx) -> Option<Port> {
-        let out = self.inner.route(core, ctx)?;
+    fn route(&self, net: &dyn PowerView, ctx: &RouteCtx) -> Option<Port> {
+        let out = self.inner.route(net, ctx)?;
         if ctx.escape && ctx.in_port != Port::Local && out != Port::Local {
             if let Some(in_dir) = ctx.in_port.dir() {
                 let travel_in = in_dir.opposite();
@@ -150,7 +150,7 @@ impl PowerMechanism for TurnChecker {
                 // We cannot distinguish entry here, so only flag turns that
                 // are neither legal nor a pure reversal.
                 if travel_out != travel_in.opposite() && !escape_turn_legal(travel_in, travel_out) {
-                    self.violations.borrow_mut().push(format!(
+                    self.violations.lock().unwrap().push(format!(
                         "illegal escape turn {travel_in:?}->{travel_out:?} at {:?} dst {:?}",
                         ctx.at, ctx.dst
                     ));
@@ -164,7 +164,7 @@ impl PowerMechanism for TurnChecker {
 #[test]
 fn escape_routing_obeys_turn_model_in_vivo() {
     let cfg = NocConfig::paper_table1();
-    let mech = TurnChecker { inner: Flov::generalized(&cfg), violations: RefCell::new(Vec::new()) };
+    let mech = TurnChecker { inner: Flov::generalized(&cfg), violations: Mutex::new(Vec::new()) };
     let w = SyntheticWorkload::new(
         cfg.k,
         Pattern::UniformRandom,
@@ -191,7 +191,7 @@ fn escape_routing_obeys_turn_model_in_vivo() {
 
 impl Drop for TurnChecker {
     fn drop(&mut self) {
-        let v = self.violations.borrow();
+        let v = self.violations.lock().unwrap();
         assert!(v.is_empty(), "escape turn violations: {:#?}", &v[..v.len().min(5)]);
     }
 }
