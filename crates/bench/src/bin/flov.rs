@@ -55,14 +55,16 @@ tools:
               [--mech M] [--pattern P] [--rate R] [--gated F] [--cycles N]
               [--warmup N] [--seed S] [--k K] [--parsec BENCH] [--json] [--map]
               [--audit] [--topology mesh|torus|cmesh:C|rect:KXxKY]
-              [--threads N] (sharded parallel kernel with N tiles)
+              [--threads N] (sharded parallel kernel, planner-chosen grid)
+              [--tiles RxC] (sharded parallel kernel, explicit 2-D geometry)
   sweep       run a batch of serialized RunSpecs
               --spec FILE.json (one spec or an array); JSON results on stdout
   bench-kernel  time the cycle kernels (active-set vs reference) on 8x8
               idle/low-load/mid-load/saturated traffic, plus the sharded
-              parallel kernel (2/4 tiles) on 16x16/32x32; verifies all
-              kernels stay bit-identical; report to stdout and --out
-              (BENCH_kernel.json)
+              parallel kernel (2/4 tiles, planner-chosen 2-D grids) on
+              16x16/32x32/64x64; verifies all kernels stay bit-identical;
+              per-phase wall-time breakdown per row; report to stdout and
+              --out (BENCH_kernel.json)
               [--quick] [--min-cps N] [--min-skip FRAC]
               [--min-parallel-speedup X] [--out PATH]
   fuzz        differential fuzzer: random specs through all three kernels
@@ -438,6 +440,7 @@ fn sim(engine: &Engine, rest: &[String]) {
     let mut map = false;
     let mut audit = false;
     let mut threads: Option<usize> = None;
+    let mut tiles: Option<String> = None;
     let mut i = 0;
     while i < rest.len() {
         let val = |i: &mut usize| -> String {
@@ -462,6 +465,7 @@ fn sim(engine: &Engine, rest: &[String]) {
             "--map" => map = true,
             "--audit" => audit = true,
             "--threads" => threads = Some(parse_or_die("--threads", &val(&mut i))),
+            "--tiles" => tiles = Some(val(&mut i)),
             // Global flags were already consumed in main.
             "--quick" | "--no-cache" | "--quiet" => {}
             "--cache-dir" => {
@@ -500,6 +504,15 @@ fn sim(engine: &Engine, rest: &[String]) {
         // env selection is safe for cached engines too.
         std::env::set_var("FLOV_KERNEL", "parallel");
         std::env::set_var("FLOV_THREADS", t.to_string());
+    }
+    if let Some(g) = &tiles {
+        // Validate eagerly for the same cache-hit reason as --threads.
+        if flov_bench::parse_tile_geometry(g).is_none() {
+            eprintln!("error: --tiles wants RxC (e.g. 4x2), got {g:?}");
+            std::process::exit(2);
+        }
+        std::env::set_var("FLOV_KERNEL", "parallel");
+        std::env::set_var("FLOV_TILES", g);
     }
     let r = engine.run_one(&spec);
     if json {

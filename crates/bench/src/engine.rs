@@ -222,9 +222,29 @@ impl Engine {
             // Keep this line's shape stable: CI greps it to assert hit
             // rates. New fields go at the end, after the grepped ones.
             let wall = batch_start.elapsed().as_secs_f64();
+            // Under the parallel kernel, report the effective tile
+            // geometry (requested vs planned) instead of clamping
+            // silently; batches can mix topologies, hence the set.
+            let geometry = match crate::kernel_from_env() {
+                crate::KernelMode::Parallel { tiles, .. } if !uniques.is_empty() => {
+                    let kernel = crate::kernel_from_env();
+                    let mut geoms: Vec<String> = uniques
+                        .iter()
+                        .filter_map(|&i| {
+                            let cfg = &resolved[i].cfg;
+                            kernel.planned_grid(cfg.kx(), cfg.ky())
+                        })
+                        .map(|(r, c)| format!("{r}x{c}"))
+                        .collect();
+                    geoms.sort();
+                    geoms.dedup();
+                    format!(", parallel tiles {} ({tiles} requested)", geoms.join("|"))
+                }
+                _ => String::new(),
+            };
             eprintln!(
                 "[flov] engine: {} specs ({} unique): {} cached, {} simulated, \
-                 {wall:.1}s wall, {:.0} sim-cycles/sec",
+                 {wall:.1}s wall, {:.0} sim-cycles/sec{geometry}",
                 specs.len(),
                 uniques.len(),
                 n_cached,

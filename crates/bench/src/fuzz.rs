@@ -11,10 +11,10 @@
 //!    residency, ring conservation, per-mechanism state legality, and the
 //!    no-progress watchdog) are checked structurally;
 //! 2. every sampled run executes under **all three** [`KernelMode`]s (the
-//!    parallel kernel at a spec-derived tile count of 2 or 4) and the
-//!    serialized [`RunResult`]s must match byte-for-byte — the active-set,
-//!    time-skip, and tile-sharding optimizations are only correct if
-//!    invisible;
+//!    parallel kernel at a spec-derived 2-D tile geometry between 1×2 and
+//!    3×3, clamped to the fabric) and the serialized [`RunResult`]s must
+//!    match byte-for-byte — the active-set, time-skip, and tile-sharding
+//!    optimizations are only correct if invisible;
 //! 3. panics (from either kernel) are caught and reported as findings
 //!    instead of killing the campaign.
 //!
@@ -196,18 +196,25 @@ pub fn sample_spec(rng: &mut Rng, max_cycles: Cycle) -> RunSpec {
 /// `Some((kind, detail))` is a finding. Failure precedence:
 /// panic > audit violation > kernel divergence.
 pub fn check_spec(spec: &RunSpec) -> Option<(String, String)> {
-    // Tile count sampled deterministically from the workload seed, so a
-    // replayed repro exercises the same kernel trio that found it.
-    let tiles = match &spec.workload {
-        WorkloadSpec::Synthetic { seed, .. } => 2 + 2 * (seed % 2) as usize,
-        WorkloadSpec::Parsec { seed, .. } => 2 + 2 * (seed % 2) as usize,
+    // 2-D tile geometry sampled deterministically from the workload seed,
+    // so a replayed repro exercises the same kernel trio that found it.
+    // The explicit grid is allowed to exceed the fabric (the planner
+    // clamps per axis), which keeps the clamping path under test too.
+    let seed = match &spec.workload {
+        WorkloadSpec::Synthetic { seed, .. } => *seed,
+        WorkloadSpec::Parsec { seed, .. } => *seed,
     };
-    let parallel_name = if tiles == 2 { "parallel2" } else { "parallel4" };
+    let (rows, cols) = (1 + (seed >> 1) % 3, 1 + (seed >> 3) % 3);
+    let rows = if rows * cols == 1 { 2 } else { rows } as u16;
+    let cols = cols as u16;
+    let parallel_name = format!("parallel{rows}x{cols}");
+    let parallel =
+        KernelMode::Parallel { tiles: rows as usize * cols as usize, grid: Some((rows, cols)) };
     let mut outcomes = Vec::with_capacity(3);
     for (name, mode) in [
         ("active", KernelMode::ActiveSet),
         ("reference", KernelMode::Reference),
-        (parallel_name, KernelMode::Parallel { tiles }),
+        (parallel_name.as_str(), parallel),
     ] {
         let run = catch_unwind(AssertUnwindSafe(|| run_kernel_audited(spec, mode)));
         match run {

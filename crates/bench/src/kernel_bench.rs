@@ -4,15 +4,17 @@
 //! for idle, mid-load and saturated 8×8 configurations, per mechanism, for
 //! both the active-set and the reference kernel, and verifies along the way
 //! that the two kernels stay bit-identical on every measured pair. A second
-//! matrix times the sharded parallel kernel on larger meshes (16×16, 32×32)
-//! at 2 and 4 tiles against the sequential active-set baseline, asserting
-//! bit-identity and recording per-lane speedup and scaling efficiency. The
-//! report establishes the repo's perf trajectory and is written to
-//! `BENCH_kernel.json`.
+//! matrix times the sharded parallel kernel on larger meshes (16×16, 32×32,
+//! 64×64) at 2 and 4 tiles (planner-chosen 2-D geometries) against the
+//! sequential active-set baseline, asserting bit-identity and recording
+//! per-lane speedup and scaling efficiency. Every row also carries a
+//! per-phase wall-time breakdown (latch / delivery / inject / pipeline /
+//! mechanism / exchange-replay) so serial-fraction regressions show up in
+//! the perf trajectory. The report is written to `BENCH_kernel.json`.
 
 use crate::KernelMode;
 use flov_core::mechanism;
-use flov_noc::network::Simulation;
+use flov_noc::network::{PhaseNanos, Simulation};
 use flov_noc::{NocConfig, TopologySpec};
 use flov_workloads::{GatingSchedule, Pattern, PatternSpace, SyntheticWorkload};
 use serde::Serialize;
@@ -30,8 +32,11 @@ pub const LANES: [(&str, Option<TopologySpec>); 2] =
 
 /// Parallel-scaling lanes: larger meshes where per-cycle work dwarfs the
 /// barrier cost, timed with the sharded kernel at each tile count.
-pub const PARALLEL_LANES: [(&str, TopologySpec); 2] =
-    [("mesh16x16", TopologySpec::Mesh { k: 16 }), ("mesh32x32", TopologySpec::Mesh { k: 32 })];
+pub const PARALLEL_LANES: [(&str, TopologySpec); 3] = [
+    ("mesh16x16", TopologySpec::Mesh { k: 16 }),
+    ("mesh32x32", TopologySpec::Mesh { k: 32 }),
+    ("mesh64x64", TopologySpec::Mesh { k: 64 }),
+];
 
 /// Mechanisms timed in the parallel matrix (a subset: Baseline bounds the
 /// raw datapath, rFLOV adds the FLOV latch/chain machinery).
@@ -58,6 +63,10 @@ pub struct BenchRow {
     /// Worker-thread count (tile count for the parallel kernel; 1 for the
     /// sequential kernels).
     pub threads: usize,
+    /// Effective tile geometry `RxC` the planner chose for this lane's
+    /// grid (parallel rows only) — may cover fewer tiles than `threads`
+    /// requested when the grid cannot host them.
+    pub tile_geometry: Option<String>,
     pub cycles: u64,
     /// Cycles the kernel jumped over without stepping (always 0 for the
     /// reference kernel, which never jumps).
@@ -65,6 +74,11 @@ pub struct BenchRow {
     pub seconds: f64,
     pub cycles_per_sec: f64,
     pub flit_events_per_sec: f64,
+    /// Per-phase wall time (nanoseconds) over the timed window: latch /
+    /// delivery / inject / pipeline / mechanism, plus the boundary-exchange
+    /// replay sub-bucket on parallel rows. Timing is observational only —
+    /// it never enters the equivalence digests.
+    pub phases: PhaseNanos,
 }
 
 /// Active-vs-reference summary for one `(mechanism, load)` cell.
@@ -86,6 +100,9 @@ pub struct ParallelRow {
     pub mechanism: String,
     pub load: String,
     pub threads: usize,
+    /// Effective `RxC` geometry the seam-minimizing planner chose for
+    /// `threads` tiles on this lane's grid.
+    pub tile_geometry: String,
     pub base_cps: f64,
     pub parallel_cps: f64,
     pub speedup: f64,
@@ -152,9 +169,12 @@ fn measure_one(
     sim.run(warmup);
     let act0 = sim.core.activity.clone();
     let skipped0 = sim.core.cycles_skipped;
+    // Phase accumulators cover exactly the timed window.
+    sim.core.phase_nanos = Some(Box::default());
     let t0 = Instant::now();
     sim.run(cycles);
     let seconds = t0.elapsed().as_secs_f64();
+    let phases = *sim.core.phase_nanos.take().expect("phase timing enabled above");
     let cycles_skipped = sim.core.cycles_skipped - skipped0;
     let d = sim.core.activity.delta_since(&act0);
     let flit_events = d.buffer_writes
@@ -174,17 +194,21 @@ fn measure_one(
         kernel: match kernel {
             KernelMode::ActiveSet => "active".to_string(),
             KernelMode::Reference => "reference".to_string(),
-            KernelMode::Parallel { tiles } => format!("parallel{tiles}"),
+            KernelMode::Parallel { tiles, .. } => format!("parallel{tiles}"),
         },
         threads: match kernel {
-            KernelMode::Parallel { tiles } => tiles,
+            KernelMode::Parallel { tiles, .. } => tiles,
             _ => 1,
         },
+        tile_geometry: kernel
+            .planned_grid(sim.core.cfg.kx(), sim.core.cfg.ky())
+            .map(|(r, c)| format!("{r}x{c}")),
         cycles,
         cycles_skipped,
         seconds,
         cycles_per_sec: cycles as f64 / seconds.max(1e-9),
         flit_events_per_sec: flit_events as f64 / seconds.max(1e-9),
+        phases,
     };
     (row, digest)
 }
@@ -248,7 +272,9 @@ pub fn run_bench(
     let mut parallel = Vec::new();
     for (lane, topology) in PARALLEL_LANES {
         let cycles = match (lane, quick) {
-            ("mesh32x32", true) => 2_000u64,
+            ("mesh64x64", true) => 500u64,
+            ("mesh64x64", false) => 2_000,
+            ("mesh32x32", true) => 2_000,
             ("mesh32x32", false) => 8_000,
             (_, true) => 5_000,
             (_, false) => 20_000,
@@ -271,7 +297,7 @@ pub fn run_bench(
                     Some(topology),
                     mech,
                     cell,
-                    KernelMode::Parallel { tiles },
+                    KernelMode::Parallel { tiles, grid: None },
                     par_warmup,
                     cycles,
                 );
@@ -280,10 +306,12 @@ pub fn run_bench(
                     "kernel divergence: {lane}/{mech} parallel({tiles}) vs active \
                      end states differ"
                 );
+                let geometry = par.tile_geometry.clone().unwrap_or_default();
                 let speedup = par.cycles_per_sec / base.cycles_per_sec;
                 eprintln!(
                     "[flov] bench-kernel {lane:>9} {mech:>8} saturated: active {:>12.0} cyc/s, \
-                     parallel x{tiles} {:>12.0} cyc/s ({speedup:.2}x, {:.0}% efficiency)",
+                     parallel x{tiles} ({geometry}) {:>12.0} cyc/s ({speedup:.2}x, \
+                     {:.0}% efficiency)",
                     base.cycles_per_sec,
                     par.cycles_per_sec,
                     100.0 * speedup / tiles as f64,
@@ -293,6 +321,7 @@ pub fn run_bench(
                     mechanism: mech.to_string(),
                     load: "saturated".to_string(),
                     threads: tiles,
+                    tile_geometry: geometry,
                     base_cps: base.cycles_per_sec,
                     parallel_cps: par.cycles_per_sec,
                     speedup,
@@ -356,7 +385,7 @@ pub fn run_bench(
         }
     }
     BenchReport {
-        mesh: "mesh8x8+cmesh64+mesh16x16+mesh32x32".to_string(),
+        mesh: "mesh8x8+cmesh64+mesh16x16+mesh32x32+mesh64x64".to_string(),
         quick,
         host_threads,
         rows,

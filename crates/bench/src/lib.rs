@@ -40,16 +40,22 @@ use flov_workloads::{GatingSchedule, ParsecWorkload, PatternSpace, SyntheticWork
 
 /// Kernel selected by the `FLOV_KERNEL` environment variable (`active` |
 /// `reference` | `parallel`); defaults to the active-set kernel. For
-/// `parallel`, `FLOV_THREADS` sets the tile count (default 4; clamped to
-/// the grid height per network). All kernels produce bit-identical results
-/// (enforced by the equivalence suite), so this is a
-/// debugging/benchmarking switch, not an experiment parameter — it never
-/// enters the result cache key.
+/// `parallel`, `FLOV_TILES=RxC` pins an explicit 2-D tile geometry
+/// (clamped to the grid per network); otherwise `FLOV_THREADS` sets the
+/// tile budget (default 4) and the seam-minimizing planner picks the
+/// grid. All kernels produce bit-identical results (enforced by the
+/// equivalence suite), so this is a debugging/benchmarking switch, not an
+/// experiment parameter — it never enters the result cache key.
 pub fn kernel_from_env() -> KernelMode {
     match std::env::var("FLOV_KERNEL").ok().as_deref() {
         None | Some("") | Some("active") | Some("active-set") => KernelMode::ActiveSet,
         Some("reference") | Some("ref") => KernelMode::Reference,
         Some("parallel") | Some("par") => {
+            if let Some(v) = std::env::var("FLOV_TILES").ok().filter(|v| !v.is_empty()) {
+                let (r, c) = parse_tile_geometry(&v)
+                    .unwrap_or_else(|| panic!("bad FLOV_TILES value {v:?} (use RxC, e.g. 4x2)"));
+                return KernelMode::Parallel { tiles: r as usize * c as usize, grid: Some((r, c)) };
+            }
             let tiles =
                 match std::env::var("FLOV_THREADS").ok().as_deref() {
                     None | Some("") => 4,
@@ -57,12 +63,21 @@ pub fn kernel_from_env() -> KernelMode {
                         panic!("bad FLOV_THREADS value {v:?} (positive integer)")
                     }),
                 };
-            KernelMode::Parallel { tiles }
+            KernelMode::Parallel { tiles, grid: None }
         }
         Some(other) => {
             panic!("unknown FLOV_KERNEL value {other:?} (use active|reference|parallel)")
         }
     }
+}
+
+/// Parse an explicit `RxC` tile geometry (e.g. `4x2`); both axes must be
+/// positive. Shared by `FLOV_TILES` and the `--tiles` CLI flag.
+pub fn parse_tile_geometry(v: &str) -> Option<(u16, u16)> {
+    let (r, c) = v.split_once(['x', 'X'])?;
+    let r = r.trim().parse::<u16>().ok().filter(|&r| r >= 1)?;
+    let c = c.trim().parse::<u16>().ok().filter(|&c| c >= 1)?;
+    Some((r, c))
 }
 
 /// Auditor override from the `FLOV_AUDIT` environment variable:

@@ -39,7 +39,8 @@ fn rp_phase_i_nic_parked_packets_are_not_a_stall() {
     for (name, kernel) in [
         ("active", KernelMode::ActiveSet),
         ("reference", KernelMode::Reference),
-        ("parallel4", KernelMode::Parallel { tiles: 4 }),
+        ("parallel4", KernelMode::Parallel { tiles: 4, grid: None }),
+        ("parallel2x2", KernelMode::Parallel { tiles: 4, grid: Some((2, 2)) }),
     ] {
         let run = run_kernel_audited(&spec, kernel);
         assert!(

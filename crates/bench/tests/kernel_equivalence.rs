@@ -168,7 +168,7 @@ fn parallel_kernel_matches_active_set_on_the_full_matrix() {
             eprintln!("cell start: {mech}/{pat_name}/tiles={tiles}");
             let s = spec(mech, pattern);
             let active = run_kernel(&s, KernelMode::ActiveSet);
-            let parallel = run_kernel(&s, KernelMode::Parallel { tiles });
+            let parallel = run_kernel(&s, KernelMode::Parallel { tiles, grid: None });
             let aj = serde_json::to_string(&active).expect("serialize active result");
             let pj = serde_json::to_string(&parallel).expect("serialize parallel result");
             if active.packets <= 100 {
@@ -222,7 +222,7 @@ fn parallel_kernel_matches_active_set_on_other_topologies() {
                 .drain(25_000)
                 .build();
             let active = run_kernel(&s, KernelMode::ActiveSet);
-            let parallel = run_kernel(&s, KernelMode::Parallel { tiles });
+            let parallel = run_kernel(&s, KernelMode::Parallel { tiles, grid: None });
             let aj = serde_json::to_string(&active).expect("serialize active result");
             let pj = serde_json::to_string(&parallel).expect("serialize parallel result");
             if active.packets <= 100 {
@@ -243,6 +243,71 @@ fn parallel_kernel_matches_active_set_on_other_topologies() {
         .flatten()
         .collect();
     assert!(failures.is_empty(), "parallel topology failures:\n{}", failures.join("\n"));
+}
+
+/// Explicit 2-D tile geometries: row stripes (1×4), a square plan (2×2),
+/// a tall plan (4×2), and a 3×3 plan that divides nothing evenly — all on
+/// the 8×8 mesh, plus the 3×3 plan on an odd-radix rectangular mesh
+/// (kx=5, ky=7) where every seam is ragged. Every plan must stay
+/// bit-identical to the sequential active-set kernel (NoRD skips the rect
+/// lane: an odd×odd mesh has no Hamiltonian ring).
+#[test]
+fn parallel_kernel_matches_active_set_on_2d_tile_geometries() {
+    let geometries: [(u16, u16); 4] = [(1, 4), (2, 2), (4, 2), (3, 3)];
+    let rect = TopologySpec::RectMesh { kx: 5, ky: 7 };
+    let mut cells: Vec<(&str, Option<TopologySpec>, (u16, u16))> = Vec::new();
+    for &m in MECHANISMS.iter() {
+        for &g in geometries.iter() {
+            cells.push((m, None, g));
+        }
+        if m != "NoRD" {
+            cells.push((m, Some(rect), (3, 3)));
+        }
+    }
+    let failures: Vec<String> = cells
+        .par_iter()
+        .map(|&(mech, topology, (rows, cols))| {
+            let lane = if topology.is_some() { "rect5x7" } else { "mesh8x8" };
+            eprintln!("cell start: {lane}/{mech}/grid={rows}x{cols}");
+            let mut b = RunSpec::builder()
+                .mechanism(mech)
+                .pattern(Pattern::UniformRandom)
+                .rate(0.05)
+                .gated_fraction(0.3)
+                .seed(0xF10F)
+                .warmup(1_500)
+                .cycles(6_000)
+                .drain(25_000);
+            if let Some(t) = topology {
+                b = b.topology(t);
+            }
+            let s = b.build();
+            let kernel = KernelMode::Parallel {
+                tiles: rows as usize * cols as usize,
+                grid: Some((rows, cols)),
+            };
+            let active = run_kernel(&s, KernelMode::ActiveSet);
+            let parallel = run_kernel(&s, kernel);
+            let aj = serde_json::to_string(&active).expect("serialize active result");
+            let pj = serde_json::to_string(&parallel).expect("serialize parallel result");
+            if active.packets <= 100 {
+                return Some(format!(
+                    "{lane}/{mech}/grid={rows}x{cols}: too little traffic ({} packets)",
+                    active.packets
+                ));
+            }
+            if aj != pj {
+                return Some(format!(
+                    "{lane}/{mech}/grid={rows}x{cols}: parallel and active-set diverged"
+                ));
+            }
+            None
+        })
+        .collect::<Vec<Option<String>>>()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(failures.is_empty(), "2-D geometry failures:\n{}", failures.join("\n"));
 }
 
 /// One end-state digest plus the skip counter for the low-rate rows, which
@@ -285,7 +350,8 @@ fn low_rate_rows_skip_most_cycles_and_stay_bit_identical() {
         .map(|&mech| {
             let (active, skipped, cycles) = run_low_rate(mech, KernelMode::ActiveSet);
             let (reference, ref_skipped, _) = run_low_rate(mech, KernelMode::Reference);
-            let (parallel, par_skipped, _) = run_low_rate(mech, KernelMode::Parallel { tiles: 4 });
+            let (parallel, par_skipped, _) =
+                run_low_rate(mech, KernelMode::Parallel { tiles: 4, grid: None });
             if active != reference {
                 return Some(format!("{mech}: low-rate active vs reference end states differ"));
             }

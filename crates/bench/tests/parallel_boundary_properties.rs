@@ -1,12 +1,14 @@
 //! Property tests for the parallel kernel's cross-tile boundary exchange,
 //! against a single-tile oracle.
 //!
-//! `KernelMode::Parallel { tiles: 1 }` runs the exact same buffered-delta
-//! code path with no boundary in the fabric, so it is the natural oracle:
-//! any defect in the *exchange* (flits reordered across a tile seam,
-//! boundary credits dropped or duplicated, latch/chain state applied in
-//! the wrong order) shows up as a divergence from the one-tile run while
-//! leaving the one-tile run itself correct.
+//! A one-tile `KernelMode::Parallel` run executes the exact same
+//! buffered-delta code path with no boundary in the fabric, so it is the
+//! natural oracle: any defect in the *exchange* (flits reordered across a
+//! tile seam, boundary credits dropped or duplicated, latch/chain state
+//! applied in the wrong order) shows up as a divergence from the one-tile
+//! run while leaving the one-tile run itself correct. The sharded run
+//! draws a random 2-D tile grid, so north/south and east/west seams (and
+//! their corners) are all exercised.
 //!
 //! Two properties per random spec:
 //!
@@ -31,12 +33,16 @@ proptest! {
     #[test]
     fn boundary_exchange_matches_single_tile_oracle(
         seed in 0u64..u64::MAX,
-        tiles in 2usize..9,
+        rows in 1u16..4,
+        cols in 1u16..4,
         rate_steps in 1u32..9,   // 0.01 .. 0.08 flits/cycle/node
         gated_steps in 0u32..7,  // 0.0 .. 0.6 of cores gated
         mech_pick in 0u32..3,
     ) {
         let mech = ["gFLOV", "rFLOV", "NoRD"][mech_pick as usize];
+        // Guarantee at least one seam; a 1x1 grid would equal the oracle.
+        let rows = if rows * cols == 1 { 2 } else { rows };
+        let grid = format!("{rows}x{cols}");
         let spec = RunSpec::builder()
             .mechanism(mech)
             .pattern(Pattern::UniformRandom)
@@ -48,8 +54,11 @@ proptest! {
             .drain(20_000)
             .audit(true)
             .build();
-        let oracle = run_kernel_audited(&spec, KernelMode::Parallel { tiles: 1 });
-        let sharded = run_kernel_audited(&spec, KernelMode::Parallel { tiles });
+        let oracle = run_kernel_audited(&spec, KernelMode::Parallel { tiles: 1, grid: None });
+        let sharded = run_kernel_audited(
+            &spec,
+            KernelMode::Parallel { tiles: rows as usize * cols as usize, grid: Some((rows, cols)) },
+        );
         prop_assert!(
             oracle.violations.is_empty(),
             "{mech}: single-tile oracle itself violated invariants: {:?}",
@@ -57,7 +66,7 @@ proptest! {
         );
         prop_assert!(
             sharded.violations.is_empty(),
-            "{mech}/tiles={tiles}: boundary exchange broke an invariant \
+            "{mech}/grid={grid}: boundary exchange broke an invariant \
              (credit conservation or state legality): {:?}",
             sharded.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
         );
@@ -65,13 +74,13 @@ proptest! {
         prop_assert_eq!(
             digest(&oracle),
             digest(&sharded),
-            "{}/tiles={}: sharded end state diverged from the single-tile oracle",
+            "{}/grid={}: sharded end state diverged from the single-tile oracle",
             mech,
-            tiles
+            grid
         );
         prop_assert!(
             sharded.result.delivered_all,
-            "{mech}/tiles={tiles}: packets left in flight after drain"
+            "{mech}/grid={grid}: packets left in flight after drain"
         );
     }
 }

@@ -121,95 +121,140 @@ impl PowerMechanism for Nord {
     }
 
     fn step(&mut self, core: &mut NetworkCore) {
-        let now = core.cycle;
+        // Exactly prologue + per-node scan in id order + epilogue — the
+        // contract that lets the parallel kernel shard this step.
+        self.control_prologue(core);
+        for n in 0..core.nodes() as NodeId {
+            self.control_node(core, n);
+        }
+        self.control_epilogue(core);
+    }
+
+    fn sharded_control(&self) -> bool {
+        true
+    }
+
+    fn control_prologue(&mut self, core: &mut NetworkCore) {
         // Defensive: drain any wakeup requests (routing never targets
         // sleeping routers under NoRD, so these should not occur).
         let mut wake = std::mem::take(&mut self.wake_buf);
         core.take_wakeup_requests(&mut wake);
         self.wake_buf = wake;
-        for n in 0..core.nodes() as NodeId {
-            match core.power(n) {
-                PowerState::Active => {
-                    let gated = !core.router_core_active(n);
-                    let idle =
-                        core.routers[n as usize].local_idle(now) >= self.idle_threshold as u64;
-                    // No AON column and no sleep-adjacency limit — but two
-                    // *physically adjacent* routers must not drain at the
-                    // same time (each would block the other's egress and
-                    // both drains would starve; the id-ordered scan
-                    // arbitrates simultaneous attempts).
-                    let neighbor_draining = flov_noc::types::Dir::ALL.iter().any(|&d| {
-                        core.neighbor(n, d).is_some_and(|m| core.power(m) == PowerState::Draining)
-                    });
-                    if gated
-                        && idle
-                        && !neighbor_draining
-                        && now >= self.ctl[n as usize].retry_after
-                        && !core.nic_pending(n)
-                        && !core.ring_transfer_pending(n)
-                    {
-                        core.begin_drain(n);
-                        let c = &mut self.ctl[n as usize];
-                        c.drain_since = now;
-                        c.stable = 0;
-                    }
-                }
-                PowerState::Draining => {
-                    if core.router_core_active(n) || core.nic_pending(n) {
-                        core.abort_drain(n);
-                        continue;
-                    }
-                    if now - self.ctl[n as usize].drain_since > self.drain_timeout as u64 {
-                        core.abort_drain(n);
-                        // Back off: let the traffic this drain was blocking
-                        // clear before trying again.
-                        self.ctl[n as usize].retry_after = now + 4 * self.drain_timeout as u64;
-                        continue;
-                    }
-                    let ready = core.routers[n as usize].is_drained()
-                        && core.fully_quiescent(n)
-                        && !core.ring_transfer_pending(n);
+    }
+
+    fn control_quiet(&self, core: &NetworkCore, n: NodeId) -> bool {
+        let now = core.cycle;
+        match core.power(n) {
+            // The neighbor-draining blocker is deliberately excluded: it
+            // reads neighbor power states that a lower-id node may change
+            // this phase, so `control_node` re-evaluates it at its serial
+            // position. The remaining conditions are node-local.
+            PowerState::Active => {
+                !(!core.router_core_active(n)
+                    && core.routers[n as usize].local_idle(now) >= self.idle_threshold as u64
+                    && now >= self.ctl[n as usize].retry_after
+                    && !core.nic_pending(n)
+                    && !core.ring_transfer_pending(n))
+            }
+            // Mid-handshake FSMs tick their own control state every cycle.
+            PowerState::Draining | PowerState::Wakeup => false,
+            PowerState::Sleep => !(core.router_core_active(n) || core.ring_transfer_pending(n)),
+        }
+    }
+
+    fn control_node(&mut self, core: &mut NetworkCore, n: NodeId) -> bool {
+        let now = core.cycle;
+        match core.power(n) {
+            PowerState::Active => {
+                let gated = !core.router_core_active(n);
+                let idle = core.routers[n as usize].local_idle(now) >= self.idle_threshold as u64;
+                // No AON column and no sleep-adjacency limit — but two
+                // *physically adjacent* routers must not drain at the
+                // same time (each would block the other's egress and
+                // both drains would starve; the id-ordered scan
+                // arbitrates simultaneous attempts).
+                let neighbor_draining = flov_noc::types::Dir::ALL.iter().any(|&d| {
+                    core.neighbor(n, d).is_some_and(|m| core.power(m) == PowerState::Draining)
+                });
+                if gated
+                    && idle
+                    && !neighbor_draining
+                    && now >= self.ctl[n as usize].retry_after
+                    && !core.nic_pending(n)
+                    && !core.ring_transfer_pending(n)
+                {
+                    core.begin_drain(n);
                     let c = &mut self.ctl[n as usize];
-                    if ready {
-                        c.stable += 1;
-                        if c.stable >= self.handshake_rtt {
-                            core.enter_sleep(n);
-                        }
-                    } else {
-                        c.stable = 0;
-                    }
+                    c.drain_since = now;
+                    c.stable = 0;
+                    return true;
                 }
-                PowerState::Sleep => {
-                    // Wake for the core (deliveries ride the ring) — or for
-                    // ring-exit flits stranded in the transfer queue: the
-                    // ring froze their mesh-entry node at ingress and this
-                    // router gated before they arrived (see module docs).
-                    if core.router_core_active(n) || core.ring_transfer_pending(n) {
-                        core.begin_wakeup(n);
-                        let c = &mut self.ctl[n as usize];
-                        c.ramp = core.cfg.wakeup_latency;
-                        c.stable = 0;
-                    }
+                false
+            }
+            PowerState::Draining => {
+                if core.router_core_active(n) || core.nic_pending(n) {
+                    core.abort_drain(n);
+                    return true;
                 }
-                PowerState::Wakeup => {
+                if now - self.ctl[n as usize].drain_since > self.drain_timeout as u64 {
+                    core.abort_drain(n);
+                    // Back off: let the traffic this drain was blocking
+                    // clear before trying again.
+                    self.ctl[n as usize].retry_after = now + 4 * self.drain_timeout as u64;
+                    return true;
+                }
+                let ready = core.routers[n as usize].is_drained()
+                    && core.fully_quiescent(n)
+                    && !core.ring_transfer_pending(n);
+                let c = &mut self.ctl[n as usize];
+                if ready {
+                    c.stable += 1;
+                    if c.stable >= self.handshake_rtt {
+                        core.enter_sleep(n);
+                        return true;
+                    }
+                } else {
+                    c.stable = 0;
+                }
+                false
+            }
+            PowerState::Sleep => {
+                // Wake for the core (deliveries ride the ring) — or for
+                // ring-exit flits stranded in the transfer queue: the
+                // ring froze their mesh-entry node at ingress and this
+                // router gated before they arrived (see module docs).
+                if core.router_core_active(n) || core.ring_transfer_pending(n) {
+                    core.begin_wakeup(n);
                     let c = &mut self.ctl[n as usize];
-                    if c.ramp > 0 {
-                        c.ramp -= 1;
-                        continue;
-                    }
-                    let ready = core.routers[n as usize].latches_empty() && core.fully_quiescent(n);
-                    let c = &mut self.ctl[n as usize];
-                    if ready {
-                        c.stable += 1;
-                        if c.stable >= self.handshake_rtt {
-                            core.complete_wakeup(n);
-                        }
-                    } else {
-                        c.stable = 0;
-                    }
+                    c.ramp = core.cfg.wakeup_latency;
+                    c.stable = 0;
+                    return true;
                 }
+                false
+            }
+            PowerState::Wakeup => {
+                let c = &mut self.ctl[n as usize];
+                if c.ramp > 0 {
+                    c.ramp -= 1;
+                    return false;
+                }
+                let ready = core.routers[n as usize].latches_empty() && core.fully_quiescent(n);
+                let c = &mut self.ctl[n as usize];
+                if ready {
+                    c.stable += 1;
+                    if c.stable >= self.handshake_rtt {
+                        core.complete_wakeup(n);
+                        return true;
+                    }
+                } else {
+                    c.stable = 0;
+                }
+                false
             }
         }
+    }
+
+    fn control_epilogue(&mut self, core: &mut NetworkCore) {
         self.rebuild_if_changed(core);
     }
 

@@ -64,6 +64,10 @@ pub struct PowerPunch {
     /// Punch signals sent (energy/overhead accounting).
     pub punches_sent: u64,
     wake_buf: Vec<NodeId>,
+    /// Persistent scratch for the punch/re-punch scans (kept across cycles
+    /// so the steady-state control step never allocates).
+    to_punch: Vec<(NodeId, NodeId)>,
+    to_repunch: Vec<(NodeId, NodeId)>,
 }
 
 impl PowerPunch {
@@ -78,6 +82,8 @@ impl PowerPunch {
             punched: std::collections::HashSet::new(),
             punches_sent: 0,
             wake_buf: Vec::new(),
+            to_punch: Vec::new(),
+            to_repunch: Vec::new(),
         }
     }
 
@@ -121,6 +127,20 @@ impl PowerMechanism for PowerPunch {
     }
 
     fn step(&mut self, core: &mut NetworkCore) {
+        // Exactly prologue + per-node scan in id order + epilogue — the
+        // contract that lets the parallel kernel shard this step.
+        self.control_prologue(core);
+        for n in 0..core.nodes() as NodeId {
+            self.control_node(core, n);
+        }
+        self.control_epilogue(core);
+    }
+
+    fn sharded_control(&self) -> bool {
+        true
+    }
+
+    fn control_prologue(&mut self, core: &mut NetworkCore) {
         let now = core.cycle;
         // Fallback wakeups (should be rare: punches precede packets).
         let mut wake = std::mem::take(&mut self.wake_buf);
@@ -135,7 +155,7 @@ impl PowerMechanism for PowerPunch {
         }
         self.wake_buf = wake;
         // Punch the paths of newly queued packets.
-        let mut to_punch: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut to_punch = std::mem::take(&mut self.to_punch);
         for node in 0..core.nodes() {
             for q in &core.nics[node].queues {
                 for pkt in q.iter() {
@@ -146,9 +166,11 @@ impl PowerMechanism for PowerPunch {
                 }
             }
         }
-        for (src, dst) in to_punch {
+        for &(src, dst) in to_punch.iter() {
             self.punch_path(core, src, dst);
         }
+        to_punch.clear();
+        self.to_punch = to_punch;
         // Re-punch stalled packets. A punch holds routers awake only for
         // `punch_hold` cycles, so a packet delayed in the mesh (VC
         // backpressure, congestion behind another wakeup ramp) can face a
@@ -158,7 +180,7 @@ impl PowerMechanism for PowerPunch {
         // gets its remaining YX path re-punched from where it stands, once
         // per window.
         let repunch_after = self.drain_timeout as u64;
-        let mut to_repunch: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut to_repunch = std::mem::take(&mut self.to_repunch);
         for n in 0..core.nodes() {
             let r = &core.routers[n];
             if r.port_occupancy.iter().all(|&o| o == 0) {
@@ -176,86 +198,121 @@ impl PowerMechanism for PowerPunch {
                 }
             }
         }
-        for (at, dst) in to_repunch {
+        for &(at, dst) in to_repunch.iter() {
             self.punch_path(core, at, dst);
         }
+        to_repunch.clear();
+        self.to_repunch = to_repunch;
+    }
+
+    fn control_quiet(&self, core: &NetworkCore, n: NodeId) -> bool {
+        let now = core.cycle;
+        match core.power(n) {
+            // The neighbor-draining blocker is deliberately excluded: it
+            // reads neighbor power states that a lower-id node may change
+            // this phase, so `control_node` re-evaluates it at its serial
+            // position. `punch_hold_until` is safe: the prologue (which
+            // writes it) runs before any verdict is taken.
+            PowerState::Active => {
+                !(!core.router_core_active(n)
+                    && core.routers[n as usize].local_idle(now) >= self.idle_threshold as u64
+                    && now >= self.ctl[n as usize].punch_hold_until
+                    && now >= self.ctl[n as usize].retry_after
+                    && !core.nic_pending(n))
+            }
+            // Mid-handshake FSMs tick their own control state every cycle.
+            PowerState::Draining | PowerState::Wakeup => false,
+            PowerState::Sleep => !(core.router_core_active(n) || core.nic_pending(n)),
+        }
+    }
+
+    fn control_node(&mut self, core: &mut NetworkCore, n: NodeId) -> bool {
+        let now = core.cycle;
         // Power FSM (NoRD-style: no adjacency constraints, but punched
         // routers hold awake for a while).
-        for n in 0..core.nodes() as NodeId {
-            match core.power(n) {
-                PowerState::Active => {
-                    let gated = !core.router_core_active(n);
-                    let idle =
-                        core.routers[n as usize].local_idle(now) >= self.idle_threshold as u64;
-                    let held = now < self.ctl[n as usize].punch_hold_until;
-                    // Adjacent simultaneous drains starve each other (each
-                    // blocks the other's egress): forbid them, id order
-                    // arbitrating simultaneous attempts.
-                    let neighbor_draining = flov_noc::types::Dir::ALL.iter().any(|&d| {
-                        core.neighbor(n, d).is_some_and(|m| core.power(m) == PowerState::Draining)
-                    });
-                    if gated
-                        && idle
-                        && !held
-                        && !neighbor_draining
-                        && now >= self.ctl[n as usize].retry_after
-                        && !core.nic_pending(n)
-                    {
-                        core.begin_drain(n);
-                        let c = &mut self.ctl[n as usize];
-                        c.drain_since = now;
-                        c.stable = 0;
-                    }
-                }
-                PowerState::Draining => {
-                    let held = now < self.ctl[n as usize].punch_hold_until;
-                    if core.router_core_active(n) || core.nic_pending(n) || held {
-                        core.abort_drain(n);
-                        continue;
-                    }
-                    if now - self.ctl[n as usize].drain_since > self.drain_timeout as u64 {
-                        core.abort_drain(n);
-                        self.ctl[n as usize].retry_after = now + 4 * self.drain_timeout as u64;
-                        continue;
-                    }
-                    let ready = core.routers[n as usize].is_drained() && core.fully_quiescent(n);
+        match core.power(n) {
+            PowerState::Active => {
+                let gated = !core.router_core_active(n);
+                let idle = core.routers[n as usize].local_idle(now) >= self.idle_threshold as u64;
+                let held = now < self.ctl[n as usize].punch_hold_until;
+                // Adjacent simultaneous drains starve each other (each
+                // blocks the other's egress): forbid them, id order
+                // arbitrating simultaneous attempts.
+                let neighbor_draining = flov_noc::types::Dir::ALL.iter().any(|&d| {
+                    core.neighbor(n, d).is_some_and(|m| core.power(m) == PowerState::Draining)
+                });
+                if gated
+                    && idle
+                    && !held
+                    && !neighbor_draining
+                    && now >= self.ctl[n as usize].retry_after
+                    && !core.nic_pending(n)
+                {
+                    core.begin_drain(n);
                     let c = &mut self.ctl[n as usize];
-                    if ready {
-                        c.stable += 1;
-                        if c.stable >= self.handshake_rtt {
-                            core.enter_sleep(n);
-                        }
-                    } else {
-                        c.stable = 0;
-                    }
+                    c.drain_since = now;
+                    c.stable = 0;
+                    return true;
                 }
-                PowerState::Sleep => {
-                    if core.router_core_active(n) || core.nic_pending(n) {
-                        core.begin_wakeup(n);
-                        let c = &mut self.ctl[n as usize];
-                        c.ramp = core.cfg.wakeup_latency;
-                        c.stable = 0;
-                    }
+                false
+            }
+            PowerState::Draining => {
+                let held = now < self.ctl[n as usize].punch_hold_until;
+                if core.router_core_active(n) || core.nic_pending(n) || held {
+                    core.abort_drain(n);
+                    return true;
                 }
-                PowerState::Wakeup => {
+                if now - self.ctl[n as usize].drain_since > self.drain_timeout as u64 {
+                    core.abort_drain(n);
+                    self.ctl[n as usize].retry_after = now + 4 * self.drain_timeout as u64;
+                    return true;
+                }
+                let ready = core.routers[n as usize].is_drained() && core.fully_quiescent(n);
+                let c = &mut self.ctl[n as usize];
+                if ready {
+                    c.stable += 1;
+                    if c.stable >= self.handshake_rtt {
+                        core.enter_sleep(n);
+                        return true;
+                    }
+                } else {
+                    c.stable = 0;
+                }
+                false
+            }
+            PowerState::Sleep => {
+                if core.router_core_active(n) || core.nic_pending(n) {
+                    core.begin_wakeup(n);
                     let c = &mut self.ctl[n as usize];
-                    if c.ramp > 0 {
-                        c.ramp -= 1;
-                        continue;
-                    }
-                    let ready = core.routers[n as usize].latches_empty() && core.fully_quiescent(n);
-                    let c = &mut self.ctl[n as usize];
-                    if ready {
-                        c.stable += 1;
-                        if c.stable >= self.handshake_rtt {
-                            core.complete_wakeup(n);
-                        }
-                    } else {
-                        c.stable = 0;
-                    }
+                    c.ramp = core.cfg.wakeup_latency;
+                    c.stable = 0;
+                    return true;
                 }
+                false
+            }
+            PowerState::Wakeup => {
+                let c = &mut self.ctl[n as usize];
+                if c.ramp > 0 {
+                    c.ramp -= 1;
+                    return false;
+                }
+                let ready = core.routers[n as usize].latches_empty() && core.fully_quiescent(n);
+                let c = &mut self.ctl[n as usize];
+                if ready {
+                    c.stable += 1;
+                    if c.stable >= self.handshake_rtt {
+                        core.complete_wakeup(n);
+                        return true;
+                    }
+                } else {
+                    c.stable = 0;
+                }
+                false
             }
         }
+    }
+
+    fn control_epilogue(&mut self, _core: &mut NetworkCore) {
         // Bound the punched-set memory (ids of long-delivered packets).
         if self.punched.len() > 100_000 {
             self.punched.clear();

@@ -63,16 +63,39 @@ pub enum KernelMode {
     Reference,
     /// The sharded in-run parallel kernel: [`KernelMode::ActiveSet`]
     /// scheduling (including the time-domain skip), with phases 2, 3, 5
-    /// and 6 fanned out over `tiles` row-stripe tiles on persistent worker
+    /// and 6 fanned out over a 2-D grid of tiles on persistent worker
     /// threads and a deterministic boundary exchange merging cross-tile
-    /// effects in sequential order (see the `par` module). Bit-identical
-    /// to the sequential kernels; `tiles` is clamped to the grid height,
-    /// and `Parallel { tiles: 1 }` degenerates to single-threaded
+    /// effects back into sequential order (see the `par` module). Phase 4
+    /// (the mechanism control step) also shards for mechanisms that opt
+    /// in via [`crate::traits::PowerMechanism::sharded_control`].
+    /// Bit-identical to the sequential kernels at every geometry;
+    /// `Parallel { tiles: 1, grid: None }` degenerates to single-threaded
     /// execution on the driving thread.
     Parallel {
-        /// Requested tile (worker) count.
+        /// Requested tile (worker) count; the planner factorizes it into
+        /// a seam-minimizing rows × columns grid (clamped to the mesh
+        /// dimensions, so an oversized request quietly caps out — see
+        /// [`KernelMode::planned_grid`] for the effective geometry).
         tiles: usize,
+        /// Explicit `rows × cols` tile geometry, overriding the planner
+        /// (each axis clamps to the grid dimensions).
+        grid: Option<(u16, u16)>,
     },
+}
+
+impl KernelMode {
+    /// The effective tile geometry (`rows, cols`) this mode runs with on a
+    /// `kx × ky` router grid; `None` for the sequential kernels. This is
+    /// what the engine reports so oversized `--threads` requests clamp
+    /// loudly instead of silently.
+    pub fn planned_grid(&self, kx: u16, ky: u16) -> Option<(u16, u16)> {
+        match *self {
+            KernelMode::Parallel { tiles, grid } => {
+                Some(par::planned_geometry(kx, ky, tiles, grid))
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Active-set scheduling state: which resources may have work this cycle.
@@ -179,6 +202,32 @@ pub struct NetworkCore {
     /// Parallel-kernel state (tile plan, worker pool, per-tile buffers),
     /// created lazily on the first [`KernelMode::Parallel`] phase.
     par: Option<Box<par::ParState>>,
+    /// Flag-gated per-phase wall-time accumulators; see [`PhaseNanos`].
+    /// `None` (the default) costs one branch per phase.
+    pub phase_nanos: Option<Box<PhaseNanos>>,
+}
+
+/// Per-phase wall-time accumulators in nanoseconds, for the kernel
+/// bench's serial-fraction breakdown ([`Simulation::step`] fills them
+/// when `NetworkCore::phase_nanos` is enabled). Timing never feeds back
+/// into simulation state, so enabling it cannot affect results or the
+/// equivalence digests.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct PhaseNanos {
+    /// Phase 2: FLOV latch forwarding.
+    pub latch: u64,
+    /// Phase 3: link delivery (plus the 2b ring hop).
+    pub delivery: u64,
+    /// Phase 5: NIC injection (plus ring transfers).
+    pub inject: u64,
+    /// Phase 6: router pipelines.
+    pub pipeline: u64,
+    /// Phase 4: the mechanism control step.
+    pub mechanism: u64,
+    /// Boundary-exchange replay inside the parallel kernel's sharded
+    /// phases. Already *included* in the four sharded-phase buckets
+    /// above — this isolates their serial replay fraction.
+    pub exchange: u64,
 }
 
 impl NetworkCore {
@@ -233,6 +282,7 @@ impl NetworkCore {
             sched: SchedSets::new(n),
             va_order: Vec::new(),
             par: None,
+            phase_nanos: None,
             cycle: 0,
             topo,
             cfg,
@@ -563,7 +613,7 @@ impl NetworkCore {
                 }
                 self.sched.scratch = scratch;
             }
-            KernelMode::Parallel { tiles } => par::latch_phase(self, tiles),
+            KernelMode::Parallel { tiles, grid } => par::latch_phase(self, tiles, grid),
         }
     }
 
@@ -648,7 +698,7 @@ impl NetworkCore {
                 }
                 self.sched.scratch = scratch;
             }
-            KernelMode::Parallel { tiles } => par::delivery_phase(self, tiles),
+            KernelMode::Parallel { tiles, grid } => par::delivery_phase(self, tiles, grid),
         }
     }
 
@@ -1024,19 +1074,33 @@ impl Simulation {
             core.submit(req);
         }
         core.gen_buf = buf;
+        // Optional per-phase wall-time accounting; see [`PhaseNanos`].
+        let mut t0 = core.phase_nanos.as_deref().map(|_| std::time::Instant::now());
         // Phase 2: FLOV latches.
         core.latch_phase();
+        lap(core, &mut t0, |p| &mut p.latch);
         // Phase 2b: the NoRD bypass ring (if enabled).
         core.ring_phase();
         // Phase 3: link delivery.
         core.delivery_phase();
-        // Phase 4: mechanism control.
-        self.mech.step(core);
+        lap(core, &mut t0, |p| &mut p.delivery);
+        // Phase 4: mechanism control — sharded when the kernel is parallel
+        // and the mechanism opts in (see `par::control_phase`), otherwise
+        // the mechanism's own sequential step.
+        match core.kernel {
+            KernelMode::Parallel { tiles, grid } if self.mech.sharded_control() => {
+                par::control_phase(core, self.mech.as_mut(), tiles, grid);
+            }
+            _ => self.mech.step(core),
+        }
+        lap(core, &mut t0, |p| &mut p.mechanism);
         // Phase 5: NIC injection (plus ring transfers / bypass injection).
         pipeline::injection_phase(core, self.mech.as_ref());
         core.ring_injection_phase();
+        lap(core, &mut t0, |p| &mut p.inject);
         // Phase 6: router pipelines.
         pipeline::pipeline_phase(core, self.mech.as_ref());
+        lap(core, &mut t0, |p| &mut p.pipeline);
         // Phase 7: accounting, then (optionally) the invariant audit over
         // the settled end-of-cycle state.
         core.accounting_phase(self.auditor.is_none());
@@ -1116,6 +1180,24 @@ impl Simulation {
         while !self.core.is_empty() && self.core.cycle < deadline {
             self.step();
         }
+    }
+}
+
+/// Phase-timing lap: attribute the interval since `*t0` to the
+/// [`PhaseNanos`] bucket selected by `f`, then restart the lap. A no-op
+/// when timing is disabled (`t0` stays `None`).
+#[inline]
+fn lap(
+    core: &mut NetworkCore,
+    t0: &mut Option<std::time::Instant>,
+    f: impl FnOnce(&mut PhaseNanos) -> &mut u64,
+) {
+    if let Some(prev) = *t0 {
+        let now = std::time::Instant::now();
+        if let Some(p) = core.phase_nanos.as_deref_mut() {
+            *f(p) += now.duration_since(prev).as_nanos() as u64;
+        }
+        *t0 = Some(now);
     }
 }
 

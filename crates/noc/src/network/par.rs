@@ -5,13 +5,19 @@
 //!
 //! # Partitioning
 //!
-//! The router grid is cut into horizontal row stripes ([`TilePlan`]), one
-//! per tile; tile 0 runs on the driving thread and each further tile on a
-//! persistent pooled worker ([`Pool`]). Every phase is a fork-join: the
-//! driver collects the phase's global active set (ascending, exactly the
-//! order the sequential kernel iterates), partitions it per tile, runs the
-//! tiles concurrently, and joins before the next phase. Ownership per
-//! phase is single-writer per element:
+//! The router grid is cut into a 2-D grid of tiles ([`TilePlan`]): the
+//! `ky` rows into `R` contiguous row bands and the `kx` columns into `C`
+//! contiguous column bands, tile `(i, j)` owning row band `i` × column
+//! band `j`. The planner picks `R×C` by seam-minimizing factorization of
+//! the requested tile count (`--threads 8` on a square mesh → a 4×2
+//! plan); an explicit geometry (`--tiles RxC`, `FLOV_TILES=RxC`)
+//! overrides it. Tile 0 runs on the driving thread and each further tile
+//! on a persistent pooled worker ([`Pool`]). Every phase is a fork-join:
+//! the driver collects the phase's global active set (ascending, exactly
+//! the order the sequential kernel iterates) and every tile walks that
+//! snapshot, running the tasks it owns ([`TilePlan::tile_of`]) in the
+//! same ascending order. Ownership per phase is single-writer per
+//! element, independent of tile geometry:
 //!
 //! * latch / injection / pipeline phases partition by the *owning* router
 //!   — a body touches only its router, its NIC, its outgoing channels and
@@ -24,11 +30,18 @@
 //! # Boundary exchange
 //!
 //! Everything a tile would write outside its own elements is buffered in a
-//! per-tile [`Delta`] and applied by the driver *after* the join, in tile
-//! order (which equals ascending node order, i.e. the sequential order):
-//! global counters and statistics, delivered packets, wakeup requests,
-//! NoRD ring enqueues, cross-tile credit relays, and every scheduling-set
-//! mark. Set marks apply all removals before all inserts — an insert from
+//! per-tile [`Delta`] and applied by the driver *after* the join. With 2-D
+//! tiles, tile order no longer equals ascending node order, so replay
+//! distinguishes two classes. The order-sensitive streams — wakeup
+//! requests and NoRD ring enqueues, both tagged with their originating
+//! node — are k-way merged across tiles back into ascending origin order,
+//! which is exactly the sequential order: per-tile lists are already
+//! ascending by origin (tiles walk the snapshot in ascending order) and
+//! origins are disjoint across tiles. Everything else — global counters
+//! and statistics, delivered-packet records, cross-tile credit relays,
+//! and every scheduling-set mark — commutes across tiles or is
+//! single-writer (a relayed credit's channel is fed by exactly the tile
+//! that owns its sender). Set marks apply all removals before all inserts — an insert from
 //! one tile must survive a concurrent lazy removal by the channel's
 //! consumer tile, exactly as the sequential kernel's in-order interleaving
 //! guarantees (a relayed credit arrives at `now + 1`, so the sequential
@@ -45,6 +58,24 @@
 //! mechanism's [`PowerMechanism::route`] / `injection_allowed` hooks, via
 //! [`SnapView`] — against the immutable snapshot, while a tile reads its
 //! *own* routers' states directly (identical by construction).
+//!
+//! # Sharded mechanism control (phase 4)
+//!
+//! Mechanisms that opt in ([`PowerMechanism::sharded_control`]) split
+//! their per-cycle control step into a serial prologue, a per-node FSM
+//! body (`control_node`, the exact sequential body), and a serial
+//! epilogue. The driver runs the prologue, then a parallel *read-only*
+//! verdict pass (`control_quiet`) that flags every node whose body could
+//! do anything at all, then replays `control_node` serially over the
+//! flagged nodes in ascending node order. Verdicts are computed against
+//! pre-phase state and are conservative: the first body that mutates the
+//! core (a power transition) invalidates later verdicts, so the driver
+//! escalates and runs the body on *every* remaining node — from that
+//! point the scan is literally the sequential loop, and id-order
+//! arbitration (lower id transitions first, higher id sees `Draining`
+//! and backs off) is preserved bit-for-bit. Self-only control-state
+//! ticks return `false` and don't escalate: no other node's body or
+//! verdict reads them.
 //!
 //! # Determinism argument (summary; see DESIGN.md §7)
 //!
@@ -76,30 +107,123 @@ use std::sync::{Arc, Condvar, Mutex};
 
 // --- Tile plan --------------------------------------------------------------
 
-/// Horizontal row stripes over the router grid: tile `t` owns rows
-/// `[t*ky/T, (t+1)*ky/T)`, i.e. the contiguous node range
-/// `[starts[t], starts[t+1])`. Contiguity is what lets ascending active-set
-/// snapshots be partitioned into per-tile subslices by binary search.
+/// 2-D tile grid over the router grid: the `ky` rows are cut into `R`
+/// contiguous row bands (`row_starts`, `R + 1` fenceposts) and the `kx`
+/// columns into `C` column bands (`col_starts`); tile `(i, j)` owns row
+/// band `i` × column band `j` and has index `i * C + j`. `row_of` /
+/// `col_of` are per-row / per-column lookup tables so [`TilePlan::tile_of`]
+/// is two loads and a multiply on the hot path.
 #[derive(Debug)]
 struct TilePlan {
-    starts: Vec<u32>,
+    kx: u16,
+    row_starts: Vec<u16>,
+    col_starts: Vec<u16>,
+    row_of: Vec<u16>,
+    col_of: Vec<u16>,
+}
+
+/// Seam-minimizing factorization: among all `r × c` grids with `r <= ky`,
+/// `c <= kx` and `r * c <= tiles`, maximize the tile count, then minimize
+/// the total seam length `(c - 1) * ky + (r - 1) * kx`, then prefer more
+/// rows (row seams cut fewer unit-stride node runs). A square mesh at 8
+/// tiles plans 4×2; at 2 it stays a row-stripe pair.
+fn plan_grid(kx: u16, ky: u16, tiles: usize) -> (u16, u16) {
+    let t = tiles.max(1);
+    let mut best = (1u16, 1u16);
+    let mut best_area = 0usize;
+    let mut best_cost = u64::MAX;
+    for r in 1..=(ky as usize).min(t) {
+        let c = (t / r).min(kx as usize);
+        let area = r * c;
+        let cost = (c as u64 - 1) * ky as u64 + (r as u64 - 1) * kx as u64;
+        let better = area > best_area
+            || (area == best_area && cost < best_cost)
+            || (area == best_area && cost == best_cost && r as u16 > best.0);
+        if better {
+            best = (r as u16, c as u16);
+            best_area = area;
+            best_cost = cost;
+        }
+    }
+    best
+}
+
+/// The geometry a `Parallel { tiles, grid }` request actually runs with on
+/// a `kx × ky` grid: explicit grids clamp to the grid dimensions, planned
+/// grids come from the seam-minimizing factorization.
+pub(super) fn planned_geometry(
+    kx: u16,
+    ky: u16,
+    tiles: usize,
+    grid: Option<(u16, u16)>,
+) -> (u16, u16) {
+    match grid {
+        Some((r, c)) => (r.clamp(1, ky), c.clamp(1, kx)),
+        None => plan_grid(kx, ky, tiles),
+    }
 }
 
 impl TilePlan {
-    fn new(kx: u16, ky: u16, tiles: usize) -> TilePlan {
-        let t = tiles.clamp(1, ky as usize);
-        let starts =
-            (0..=t).map(|i| (i * ky as usize / t * kx as usize) as u32).collect::<Vec<_>>();
-        TilePlan { starts }
+    fn new(kx: u16, ky: u16, tiles: usize, grid: Option<(u16, u16)>) -> TilePlan {
+        let (r, c) = planned_geometry(kx, ky, tiles, grid);
+        let (r, c) = (r as usize, c as usize);
+        let row_starts: Vec<u16> = (0..=r).map(|i| (i * ky as usize / r) as u16).collect();
+        let col_starts: Vec<u16> = (0..=c).map(|j| (j * kx as usize / c) as u16).collect();
+        let mut row_of = vec![0u16; ky as usize];
+        for (i, w) in row_starts.windows(2).enumerate() {
+            for y in w[0]..w[1] {
+                row_of[y as usize] = i as u16;
+            }
+        }
+        let mut col_of = vec![0u16; kx as usize];
+        for (j, w) in col_starts.windows(2).enumerate() {
+            for x in w[0]..w[1] {
+                col_of[x as usize] = j as u16;
+            }
+        }
+        TilePlan { kx, row_starts, col_starts, row_of, col_of }
+    }
+
+    fn rows(&self) -> usize {
+        self.row_starts.len() - 1
+    }
+
+    fn cols(&self) -> usize {
+        self.col_starts.len() - 1
     }
 
     fn tiles(&self) -> usize {
-        self.starts.len() - 1
+        self.rows() * self.cols()
     }
 
+    #[inline]
     fn tile_of(&self, node: u32) -> usize {
-        // starts is ascending; the owning tile is the last start <= node.
-        self.starts.partition_point(|&s| s <= node) - 1
+        let y = node as usize / self.kx as usize;
+        let x = node as usize % self.kx as usize;
+        self.row_of[y] as usize * (self.col_starts.len() - 1) + self.col_of[x] as usize
+    }
+
+    /// Ordered pairs of tile indices that share a seam, each adjacency in
+    /// both directions. Test-only: the proptest checks this against a
+    /// brute-force node-adjacency scan.
+    #[cfg(test)]
+    fn seams(&self) -> Vec<(usize, usize)> {
+        let (r, c) = (self.rows(), self.cols());
+        let mut out = Vec::new();
+        for i in 0..r {
+            for j in 0..c {
+                let a = i * c + j;
+                if j + 1 < c {
+                    out.push((a, a + 1));
+                    out.push((a + 1, a));
+                }
+                if i + 1 < r {
+                    out.push((a, a + c));
+                    out.push((a + c, a));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -124,12 +248,37 @@ struct Delta {
     stalled: u64,
     escape_diversions: u64,
     progressed: bool,
-    wakes: Vec<NodeId>,
+    /// Wakeup requests as `(origin, sleeper)`; origins ascend within a
+    /// tile and are merged across tiles at replay.
+    wakes: Vec<(NodeId, NodeId)>,
+    /// Ring enqueues as `(origin, flit)`; merged like `wakes`.
     ring_enq: Vec<(NodeId, Flit)>,
     /// Cross-tile credit relays: `(channel, arrival, credit)`.
     credit_sends: Vec<(usize, Cycle, CreditMsg)>,
     removes: Vec<(SetId, u32)>,
     inserts: Vec<(SetId, u32)>,
+}
+
+impl Delta {
+    /// A delta sized for a tile owning at most `owned` nodes. Deltas are
+    /// drained after every phase, so the needed capacity is one phase's
+    /// worst burst, which is bandwidth-bounded (per owned node and cycle:
+    /// ~1 ejected packet, 4 outgoing channels' worth of flits/credits, a
+    /// handful of set transitions) — not resident-state-bounded. Reserving
+    /// past any realistic single-cycle burst keeps the steady-state loop
+    /// allocation-free (enforced by the `alloc_regression` test); an
+    /// extreme burst beyond the reserve still works, it just grows the
+    /// arena once and keeps the new high-water mark.
+    fn for_tile(owned: usize) -> Delta {
+        let mut d = Delta::default();
+        d.delivered.reserve(owned * 4);
+        d.wakes.reserve(owned * 4);
+        d.ring_enq.reserve(owned * 2);
+        d.credit_sends.reserve(owned * 4);
+        d.removes.reserve(owned * 10);
+        d.inserts.reserve(owned * 10);
+        d
+    }
 }
 
 fn add_activity(into: &mut ActivityCounters, d: &ActivityCounters) {
@@ -161,10 +310,46 @@ fn sched_set(core: &mut NetworkCore, id: SetId) -> &mut crate::active::ActiveSet
     }
 }
 
-/// Replay the per-tile deltas into the core, in tile order. Set removals
-/// apply before set inserts (see module docs); everything else commutes
-/// across tiles or is ordered ascending by construction.
-fn apply_deltas(core: &mut NetworkCore, deltas: &mut [Delta]) {
+/// K-way merge one per-tile, ascending-by-origin effect stream back into
+/// global ascending-origin order. Origins are disjoint across tiles (a
+/// node is owned by exactly one tile) and ascend within a tile, so the
+/// merge reproduces exactly the sequential kernel's emission order —
+/// including the relative order of same-origin entries, which stay in
+/// their single tile's list order. `cursors` is persistent scratch.
+fn merge_ordered<T: Copy>(
+    deltas: &mut [Delta],
+    cursors: &mut Vec<usize>,
+    stream: impl Fn(&mut Delta) -> &mut Vec<(NodeId, T)>,
+    mut apply: impl FnMut(NodeId, T),
+) {
+    cursors.clear();
+    cursors.resize(deltas.len(), 0);
+    loop {
+        let mut best: Option<(NodeId, usize)> = None;
+        for (t, d) in deltas.iter_mut().enumerate() {
+            if let Some(&(origin, _)) = stream(d).get(cursors[t]) {
+                if best.is_none_or(|(o, _)| origin < o) {
+                    best = Some((origin, t));
+                }
+            }
+        }
+        let Some((_, t)) = best else { break };
+        let (origin, payload) = stream(&mut deltas[t])[cursors[t]];
+        cursors[t] += 1;
+        apply(origin, payload);
+    }
+    for d in deltas.iter_mut() {
+        stream(d).clear();
+    }
+}
+
+/// Replay the per-tile deltas into the core. Set removals apply before
+/// set inserts (see module docs). Counters, statistics and delivered
+/// records commute across tiles; credit sends are single-tile per
+/// channel; the two order-sensitive streams — wakeup requests and ring
+/// enqueues — are merged back into ascending origin order, which is the
+/// sequential kernel's order.
+fn apply_deltas(core: &mut NetworkCore, deltas: &mut [Delta], cursors: &mut Vec<usize>) {
     for t in deltas.iter() {
         for &(s, idx) in &t.removes {
             sched_set(core, s).remove(idx as usize);
@@ -193,16 +378,26 @@ fn apply_deltas(core: &mut NetworkCore, deltas: &mut [Delta]) {
             core.last_progress = core.cycle;
             d.progressed = false;
         }
-        for n in d.wakes.drain(..) {
-            core.request_wakeup(n);
-        }
         for (e, t, c) in d.credit_sends.drain(..) {
             core.channels[e].send_credit(t, c);
         }
-        for (n, f) in d.ring_enq.drain(..) {
-            core.ring.as_mut().expect("ring enqueue without a ring").enqueue(n, f);
-        }
     }
+    merge_ordered(
+        deltas,
+        cursors,
+        |d| &mut d.wakes,
+        |_origin, sleeper| {
+            core.request_wakeup(sleeper);
+        },
+    );
+    merge_ordered(
+        deltas,
+        cursors,
+        |d| &mut d.ring_enq,
+        |origin, flit| {
+            core.ring.as_mut().expect("ring enqueue without a ring").enqueue(origin, flit);
+        },
+    );
 }
 
 // --- Shared phase context ---------------------------------------------------
@@ -786,7 +981,7 @@ impl Lane<'_> {
             );
             let walk = self.chain_walk(node, d, dst);
             if let Some(sleeper) = walk.dst_on_chain {
-                self.d.wakes.push(sleeper);
+                self.d.wakes.push((node, sleeper));
                 continue;
             }
             if walk.blocked || walk.powered.is_none() {
@@ -1163,13 +1358,14 @@ enum PhaseKind {
 struct JobCtx<'a> {
     sh: Shared<'a>,
     kind: PhaseKind,
-    /// Node-indexed tasks (ascending); tile `t` runs
-    /// `tasks[bounds[t]..bounds[t + 1]]`. For `Deliver` these are the
-    /// ejection-channel tasks.
+    plan: &'a TilePlan,
+    /// Node-indexed tasks (ascending). Every tile walks the whole
+    /// snapshot and runs the entries it owns, preserving ascending order
+    /// per tile. For `Deliver` these are the ejection-channel tasks.
     tasks: &'a [u32],
-    bounds: &'a [usize],
-    /// Per-tile channel tasks, ascending within each tile (`Deliver` only).
-    chan_tasks: &'a [Vec<u32>],
+    /// Channel tasks, ascending (`Deliver` only); owned by the tile of
+    /// the *receiving* router.
+    chan_tasks: &'a [u32],
     deltas: *mut Delta,
     va_orders: *mut Vec<u16>,
 }
@@ -1179,29 +1375,44 @@ unsafe fn run_tile(ctx: *const (), tile: usize) {
     let d = &mut *j.deltas.add(tile);
     let va_order = &mut *j.va_orders.add(tile);
     let mut lane = Lane { sh: &j.sh, d, va_order };
-    let mine = &j.tasks[j.bounds[tile]..j.bounds[tile + 1]];
+    let plan = j.plan;
     match j.kind {
         PhaseKind::Latch => {
-            for &i in mine {
-                lane.latch_task(i as usize);
+            for &i in j.tasks {
+                if plan.tile_of(i) == tile {
+                    lane.latch_task(i as usize);
+                }
             }
         }
         PhaseKind::Deliver => {
-            for &e in &j.chan_tasks[tile] {
-                lane.chan_task(e as usize);
+            for &e in j.chan_tasks {
+                let node = (e / 4) as NodeId;
+                let dir = Dir::from_index(e as usize % 4);
+                // Edge channels are never sent on, hence never marked.
+                let target =
+                    j.sh.topo.neighbor_dir(node, dir).expect("active channel on a mesh edge");
+                if plan.tile_of(target as u32) == tile {
+                    lane.chan_task(e as usize);
+                }
             }
-            for &n in mine {
-                lane.eject_task(n as usize);
+            for &n in j.tasks {
+                if plan.tile_of(n) == tile {
+                    lane.eject_task(n as usize);
+                }
             }
         }
         PhaseKind::Inject => {
-            for &n in mine {
-                lane.inject_task(n as NodeId);
+            for &n in j.tasks {
+                if plan.tile_of(n) == tile {
+                    lane.inject_task(n as NodeId);
+                }
             }
         }
         PhaseKind::Pipeline => {
-            for &n in mine {
-                lane.pipeline_task(n as NodeId);
+            for &n in j.tasks {
+                if plan.tile_of(n) == tile {
+                    lane.pipeline_task(n as NodeId);
+                }
             }
         }
     }
@@ -1211,36 +1422,44 @@ unsafe fn run_tile(ctx: *const (), tile: usize) {
 /// per-tile buffers, built lazily on the first parallel phase (and rebuilt
 /// if the requested tile count changes).
 pub(super) struct ParState {
-    requested: usize,
+    requested: (usize, Option<(u16, u16)>),
     plan: TilePlan,
     pool: Pool,
     deltas: Vec<Delta>,
     powers: Vec<PowerState>,
     tasks: Vec<u32>,
-    bounds: Vec<usize>,
-    chan_tasks: Vec<Vec<u32>>,
+    chan_tasks: Vec<u32>,
     va_orders: Vec<Vec<u16>>,
+    /// Per-node not-quiet flags for the sharded control step.
+    ctl_flags: Vec<u8>,
+    /// Persistent scratch for the ordered replay merges.
+    cursors: Vec<usize>,
 }
 
 impl ParState {
-    fn new(core: &NetworkCore, requested: usize) -> ParState {
-        let plan = TilePlan::new(core.topo.kx(), core.topo.ky(), requested);
+    fn new(core: &NetworkCore, tiles: usize, grid: Option<(u16, u16)>) -> ParState {
+        let plan = TilePlan::new(core.topo.kx(), core.topo.ky(), tiles, grid);
         let t = plan.tiles();
         // Never spawn more workers than the host has spare cores: the
-        // partitioning (and hence the result) is fixed by the tile count,
+        // partitioning (and hence the result) is fixed by the tile plan,
         // so surplus tiles stride over the executors instead of thrashing
         // an oversubscribed scheduler. On a single-core host every tile
         // runs inline on the driver.
         let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        // Ragged plans leave some tiles larger than nodes/t; 4x covers the
+        // worst imbalance a ceil-division grid can produce.
+        let nodes = core.routers.len();
+        let owned = (nodes.div_ceil(t) * 4).clamp(16, nodes.max(16));
         ParState {
-            requested,
+            requested: (tiles, grid),
             pool: Pool::new((t - 1).min(avail.saturating_sub(1))),
-            deltas: (0..t).map(|_| Delta::default()).collect(),
+            deltas: (0..t).map(|_| Delta::for_tile(owned)).collect(),
             powers: Vec::new(),
             tasks: Vec::new(),
-            bounds: vec![0; t + 1],
-            chan_tasks: (0..t).map(|_| Vec::new()).collect(),
+            chan_tasks: Vec::new(),
             va_orders: (0..t).map(|_| Vec::new()).collect(),
+            ctl_flags: Vec::new(),
+            cursors: Vec::new(),
             plan,
         }
     }
@@ -1249,19 +1468,10 @@ impl ParState {
 /// Take the (lazily created) parallel state out of the core for a phase.
 /// Ownership moves out so the driver can alias the core's arrays without
 /// borrowing through `core.par`.
-fn take_state(core: &mut NetworkCore, tiles: usize) -> Box<ParState> {
+fn take_state(core: &mut NetworkCore, tiles: usize, grid: Option<(u16, u16)>) -> Box<ParState> {
     match core.par.take() {
-        Some(st) if st.requested == tiles => st,
-        _ => Box::new(ParState::new(core, tiles)),
-    }
-}
-
-/// Partition the ascending node-task snapshot into per-tile subranges.
-fn node_bounds(plan: &TilePlan, tasks: &[u32], bounds: &mut [usize]) {
-    let t = plan.tiles();
-    bounds[0] = 0;
-    for (b, &limit) in bounds[1..=t].iter_mut().zip(&plan.starts[1..=t]) {
-        *b = tasks.partition_point(|&n| n < limit);
+        Some(st) if st.requested == (tiles, grid) => st,
+        _ => Box::new(ParState::new(core, tiles, grid)),
     }
 }
 
@@ -1292,9 +1502,10 @@ fn make_shared<'a>(
     }
 }
 
-/// Fork-join one phase over the prepared per-tile tasks, then replay the
-/// deltas. `st.tasks`, `st.bounds` and (for `Deliver`) `st.chan_tasks`
-/// must be filled before calling.
+/// Fork-join one phase over the prepared task snapshots, then replay the
+/// deltas. `st.tasks` and (for `Deliver`) `st.chan_tasks` must be filled
+/// before calling. The replay is timed into the `exchange` bucket when
+/// phase timing is enabled.
 fn run_phase(
     core: &mut NetworkCore,
     mech: Option<&dyn PowerMechanism>,
@@ -1307,8 +1518,8 @@ fn run_phase(
         let ctx = JobCtx {
             sh: make_shared(core, mech, &st.powers),
             kind,
+            plan: &st.plan,
             tasks: &st.tasks,
-            bounds: &st.bounds,
             chan_tasks: &st.chan_tasks,
             deltas,
             va_orders,
@@ -1316,15 +1527,18 @@ fn run_phase(
         let tiles = st.plan.tiles();
         st.pool.run(Job { ctx: &ctx as *const JobCtx as *const (), run: run_tile, tiles });
     }
-    apply_deltas(core, &mut st.deltas);
+    let t0 = core.phase_nanos.is_some().then(std::time::Instant::now);
+    apply_deltas(core, &mut st.deltas, &mut st.cursors);
+    if let (Some(t0), Some(pn)) = (t0, core.phase_nanos.as_deref_mut()) {
+        pn.exchange += t0.elapsed().as_nanos() as u64;
+    }
 }
 
 /// Phase 2, parallel: FLOV latch forwarding over the latch set.
-pub(super) fn latch_phase(core: &mut NetworkCore, tiles: usize) {
-    let mut st = take_state(core, tiles);
+pub(super) fn latch_phase(core: &mut NetworkCore, tiles: usize, grid: Option<(u16, u16)>) {
+    let mut st = take_state(core, tiles, grid);
     core.sched.latch.collect_into(&mut st.tasks);
     if !st.tasks.is_empty() {
-        node_bounds(&st.plan, &st.tasks, &mut st.bounds);
         snapshot_powers(core, &mut st.powers);
         run_phase(core, None, &mut st, PhaseKind::Latch);
     }
@@ -1333,25 +1547,11 @@ pub(super) fn latch_phase(core: &mut NetworkCore, tiles: usize) {
 
 /// Phase 3, parallel: link delivery. Channels partition by *receiver*;
 /// ejection channels by node.
-pub(super) fn delivery_phase(core: &mut NetworkCore, tiles: usize) {
-    let mut st = take_state(core, tiles);
-    let mut scratch = std::mem::take(&mut core.sched.scratch);
-    core.sched.chan.collect_into(&mut scratch);
-    for v in &mut st.chan_tasks {
-        v.clear();
-    }
-    for &e in &scratch {
-        let node = (e / 4) as NodeId;
-        let d = Dir::from_index(e as usize % 4);
-        // Edge channels are never sent on, hence never marked.
-        let target = core.neighbor(node, d).expect("active channel on a mesh edge");
-        // Ascending scan order is preserved within each bucket.
-        st.chan_tasks[st.plan.tile_of(target as u32)].push(e);
-    }
-    core.sched.scratch = scratch;
+pub(super) fn delivery_phase(core: &mut NetworkCore, tiles: usize, grid: Option<(u16, u16)>) {
+    let mut st = take_state(core, tiles, grid);
+    core.sched.chan.collect_into(&mut st.chan_tasks);
     core.sched.eject.collect_into(&mut st.tasks);
-    if !st.tasks.is_empty() || st.chan_tasks.iter().any(|v| !v.is_empty()) {
-        node_bounds(&st.plan, &st.tasks, &mut st.bounds);
+    if !st.tasks.is_empty() || !st.chan_tasks.is_empty() {
         snapshot_powers(core, &mut st.powers);
         run_phase(core, None, &mut st, PhaseKind::Deliver);
     }
@@ -1359,11 +1559,15 @@ pub(super) fn delivery_phase(core: &mut NetworkCore, tiles: usize) {
 }
 
 /// Phase 5, parallel: NIC injection over the inject set.
-pub(super) fn injection_phase(core: &mut NetworkCore, mech: &dyn PowerMechanism, tiles: usize) {
-    let mut st = take_state(core, tiles);
+pub(super) fn injection_phase(
+    core: &mut NetworkCore,
+    mech: &dyn PowerMechanism,
+    tiles: usize,
+    grid: Option<(u16, u16)>,
+) {
+    let mut st = take_state(core, tiles, grid);
     core.sched.inject.collect_into(&mut st.tasks);
     if !st.tasks.is_empty() {
-        node_bounds(&st.plan, &st.tasks, &mut st.bounds);
         snapshot_powers(core, &mut st.powers);
         run_phase(core, Some(mech), &mut st, PhaseKind::Inject);
     }
@@ -1371,14 +1575,88 @@ pub(super) fn injection_phase(core: &mut NetworkCore, mech: &dyn PowerMechanism,
 }
 
 /// Phase 6, parallel: router pipelines over the work set.
-pub(super) fn pipeline_phase(core: &mut NetworkCore, mech: &dyn PowerMechanism, tiles: usize) {
-    let mut st = take_state(core, tiles);
+pub(super) fn pipeline_phase(
+    core: &mut NetworkCore,
+    mech: &dyn PowerMechanism,
+    tiles: usize,
+    grid: Option<(u16, u16)>,
+) {
+    let mut st = take_state(core, tiles, grid);
     core.sched.work.collect_into(&mut st.tasks);
     if !st.tasks.is_empty() {
-        node_bounds(&st.plan, &st.tasks, &mut st.bounds);
         snapshot_powers(core, &mut st.powers);
         run_phase(core, Some(mech), &mut st, PhaseKind::Pipeline);
     }
+    core.par = Some(st);
+}
+
+// --- Sharded mechanism control (phase 4) ------------------------------------
+
+/// Job context for the control verdict pass: shared read-only core and
+/// mechanism, plus the per-node not-quiet flags (each tile writes only
+/// its own nodes' flag bytes).
+struct ControlCtx<'a> {
+    core: &'a NetworkCore,
+    mech: &'a dyn PowerMechanism,
+    plan: &'a TilePlan,
+    nodes: usize,
+    flags: *mut u8,
+}
+
+// The verdict pass is read-only on `core`/`mech`; `flags` is written
+// single-writer per node (the owning tile).
+unsafe impl Send for ControlCtx<'_> {}
+unsafe impl Sync for ControlCtx<'_> {}
+
+unsafe fn run_control_tile(ctx: *const (), tile: usize) {
+    let j = &*(ctx as *const ControlCtx);
+    for n in 0..j.nodes {
+        if j.plan.tile_of(n as u32) == tile {
+            *j.flags.add(n) = u8::from(!j.mech.control_quiet(j.core, n as NodeId));
+        }
+    }
+}
+
+/// Phase 4, sharded: the mechanism control step for mechanisms that opt
+/// in via [`PowerMechanism::sharded_control`]. Serial prologue → parallel
+/// read-only verdict pass → serial ascending replay of the exact
+/// sequential per-node body over the flagged nodes → serial epilogue.
+/// Verdicts are computed against pre-phase state, so the first body that
+/// mutates the core escalates the scan to every remaining node; see the
+/// module docs for why this is bit-identical to the sequential step.
+pub(super) fn control_phase(
+    core: &mut NetworkCore,
+    mech: &mut dyn PowerMechanism,
+    tiles: usize,
+    grid: Option<(u16, u16)>,
+) {
+    let mut st = take_state(core, tiles, grid);
+    mech.control_prologue(core);
+    let nodes = core.routers.len();
+    st.ctl_flags.clear();
+    st.ctl_flags.resize(nodes, 0);
+    {
+        let ctx = ControlCtx {
+            core,
+            mech: &*mech,
+            plan: &st.plan,
+            nodes,
+            flags: st.ctl_flags.as_mut_ptr(),
+        };
+        let t = st.plan.tiles();
+        st.pool.run(Job {
+            ctx: &ctx as *const ControlCtx as *const (),
+            run: run_control_tile,
+            tiles: t,
+        });
+    }
+    let mut escalated = false;
+    for n in 0..nodes {
+        if (escalated || st.ctl_flags[n] != 0) && mech.control_node(core, n as NodeId) {
+            escalated = true;
+        }
+    }
+    mech.control_epilogue(core);
     core.par = Some(st);
 }
 
@@ -1387,21 +1665,116 @@ mod tests {
     use super::*;
 
     #[test]
-    fn tile_plan_covers_grid_contiguously() {
-        for (kx, ky, tiles) in [(8u16, 8u16, 4usize), (4, 4, 2), (4, 4, 16), (16, 3, 4), (5, 1, 3)]
-        {
-            let plan = TilePlan::new(kx, ky, tiles);
+    fn tile_plan_covers_grid() {
+        for (kx, ky, tiles, grid) in [
+            (8u16, 8u16, 4usize, None),
+            (8, 8, 8, None),
+            (4, 4, 2, None),
+            (4, 4, 16, None),
+            (16, 3, 4, None),
+            (5, 1, 3, None),
+            (8, 8, 8, Some((4u16, 2u16))),
+            (9, 7, 9, Some((3, 3))),
+            (4, 4, 4, Some((16, 16))), // clamps to 4x4
+        ] {
+            let plan = TilePlan::new(kx, ky, tiles, grid);
             let n = kx as usize * ky as usize;
-            assert_eq!(plan.starts[0], 0);
-            assert_eq!(*plan.starts.last().unwrap() as usize, n);
-            assert!(plan.tiles() <= tiles.max(1));
-            assert!(plan.starts.windows(2).all(|w| w[0] < w[1]), "empty tile in {plan:?}",);
-            for node in 0..n as u32 {
-                let t = plan.tile_of(node);
-                assert!(plan.starts[t] <= node && node < plan.starts[t + 1]);
+            let t = plan.tiles();
+            assert!(t >= 1);
+            if grid.is_none() {
+                assert!(t <= tiles.max(1));
             }
-            // Row stripes: tile boundaries sit on row boundaries.
-            assert!(plan.starts.iter().all(|&s| (s as usize).is_multiple_of(kx as usize)));
+            assert!(plan.row_starts.windows(2).all(|w| w[0] < w[1]), "empty row band: {plan:?}");
+            assert!(plan.col_starts.windows(2).all(|w| w[0] < w[1]), "empty col band: {plan:?}");
+            let mut owned = vec![0usize; t];
+            for node in 0..n as u32 {
+                owned[plan.tile_of(node)] += 1;
+            }
+            assert!(owned.iter().all(|&c| c > 0), "empty tile in {plan:?}");
+            assert_eq!(owned.iter().sum::<usize>(), n);
+        }
+    }
+
+    #[test]
+    fn planner_minimizes_seams() {
+        // 8 tiles on a square mesh: 2x4 and 4x2 tie on seam length and the
+        // tie breaks toward more rows.
+        assert_eq!(plan_grid(8, 8, 8), (4, 2));
+        assert_eq!(plan_grid(8, 8, 4), (2, 2));
+        // 2 tiles stay a row-stripe pair (ties break toward rows).
+        assert_eq!(plan_grid(8, 8, 2), (2, 1));
+        assert_eq!(plan_grid(8, 8, 1), (1, 1));
+        // The plan never exceeds the grid.
+        assert_eq!(plan_grid(2, 2, 64), (2, 2));
+        // Degenerate grids lean into the long axis.
+        assert_eq!(plan_grid(1, 16, 4), (4, 1));
+        assert_eq!(plan_grid(16, 1, 4), (1, 4));
+    }
+
+    #[test]
+    fn explicit_geometry_clamps_to_grid() {
+        assert_eq!(planned_geometry(8, 8, 8, Some((4, 2))), (4, 2));
+        assert_eq!(planned_geometry(8, 8, 64, Some((16, 16))), (8, 8));
+        assert_eq!(planned_geometry(8, 8, 1, Some((0, 0))), (1, 1));
+        assert_eq!(planned_geometry(5, 3, 6, Some((2, 3))), (2, 3));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig { cases: 64, ..Default::default() })]
+        #[test]
+        fn tile_plan_ownership_and_seam_symmetry(
+            kx in 1u16..13,
+            ky in 1u16..13,
+            tiles in 1usize..11,
+            rows in 1u16..6,
+            cols in 1u16..6,
+            explicit in 0u32..2,
+        ) {
+            use proptest::prelude::*;
+            let grid = (explicit == 1).then_some((rows, cols));
+            let plan = TilePlan::new(kx, ky, tiles, grid);
+            let n = kx as usize * ky as usize;
+            let t = plan.tiles();
+            // Every node is owned by exactly one in-range tile, and no
+            // tile is empty.
+            let mut owned = vec![0usize; t];
+            for node in 0..n as u32 {
+                let tile = plan.tile_of(node);
+                prop_assert!(tile < t);
+                owned[tile] += 1;
+            }
+            prop_assert_eq!(owned.iter().sum::<usize>(), n);
+            prop_assert!(owned.iter().all(|&c| c > 0));
+            // Seam enumeration is symmetric and matches a brute-force
+            // grid-adjacency scan.
+            let seams = plan.seams();
+            let seam_set: std::collections::HashSet<_> = seams.iter().copied().collect();
+            prop_assert_eq!(seam_set.len(), seams.len());
+            for &(a, b) in &seams {
+                prop_assert!(seam_set.contains(&(b, a)), "asymmetric seam ({a}, {b})");
+            }
+            let mut adj = std::collections::HashSet::new();
+            for y in 0..ky as u32 {
+                for x in 0..kx as u32 {
+                    let node = y * kx as u32 + x;
+                    let a = plan.tile_of(node);
+                    if x + 1 < kx as u32 {
+                        let b = plan.tile_of(node + 1);
+                        if a != b {
+                            adj.insert((a, b));
+                            adj.insert((b, a));
+                        }
+                    }
+                    if y + 1 < ky as u32 {
+                        let b = plan.tile_of(node + kx as u32);
+                        if a != b {
+                            adj.insert((a, b));
+                            adj.insert((b, a));
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(seam_set, adj);
         }
     }
 
@@ -1430,7 +1803,12 @@ mod tests {
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.run(Job { ctx: std::ptr::null(), run: boom, tiles: 4 });
         }));
-        let msg = format!("{:?}", r.expect_err("worker panic must propagate"));
+        let payload = r.expect_err("worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "<non-string panic payload>".to_string());
         assert!(msg.contains("tile 2 exploded"), "panic message lost: {msg}");
         // The pool survives a panicked job.
         pool.run(Job { ctx: &ctx as *const Ctx as *const (), run: bump, tiles: 4 });

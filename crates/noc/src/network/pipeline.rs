@@ -63,7 +63,9 @@ pub(super) fn injection_phase(core: &mut NetworkCore, mech: &dyn PowerMechanism)
             }
             core.sched.scratch = scratch;
         }
-        KernelMode::Parallel { tiles } => super::par::injection_phase(core, mech, tiles),
+        KernelMode::Parallel { tiles, grid } => {
+            super::par::injection_phase(core, mech, tiles, grid)
+        }
     }
 }
 
@@ -179,7 +181,7 @@ pub(super) fn pipeline_phase(core: &mut NetworkCore, mech: &dyn PowerMechanism) 
             }
             core.sched.scratch = scratch;
         }
-        KernelMode::Parallel { tiles } => super::par::pipeline_phase(core, mech, tiles),
+        KernelMode::Parallel { tiles, grid } => super::par::pipeline_phase(core, mech, tiles, grid),
     }
 }
 
