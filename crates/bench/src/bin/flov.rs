@@ -67,15 +67,28 @@ tools:
               --out (BENCH_kernel.json)
               [--quick] [--min-cps N] [--min-skip FRAC]
               [--min-parallel-speedup X] [--out PATH]
+  bench-engine  time the batch engine end to end: cold + warm sweeps over
+              the sharded binary cache (work-stealing scheduler, indexed
+              probes) against the legacy flat-JSON layout; asserts all
+              lanes byte-identical; report to stdout and --out
+              (BENCH_engine.json)
+              [--quick] [--runs N] [--min-warm-probe-rate R] [--out PATH]
   fuzz        differential fuzzer: random specs through all three kernels
               (active-set, reference, sharded parallel) with
               the invariant auditor on; failures shrink to repro JSONs in
               results/fuzz/ and exit nonzero
               [--runs N] [--max-cycles N] [--seed S] [--out DIR]
               [--replay FILE.json]
-  cache       result-cache maintenance: stats | clear
+  cache       result-cache maintenance
+              stats | clear | verify | migrate
+              | gc [--max-bytes N[K|M|G]] [--max-age N[s|m|h|d]]
+              (verify re-derives every entry's content hash; migrate
+              rewrites JSON entries as sharded binary, hash-preserving;
+              gc evicts oldest-first by last use)
 
 global flags: [--quick] [--cache-dir DIR] [--no-cache] [--quiet]
+              (FLOV_QUIET=1 also silences progress; non-TTY stderr gets
+              plain per-5% progress lines instead of redraws)
 ";
 
 fn usage() -> ! {
@@ -158,6 +171,39 @@ fn parse_topology(v: &str, k: u16) -> TopologySpec {
         eprintln!("error: unknown topology {v:?} (mesh|torus|cmesh:C|rect:KXxKY)");
         std::process::exit(2);
     }
+}
+
+/// Parse a byte budget with an optional `K`/`M`/`G` suffix (powers of
+/// 1024), e.g. `64M`.
+fn parse_bytes(v: &str) -> u64 {
+    let (digits, mult) = match v.as_bytes().last() {
+        Some(b'K' | b'k') => (&v[..v.len() - 1], 1u64 << 10),
+        Some(b'M' | b'm') => (&v[..v.len() - 1], 1u64 << 20),
+        Some(b'G' | b'g') => (&v[..v.len() - 1], 1u64 << 30),
+        _ => (v, 1),
+    };
+    let n: u64 = parse_or_die("--max-bytes", digits);
+    n.checked_mul(mult).unwrap_or_else(|| {
+        eprintln!("error: --max-bytes overflows: {v:?}");
+        std::process::exit(2);
+    })
+}
+
+/// Parse an age with an optional `s`/`m`/`h`/`d` suffix (default
+/// seconds), e.g. `30d`.
+fn parse_age(v: &str) -> std::time::Duration {
+    let (digits, mult) = match v.as_bytes().last() {
+        Some(b's') => (&v[..v.len() - 1], 1u64),
+        Some(b'm') => (&v[..v.len() - 1], 60),
+        Some(b'h') => (&v[..v.len() - 1], 3_600),
+        Some(b'd') => (&v[..v.len() - 1], 86_400),
+        _ => (v, 1),
+    };
+    let n: u64 = parse_or_die("--max-age", digits);
+    std::time::Duration::from_secs(n.checked_mul(mult).unwrap_or_else(|| {
+        eprintln!("error: --max-age overflows: {v:?}");
+        std::process::exit(2);
+    }))
 }
 
 /// Surface a config problem as a diagnostic instead of a panic.
@@ -401,9 +447,16 @@ fn main() {
             match rest.first().map(|s| s.as_str()) {
                 Some("stats") => {
                     let s = cache.stats();
-                    println!("cache dir   {}", cache.dir().display());
-                    println!("entries     {}", s.entries);
-                    println!("total size  {} bytes", s.total_bytes);
+                    println!("cache dir    {}", cache.dir().display());
+                    println!("entries      {}", s.entries);
+                    println!("total size   {} bytes", s.total_bytes);
+                    println!("  binary     {} (sharded)", s.binary_entries);
+                    println!(
+                        "  json       {} sharded, {} legacy flat",
+                        s.json_sharded, s.json_flat
+                    );
+                    println!("shard dirs   {}", s.shard_dirs);
+                    println!("quarantined  {} ({} bytes)", s.quarantined, s.quarantined_bytes);
                 }
                 Some("clear") => {
                     let n = cache.clear().unwrap_or_else(|e| {
@@ -412,8 +465,62 @@ fn main() {
                     });
                     println!("removed {n} entries from {}", cache.dir().display());
                 }
+                Some("verify") => {
+                    let r = cache.verify();
+                    println!(
+                        "verified {} entries: {} ok, {} quarantined",
+                        r.checked, r.ok, r.quarantined
+                    );
+                    if r.quarantined > 0 {
+                        std::process::exit(1);
+                    }
+                }
+                Some("migrate") => {
+                    let r = cache.migrate().unwrap_or_else(|e| {
+                        eprintln!("error: migrating cache: {e}");
+                        std::process::exit(1);
+                    });
+                    println!(
+                        "migrated {} JSON entries to binary, {} already binary, \
+                         {} resharded, {} quarantined",
+                        r.migrated, r.already_binary, r.resharded, r.quarantined
+                    );
+                }
+                Some("gc") => {
+                    let opts = flov_bench::GcOptions {
+                        max_bytes: flag_value(rest, "--max-bytes").map(|v| parse_bytes(&v)),
+                        max_age: flag_value(rest, "--max-age").map(|v| parse_age(&v)),
+                    };
+                    if opts.max_bytes.is_none() && opts.max_age.is_none() {
+                        eprintln!("error: gc needs --max-bytes and/or --max-age");
+                        std::process::exit(2);
+                    }
+                    let r = cache.gc(&opts).unwrap_or_else(|e| {
+                        eprintln!("error: gc: {e}");
+                        std::process::exit(1);
+                    });
+                    println!(
+                        "gc: scanned {} entries ({} bytes), removed {} ({} bytes)",
+                        r.scanned, r.scanned_bytes, r.removed, r.removed_bytes
+                    );
+                }
                 _ => usage(),
             }
+        }
+        "bench-engine" => {
+            let runs: Option<usize> =
+                flag_value(rest, "--runs").map(|v| parse_or_die("--runs", &v));
+            let min_warm_probe_rate: Option<f64> = flag_value(rest, "--min-warm-probe-rate")
+                .map(|v| parse_or_die("--min-warm-probe-rate", &v));
+            let out = flag_value(rest, "--out").unwrap_or_else(|| "BENCH_engine.json".into());
+            let report = flov_bench::engine_bench::run_bench(quick, runs, min_warm_probe_rate);
+            let json = serde_json::to_string_pretty(&report).expect("bench report serialization");
+            std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {out}: {e}");
+                std::process::exit(1);
+            });
+            println!("{json}");
+            eprintln!("[flov] bench-engine report written to {out}");
         }
         "help" | "--help" | "-h" => usage(),
         other => {

@@ -1,19 +1,43 @@
-//! Content-addressed on-disk result cache.
+//! Content-addressed on-disk result cache: sharded, indexed, binary.
 //!
-//! Every completed simulation is persisted as
-//! `results/cache/<key>.json`, where `<key>` is a 128-bit hash of the
-//! run's *canonical spec JSON* plus the engine's kernel-version salt.
-//! Canonical means: declaration-ordered map keys and shortest-roundtrip
-//! float formatting (see the workspace `serde_json` shim), so equal specs
-//! always hash identically. Bumping [`crate::engine::KERNEL_VERSION`]
-//! changes every key, which is how simulator-behavior changes invalidate
-//! stale results without touching the cache directory.
+//! Every completed simulation is persisted under `results/cache/`, keyed
+//! by a 128-bit hash of the run's *canonical spec JSON* plus the engine's
+//! kernel-version salt. Canonical means: declaration-ordered map keys and
+//! shortest-roundtrip float formatting (see the workspace `serde_json`
+//! shim), so equal specs always hash identically. Bumping
+//! [`crate::engine::KERNEL_VERSION`] changes every key, which is how
+//! simulator-behavior changes invalidate stale results without touching
+//! the cache directory.
+//!
+//! Layout: entries fan out into 256 hash-prefix shard subdirectories
+//! (`<dir>/<first two hex chars>/<key>.bin`), created lazily and written
+//! atomically (temp file + same-directory rename), so a killed sweep
+//! never leaves a partial entry behind. The default on-disk format is the
+//! compact binary container of [`crate::binfmt`]; JSON entries — sharded
+//! or in the legacy flat layout the seed engine wrote — remain fully
+//! readable, and `flov cache migrate` upgrades them in place without
+//! changing their content hashes.
+//!
+//! Probing is O(1): the first probe scans the directory tree once into an
+//! in-memory index (key → path), after which a warm 10k-run sweep never
+//! stats a file that is not there. Corrupt or truncated entries (bad
+//! magic, CRC mismatch, unparseable JSON) are treated as misses and moved
+//! to `<dir>/quarantine/` for inspection — never a panic. Cache hits bump
+//! the entry's access time (best-effort) so `flov cache gc` can evict
+//! least-recently-used entries first.
 
+use crate::binfmt;
 use crate::spec::{RunResult, RunSpec};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fs;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, SystemTime};
+
+/// Subdirectory corrupt entries are moved into.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// What one cache file holds: enough to audit a result without re-running
 /// it (the spec is stored alongside, not just its hash).
@@ -24,17 +48,87 @@ pub struct CacheEntry {
     pub result: RunResult,
 }
 
-/// Summary of what's on disk, for `flov cache stats`.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct CacheStats {
-    pub entries: usize,
-    pub total_bytes: u64,
+/// On-disk encoding for newly written entries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CacheFormat {
+    /// Compact binary container ([`crate::binfmt`]); the default.
+    #[default]
+    Binary,
+    /// One pretty-printed-free canonical JSON [`CacheEntry`] per file.
+    Json,
 }
 
-/// A directory of content-addressed [`CacheEntry`] files.
+/// Summary of what's on disk, for `flov cache stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Readable entries across every layout and format.
+    pub entries: usize,
+    pub total_bytes: u64,
+    /// Binary entries in shard subdirectories.
+    pub binary_entries: usize,
+    /// JSON entries in shard subdirectories.
+    pub json_sharded: usize,
+    /// JSON entries in the legacy flat layout (pre-shard engine).
+    pub json_flat: usize,
+    /// Shard subdirectories present.
+    pub shard_dirs: usize,
+    /// Files parked in `quarantine/`.
+    pub quarantined: usize,
+    pub quarantined_bytes: u64,
+}
+
+/// Knobs for [`ResultCache::gc`]. Unset fields do not evict.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GcOptions {
+    /// Evict least-recently-used entries until the cache fits.
+    pub max_bytes: Option<u64>,
+    /// Evict entries not touched within this window.
+    pub max_age: Option<Duration>,
+}
+
+/// What [`ResultCache::gc`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    pub scanned: usize,
+    pub scanned_bytes: u64,
+    pub removed: usize,
+    pub removed_bytes: u64,
+}
+
+/// What [`ResultCache::verify`] found.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    pub checked: usize,
+    pub ok: usize,
+    /// Entries that failed structural or content-hash checks and were
+    /// moved to `quarantine/`.
+    pub quarantined: usize,
+}
+
+/// What [`ResultCache::migrate`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrateReport {
+    /// JSON entries rewritten as sharded binary (hash-preserving).
+    pub migrated: usize,
+    /// Entries already in the binary sharded layout, left alone.
+    pub already_binary: usize,
+    /// Misplaced binary entries moved into their shard directory.
+    pub resharded: usize,
+    /// Unreadable or hash-mismatched entries moved to `quarantine/`.
+    pub quarantined: usize,
+}
+
+/// A directory of content-addressed cache entries. Cloning shares the
+/// in-memory index.
 #[derive(Clone, Debug)]
 pub struct ResultCache {
     dir: PathBuf,
+    write_format: CacheFormat,
+    /// Seed-era behavior for A/B benchmarking: flat `<key>.json` files,
+    /// probed by direct filesystem reads with no index.
+    legacy_flat: bool,
+    /// Lazily built key → path map; `None` until the first probe.
+    index: Arc<Mutex<Option<HashMap<String, PathBuf>>>>,
 }
 
 /// 64-bit FNV-1a over `bytes`, from a caller-chosen basis.
@@ -46,10 +140,47 @@ fn fnv1a(basis: u64, bytes: &[u8]) -> u64 {
     h
 }
 
+/// `Some(key)` when `name` is `<32 hex>.bin` or `<32 hex>.json`.
+fn entry_key(name: &str) -> Option<&str> {
+    let key = name.strip_suffix(".bin").or_else(|| name.strip_suffix(".json"))?;
+    (key.len() == 32 && key.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()))
+        .then_some(key)
+}
+
 impl ResultCache {
-    /// A cache rooted at `dir` (created lazily on first write).
+    /// A sharded cache rooted at `dir` (created lazily on first write).
+    /// New entries are written in the binary format unless
+    /// `FLOV_CACHE_FORMAT=json` asks for JSON.
     pub fn new(dir: impl Into<PathBuf>) -> ResultCache {
-        ResultCache { dir: dir.into() }
+        let write_format = match std::env::var("FLOV_CACHE_FORMAT").ok().as_deref() {
+            Some("json") => CacheFormat::Json,
+            None | Some("") | Some("binary") | Some("bin") => CacheFormat::Binary,
+            Some(other) => panic!("unknown FLOV_CACHE_FORMAT value {other:?} (use binary|json)"),
+        };
+        ResultCache {
+            dir: dir.into(),
+            write_format,
+            legacy_flat: false,
+            index: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Override the write format (probing always reads every format).
+    pub fn with_format(mut self, f: CacheFormat) -> ResultCache {
+        self.write_format = f;
+        self
+    }
+
+    /// The seed engine's layout, kept as the A/B baseline for
+    /// `flov bench-engine`: flat pretty-free JSON files probed by direct
+    /// reads, no shards, no index, no quarantine, no atime bumps.
+    pub fn legacy_flat_json(dir: impl Into<PathBuf>) -> ResultCache {
+        ResultCache {
+            dir: dir.into(),
+            write_format: CacheFormat::Json,
+            legacy_flat: true,
+            index: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// The default location: `$FLOV_CACHE_DIR`, or `results/cache`.
@@ -75,58 +206,435 @@ impl ResultCache {
         format!("{h1:016x}{h2:016x}")
     }
 
-    fn path_for(&self, key: &str) -> PathBuf {
-        self.dir.join(format!("{key}.json"))
+    /// Shard subdirectory for `key`: its first two hex characters.
+    fn shard_dir(&self, key: &str) -> PathBuf {
+        self.dir.join(&key[..2])
     }
+
+    fn write_path(&self, key: &str) -> PathBuf {
+        if self.legacy_flat {
+            return self.dir.join(format!("{key}.json"));
+        }
+        let ext = match self.write_format {
+            CacheFormat::Binary => "bin",
+            CacheFormat::Json => "json",
+        };
+        self.shard_dir(key).join(format!("{key}.{ext}"))
+    }
+
+    // ------------------------------------------------------------- index
+
+    /// One directory scan building the key → path map. Binary entries win
+    /// when a key exists in both formats; tmp files and `quarantine/` are
+    /// skipped.
+    fn scan(&self) -> HashMap<String, PathBuf> {
+        let mut map: HashMap<String, PathBuf> = HashMap::new();
+        let insert = |map: &mut HashMap<String, PathBuf>, p: PathBuf| {
+            let Some(name) = p.file_name().and_then(|n| n.to_str()) else { return };
+            let Some(key) = entry_key(name) else { return };
+            match map.get(key) {
+                Some(existing) if existing.extension().is_some_and(|e| e == "bin") => {}
+                _ => {
+                    map.insert(key.to_string(), p);
+                }
+            }
+        };
+        let Ok(rd) = fs::read_dir(&self.dir) else { return map };
+        for e in rd.flatten() {
+            let p = e.path();
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if p.is_dir() {
+                if name.len() == 2 && name.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    let Ok(shard) = fs::read_dir(&p) else { continue };
+                    for f in shard.flatten() {
+                        insert(&mut map, f.path());
+                    }
+                }
+            } else {
+                insert(&mut map, p);
+            }
+        }
+        map
+    }
+
+    /// Build the index now (normally it builds on the first probe) and
+    /// report `(entries, seconds)` — `flov cache stats` and
+    /// `bench-engine` surface the scan cost.
+    pub fn prime_index(&self) -> (usize, f64) {
+        let t0 = std::time::Instant::now();
+        let mut guard = self.index.lock().expect("cache index lock");
+        if guard.is_none() {
+            *guard = Some(self.scan());
+        }
+        (guard.as_ref().map(|m| m.len()).unwrap_or(0), t0.elapsed().as_secs_f64())
+    }
+
+    /// Indexed keys, sorted (test/diagnostic surface).
+    pub fn known_keys(&self) -> Vec<String> {
+        self.prime_index();
+        let guard = self.index.lock().expect("cache index lock");
+        let mut keys: Vec<String> =
+            guard.as_ref().map(|m| m.keys().cloned().collect()).unwrap_or_default();
+        keys.sort();
+        keys
+    }
+
+    fn index_lookup(&self, key: &str) -> Option<PathBuf> {
+        let mut guard = self.index.lock().expect("cache index lock");
+        if guard.is_none() {
+            *guard = Some(self.scan());
+        }
+        guard.as_ref().and_then(|m| m.get(key).cloned())
+    }
+
+    fn index_insert(&self, key: &str, path: PathBuf) {
+        let mut guard = self.index.lock().expect("cache index lock");
+        if let Some(m) = guard.as_mut() {
+            m.insert(key.to_string(), path);
+        }
+    }
+
+    fn index_forget(&self, key: &str) {
+        let mut guard = self.index.lock().expect("cache index lock");
+        if let Some(m) = guard.as_mut() {
+            m.remove(key);
+        }
+    }
+
+    /// Drop the in-memory index (after gc/migrate/clear rearrange disk);
+    /// the next probe rescans.
+    fn index_reset(&self) {
+        *self.index.lock().expect("cache index lock") = None;
+    }
+
+    // ------------------------------------------------------------ probing
 
     /// Fetch the result stored under `key`, verifying the salt. Corrupt
-    /// or mismatched entries read as misses (and will be overwritten).
+    /// or truncated entries read as misses and are quarantined; a hit
+    /// bumps the entry's access time for LRU eviction.
     pub fn get(&self, key: &str, kernel_version: u32) -> Option<RunResult> {
-        let text = fs::read_to_string(self.path_for(key)).ok()?;
-        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
-        (entry.kernel_version == kernel_version).then_some(entry.result)
+        if self.legacy_flat {
+            let text = fs::read_to_string(self.dir.join(format!("{key}.json"))).ok()?;
+            let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+            return (entry.kernel_version == kernel_version).then_some(entry.result);
+        }
+        let path = self.index_lookup(key)?;
+        // One open serves both the read and, on a hit, the LRU atime bump
+        // (the probe path runs thousands of times per warm sweep, so the
+        // second path lookup a reopen would cost is worth avoiding).
+        let Ok(mut file) = fs::File::open(&path) else {
+            // Deleted since the scan (concurrent gc/clear): a plain miss.
+            self.index_forget(key);
+            return None;
+        };
+        let mut bytes =
+            Vec::with_capacity(file.metadata().map(|m| m.len() as usize + 1).unwrap_or(0));
+        if file.read_to_end(&mut bytes).is_err() {
+            self.index_forget(key);
+            return None;
+        }
+        let is_binary = path.extension().is_some_and(|e| e == "bin");
+        let outcome = if is_binary {
+            binfmt::decode_result(&bytes, key, kernel_version)
+        } else {
+            match serde_json::from_slice::<CacheEntry>(&bytes) {
+                Ok(entry) => Ok((entry.kernel_version == kernel_version).then_some(entry.result)),
+                Err(e) => Err(binfmt::BinError(format!("JSON entry does not parse: {e}"))),
+            }
+        };
+        match outcome {
+            Ok(Some(result)) => {
+                // Best-effort; LRU accuracy only.
+                let _ = file.set_times(fs::FileTimes::new().set_accessed(SystemTime::now()));
+                Some(result)
+            }
+            Ok(None) => None,
+            Err(e) => {
+                drop(file);
+                self.quarantine(&path, &e.0);
+                None
+            }
+        }
     }
 
-    /// Persist `entry` under `key` atomically (tmp file + rename), so a
-    /// crashed or concurrent run never leaves a half-written entry.
+    /// Persist `entry` under `key` atomically: the shard directory is
+    /// created lazily, the bytes land in a same-directory temp file, and
+    /// a rename publishes the entry — a crashed or concurrent run never
+    /// leaves a half-written entry under a probed name.
     pub fn put(&self, key: &str, entry: &CacheEntry) -> std::io::Result<()> {
-        fs::create_dir_all(&self.dir)?;
-        let tmp = self.dir.join(format!(".{key}.tmp-{}", std::process::id()));
+        let path = self.write_path(key);
+        let parent = path.parent().expect("entry path has a parent");
+        fs::create_dir_all(parent)?;
+        let bytes = match (self.legacy_flat, self.write_format) {
+            (false, CacheFormat::Binary) => {
+                let spec_json = serde_json::to_string(&entry.spec).expect("spec serializes");
+                binfmt::encode_entry(key, entry.kernel_version, &spec_json, &entry.result)
+            }
+            _ => serde_json::to_string(entry).expect("cache entry serializes").into_bytes(),
+        };
+        let tmp = parent.join(format!(".{key}.tmp-{}", std::process::id()));
         {
-            let json = serde_json::to_string(entry).expect("cache entry serializes");
             let mut f = fs::File::create(&tmp)?;
-            f.write_all(json.as_bytes())?;
+            f.write_all(&bytes)?;
             f.sync_all()?;
         }
-        fs::rename(&tmp, self.path_for(key))
+        fs::rename(&tmp, &path)?;
+        if !self.legacy_flat {
+            self.index_insert(key, path);
+        }
+        Ok(())
+    }
+
+    /// Move a corrupt entry to `quarantine/` (fall back to deleting it),
+    /// so it stops being probed but stays available for inspection.
+    fn quarantine(&self, path: &Path, reason: &str) {
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        let _ = fs::create_dir_all(&qdir);
+        let moved = match path.file_name() {
+            Some(name) => fs::rename(path, qdir.join(name)).is_ok(),
+            None => false,
+        };
+        if !moved {
+            let _ = fs::remove_file(path);
+        }
+        eprintln!("[flov] cache: quarantined {} ({reason})", path.display());
+        if let Some(key) = path.file_name().and_then(|n| n.to_str()).and_then(entry_key) {
+            self.index_forget(key);
+        }
+    }
+
+    // -------------------------------------------------------- maintenance
+
+    /// Every entry on disk as `(key, path, bytes, last use)`.
+    fn inventory(&self) -> Vec<(String, PathBuf, u64, SystemTime)> {
+        self.index_reset();
+        self.scan()
+            .into_iter()
+            .map(|(key, path)| {
+                let meta = fs::metadata(&path).ok();
+                let len = meta.as_ref().map(|m| m.len()).unwrap_or(0);
+                let recency = meta
+                    .map(|m| {
+                        let acc = m.accessed().unwrap_or(SystemTime::UNIX_EPOCH);
+                        let modi = m.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                        acc.max(modi)
+                    })
+                    .unwrap_or(SystemTime::UNIX_EPOCH);
+                (key, path, len, recency)
+            })
+            .collect()
     }
 
     /// Count the entries (and bytes) currently on disk.
     pub fn stats(&self) -> CacheStats {
         let mut s = CacheStats::default();
         let Ok(rd) = fs::read_dir(&self.dir) else { return s };
+        let tally = |s: &mut CacheStats, path: &Path, flat: bool| {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { return };
+            if entry_key(name).is_none() {
+                return;
+            }
+            let len = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            s.entries += 1;
+            s.total_bytes += len;
+            if name.ends_with(".bin") {
+                s.binary_entries += 1;
+            } else if flat {
+                s.json_flat += 1;
+            } else {
+                s.json_sharded += 1;
+            }
+        };
         for e in rd.flatten() {
             let p = e.path();
-            if p.extension().is_some_and(|x| x == "json") {
-                s.entries += 1;
-                s.total_bytes += e.metadata().map(|m| m.len()).unwrap_or(0);
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if p.is_dir() {
+                if name == QUARANTINE_DIR {
+                    let Ok(q) = fs::read_dir(&p) else { continue };
+                    for f in q.flatten() {
+                        s.quarantined += 1;
+                        s.quarantined_bytes += f.metadata().map(|m| m.len()).unwrap_or(0);
+                    }
+                } else if name.len() == 2 && name.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    s.shard_dirs += 1;
+                    let Ok(shard) = fs::read_dir(&p) else { continue };
+                    for f in shard.flatten() {
+                        tally(&mut s, &f.path(), false);
+                    }
+                }
+            } else {
+                tally(&mut s, &p, true);
             }
         }
         s
     }
 
-    /// Delete every entry; returns how many were removed.
+    /// Delete every entry (and quarantined file); returns how many
+    /// entries were removed.
     pub fn clear(&self) -> std::io::Result<usize> {
         let mut n = 0;
-        let Ok(rd) = fs::read_dir(&self.dir) else { return Ok(0) };
-        for e in rd.flatten() {
-            let p = e.path();
-            if p.extension().is_some_and(|x| x == "json") {
-                fs::remove_file(&p)?;
-                n += 1;
+        for (_, path, _, _) in self.inventory() {
+            fs::remove_file(&path)?;
+            n += 1;
+        }
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        if let Ok(q) = fs::read_dir(&qdir) {
+            for f in q.flatten() {
+                let _ = fs::remove_file(f.path());
+            }
+            let _ = fs::remove_dir(&qdir);
+        }
+        if let Ok(rd) = fs::read_dir(&self.dir) {
+            for e in rd.flatten() {
+                if e.path().is_dir() {
+                    let _ = fs::remove_dir(e.path()); // only if now empty
+                }
             }
         }
+        self.index_reset();
         Ok(n)
+    }
+
+    /// Evict entries per `opts`: first everything older than `max_age`,
+    /// then — least-recently-used first — until the survivors fit in
+    /// `max_bytes`. Cache hits bump access times, so recently replayed
+    /// entries survive.
+    pub fn gc(&self, opts: &GcOptions) -> std::io::Result<GcReport> {
+        let mut entries = self.inventory();
+        let mut report = GcReport {
+            scanned: entries.len(),
+            scanned_bytes: entries.iter().map(|(_, _, len, _)| len).sum(),
+            ..GcReport::default()
+        };
+        let evict = |path: &Path, len: u64, report: &mut GcReport| -> std::io::Result<()> {
+            fs::remove_file(path)?;
+            report.removed += 1;
+            report.removed_bytes += len;
+            Ok(())
+        };
+        if let Some(age) = opts.max_age {
+            let cutoff = SystemTime::now().checked_sub(age).unwrap_or(SystemTime::UNIX_EPOCH);
+            let mut kept = Vec::with_capacity(entries.len());
+            for (key, path, len, recency) in entries {
+                if recency < cutoff {
+                    evict(&path, len, &mut report)?;
+                } else {
+                    kept.push((key, path, len, recency));
+                }
+            }
+            entries = kept;
+        }
+        if let Some(budget) = opts.max_bytes {
+            // Most-recently-used first; evict from the tail once over budget.
+            entries.sort_by(|a, b| b.3.cmp(&a.3).then_with(|| a.0.cmp(&b.0)));
+            let mut used = 0u64;
+            for (_, path, len, _) in entries {
+                used += len;
+                if used > budget {
+                    evict(&path, len, &mut report)?;
+                }
+            }
+        }
+        self.index_reset();
+        Ok(report)
+    }
+
+    /// Re-read every entry, re-deriving its content hash from the stored
+    /// spec: structural corruption (bad magic/CRC/JSON) and hash
+    /// mismatches (entry filed under a key its spec does not hash to)
+    /// both quarantine the file.
+    pub fn verify(&self) -> VerifyReport {
+        let mut report = VerifyReport::default();
+        for (key, path, _, _) in self.inventory() {
+            report.checked += 1;
+            match self.verify_one(&key, &path) {
+                Ok(()) => report.ok += 1,
+                Err(reason) => {
+                    self.quarantine(&path, &reason);
+                    report.quarantined += 1;
+                }
+            }
+        }
+        self.index_reset();
+        report
+    }
+
+    fn verify_one(&self, key: &str, path: &Path) -> Result<(), String> {
+        let bytes = fs::read(path).map_err(|e| format!("unreadable: {e}"))?;
+        let (kernel_version, spec_json, stored_key) =
+            if path.extension().is_some_and(|e| e == "bin") {
+                let entry = binfmt::decode_entry(&bytes).map_err(|e| e.0)?;
+                (entry.kernel_version, entry.spec_json, Some(entry.key))
+            } else {
+                let entry: CacheEntry = serde_json::from_slice(&bytes)
+                    .map_err(|e| format!("JSON entry does not parse: {e}"))?;
+                let spec_json = serde_json::to_string(&entry.spec).expect("spec serializes");
+                (entry.kernel_version, spec_json, None)
+            };
+        if let Some(stored) = stored_key {
+            if stored != key {
+                return Err(format!("stored hash {stored} does not match filename"));
+            }
+        }
+        let derived = ResultCache::key(&spec_json, kernel_version);
+        if derived != key {
+            return Err(format!("spec hashes to {derived}, filed under {key}"));
+        }
+        Ok(())
+    }
+
+    /// Rewrite every JSON entry (flat or sharded) as sharded binary and
+    /// move any misplaced binary entry into its shard — preserving every
+    /// content hash, so a warm sweep replays identically before and
+    /// after. Unreadable or hash-mismatched entries are quarantined.
+    pub fn migrate(&self) -> std::io::Result<MigrateReport> {
+        let mut report = MigrateReport::default();
+        for (key, path, _, _) in self.inventory() {
+            let in_shard = path.parent() == Some(self.shard_dir(&key).as_path());
+            let is_binary = path.extension().is_some_and(|e| e == "bin");
+            if is_binary {
+                if in_shard {
+                    report.already_binary += 1;
+                } else {
+                    let dest = self.shard_dir(&key).join(format!("{key}.bin"));
+                    fs::create_dir_all(dest.parent().expect("shard dir"))?;
+                    fs::rename(&path, &dest)?;
+                    report.resharded += 1;
+                }
+                continue;
+            }
+            match self.migrate_one(&key, &path) {
+                Ok(()) => report.migrated += 1,
+                Err(reason) => {
+                    self.quarantine(&path, &reason);
+                    report.quarantined += 1;
+                }
+            }
+        }
+        self.index_reset();
+        Ok(report)
+    }
+
+    fn migrate_one(&self, key: &str, path: &Path) -> Result<(), String> {
+        let bytes = fs::read(path).map_err(|e| format!("unreadable: {e}"))?;
+        let entry: CacheEntry = serde_json::from_slice(&bytes)
+            .map_err(|e| format!("JSON entry does not parse: {e}"))?;
+        let spec_json = serde_json::to_string(&entry.spec).expect("spec serializes");
+        let derived = ResultCache::key(&spec_json, entry.kernel_version);
+        if derived != key {
+            return Err(format!("spec hashes to {derived}, filed under {key}"));
+        }
+        let encoded = binfmt::encode_entry(key, entry.kernel_version, &spec_json, &entry.result);
+        let dest = self.shard_dir(key).join(format!("{key}.bin"));
+        let parent = dest.parent().expect("shard dir");
+        fs::create_dir_all(parent).map_err(|e| format!("cannot create shard dir: {e}"))?;
+        let tmp = parent.join(format!(".{key}.tmp-{}", std::process::id()));
+        fs::write(&tmp, &encoded).map_err(|e| format!("cannot write: {e}"))?;
+        fs::rename(&tmp, &dest).map_err(|e| format!("cannot publish: {e}"))?;
+        let _ = fs::remove_file(path);
+        Ok(())
     }
 }
 
@@ -156,5 +664,21 @@ mod tests {
         let a = RunSpec::builder().mechanism("rFLOV").rate(0.08).build();
         let b = RunSpec::builder().rate(0.08).mechanism("rFLOV").build();
         assert_eq!(ResultCache::key(&canonical(&a), 1), ResultCache::key(&canonical(&b), 1),);
+    }
+
+    #[test]
+    fn entry_key_accepts_entries_and_rejects_noise() {
+        assert_eq!(
+            entry_key("0123456789abcdef0123456789abcdef.bin"),
+            Some("0123456789abcdef0123456789abcdef")
+        );
+        assert_eq!(
+            entry_key("0123456789abcdef0123456789abcdef.json"),
+            Some("0123456789abcdef0123456789abcdef")
+        );
+        assert_eq!(entry_key(".0123456789abcdef0123456789abcdef.tmp-123"), None);
+        assert_eq!(entry_key("0123456789ABCDEF0123456789ABCDEF.bin"), None);
+        assert_eq!(entry_key("short.json"), None);
+        assert_eq!(entry_key("notes.txt"), None);
     }
 }

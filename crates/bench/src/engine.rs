@@ -3,18 +3,29 @@
 //! Callers submit batches of [`RunSpec`]s; the engine resolves each spec
 //! to canonical form, deduplicates identical specs, serves previously
 //! executed runs from the content-addressed [`ResultCache`], simulates
-//! the rest across a thread pool (streaming progress to stderr), persists
-//! every fresh result, and hands back one [`RunResult`] per submitted
-//! spec, in order. Every figure generator, study, and the `flov` CLI run
-//! through here — a figure regenerated twice costs one simulation sweep.
+//! the rest across a work-stealing scheduler (streaming progress to
+//! stderr), persists every fresh result, and hands back one [`RunResult`]
+//! per submitted spec, in order. Every figure generator, study, and the
+//! `flov` CLI run through here — a figure regenerated twice costs one
+//! simulation sweep.
+//!
+//! Nested parallelism is arbitrated per job: while many runs are live the
+//! requested in-run tiling (`FLOV_KERNEL=parallel`) is demoted to the
+//! single-threaded active-set kernel — one core per run beats
+//! oversubscribing — and as the batch drains to its last few stragglers,
+//! each surviving run is granted a share of the freed cores. All kernels
+//! are bit-identical (enforced by the equivalence suite), so arbitration
+//! can never change a result, only its wall-clock cost.
 
 use crate::cache::{CacheEntry, ResultCache};
 use crate::progress::Progress;
+use crate::scheduler::{run_work_stealing, workers_for, SchedStats};
 use crate::spec::{RunResult, RunSpec};
-use rayon::prelude::*;
+use flov_noc::network::KernelMode;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Salt mixed into every cache key. Bump this whenever a simulator or
 /// power-model change alters results, so stale cache entries (same spec,
@@ -45,8 +56,41 @@ pub struct EngineStats {
     pub simulated: usize,
 }
 
+/// `FLOV_QUIET` set to anything non-empty except `0` silences progress.
+fn quiet_from_env() -> bool {
+    std::env::var("FLOV_QUIET").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Demote or trim a run's requested in-run tiling against current batch
+/// load: `live` not-yet-finished runs sharing `workers` cores. Only the
+/// parallel kernel is affected, and only downward — a run never gets more
+/// tiles than it asked for.
+fn arbitrate(requested: KernelMode, live: usize, workers: usize) -> KernelMode {
+    match requested {
+        KernelMode::Parallel { tiles, grid } if tiles > 1 => {
+            if live >= workers {
+                // Saturated: one core per run, zero tiling overhead.
+                return KernelMode::ActiveSet;
+            }
+            let share = (workers / live.max(1)).max(1);
+            let t = tiles.min(share);
+            if t <= 1 {
+                KernelMode::ActiveSet
+            } else if t == tiles {
+                // Full grant: keep any explicitly pinned geometry.
+                KernelMode::Parallel { tiles, grid }
+            } else {
+                // Partial grant: let the planner re-fit the smaller budget.
+                KernelMode::Parallel { tiles: t, grid: None }
+            }
+        }
+        other => other,
+    }
+}
+
 /// See the module docs. Construct with [`Engine::new`] (caching, default
-/// directory), [`Engine::with_cache_dir`], or [`Engine::without_cache`].
+/// directory), [`Engine::with_cache_dir`], [`Engine::with_cache`], or
+/// [`Engine::without_cache`].
 pub struct Engine {
     cache: Option<ResultCache>,
     kernel_version: u32,
@@ -55,6 +99,8 @@ pub struct Engine {
     unique: AtomicUsize,
     cached: AtomicUsize,
     simulated: AtomicUsize,
+    /// Scheduling counters from the most recent batch's compute phase.
+    last_sched: Mutex<Option<SchedStats>>,
 }
 
 impl Default for Engine {
@@ -65,21 +111,30 @@ impl Default for Engine {
 
 impl Engine {
     /// Caching engine rooted at [`ResultCache::default_dir`]
-    /// (`$FLOV_CACHE_DIR` or `results/cache`), with progress output.
+    /// (`$FLOV_CACHE_DIR` or `results/cache`), with progress output
+    /// (unless `FLOV_QUIET` is set).
     pub fn new() -> Engine {
         Engine::with_cache_dir(ResultCache::default_dir())
     }
 
-    /// Caching engine rooted at `dir`, with progress output.
+    /// Caching engine rooted at `dir`, with progress output (unless
+    /// `FLOV_QUIET` is set).
     pub fn with_cache_dir(dir: impl Into<PathBuf>) -> Engine {
+        Engine::with_cache(ResultCache::new(dir))
+    }
+
+    /// Caching engine over an explicitly configured cache (format,
+    /// legacy layout, shared index).
+    pub fn with_cache(cache: ResultCache) -> Engine {
         Engine {
-            cache: Some(ResultCache::new(dir)),
+            cache: Some(cache),
             kernel_version: KERNEL_VERSION,
-            verbose: true,
+            verbose: !quiet_from_env(),
             submitted: AtomicUsize::new(0),
             unique: AtomicUsize::new(0),
             cached: AtomicUsize::new(0),
             simulated: AtomicUsize::new(0),
+            last_sched: Mutex::new(None),
         }
     }
 
@@ -94,6 +149,7 @@ impl Engine {
             unique: AtomicUsize::new(0),
             cached: AtomicUsize::new(0),
             simulated: AtomicUsize::new(0),
+            last_sched: Mutex::new(None),
         }
     }
 
@@ -130,6 +186,12 @@ impl Engine {
         }
     }
 
+    /// Scheduling counters (workers, steals, occupancy) from the most
+    /// recent batch that simulated anything; `None` before that.
+    pub fn sched_stats(&self) -> Option<SchedStats> {
+        *self.last_sched.lock().expect("sched stats lock")
+    }
+
     /// Convenience for a single spec.
     pub fn run_one(&self, spec: &RunSpec) -> RunResult {
         self.run_batch(std::slice::from_ref(spec)).pop().expect("one spec in, one result out")
@@ -164,50 +226,48 @@ impl Engine {
             assignment.push(slot);
         }
 
-        // Probe the cache across the thread pool — each probe is a JSON
-        // read+parse, and a large fully-cached batch would otherwise be
-        // single-thread-bound. Collecting per-slot keeps submission-order
-        // results and a deterministic miss list.
+        // Probe the cache across the scheduler — each probe is one
+        // indexed read+decode, and a large fully-cached batch would
+        // otherwise be single-thread-bound. Results come back in slot
+        // order, so the miss list is deterministic.
         let progress = Progress::new(uniques.len(), self.verbose);
-        let probed: Vec<Option<RunResult>> = uniques
-            .par_iter()
-            .map(|&i| {
+        let (probed, _) =
+            run_work_stealing(uniques.len(), workers_for(uniques.len()), |slot, _| {
+                let i = uniques[slot];
                 let hit = self.cache.as_ref().and_then(|c| c.get(&keys[i], self.kernel_version));
                 if hit.is_some() {
                     progress.tick(true);
                 }
                 hit
-            })
-            .collect();
-        let mut slots: Vec<Option<RunResult>> = vec![None; uniques.len()];
-        let mut misses: Vec<usize> = Vec::new();
-        for (slot, hit) in probed.into_iter().enumerate() {
-            match hit {
-                Some(result) => slots[slot] = Some(result),
-                None => misses.push(slot),
-            }
-        }
+            });
+        let mut slots: Vec<Option<RunResult>> = probed;
+        let misses: Vec<usize> = (0..uniques.len()).filter(|&slot| slots[slot].is_none()).collect();
         let n_cached = uniques.len() - misses.len();
 
-        let computed: Vec<RunResult> = misses
-            .par_iter()
-            .map(|&slot| {
-                let i = uniques[slot];
-                let result = crate::run(&resolved[i]);
-                if let Some(cache) = &self.cache {
-                    let entry = CacheEntry {
-                        kernel_version: self.kernel_version,
-                        spec: resolved[i].clone(),
-                        result: result.clone(),
-                    };
-                    if let Err(e) = cache.put(&keys[i], &entry) {
-                        eprintln!("[flov] warning: could not persist {}: {e}", &keys[i]);
-                    }
+        // Simulate the misses over the work-stealing scheduler; each job
+        // re-arbitrates its kernel against the live-job count at start.
+        let requested_kernel = crate::kernel_from_env();
+        let workers = workers_for(misses.len());
+        let (computed, sched) = run_work_stealing(misses.len(), workers, |j, ctx| {
+            let i = uniques[misses[j]];
+            let kernel = arbitrate(requested_kernel, ctx.live_jobs(), ctx.workers);
+            let result = crate::run_kernel(&resolved[i], kernel);
+            if let Some(cache) = &self.cache {
+                let entry = CacheEntry {
+                    kernel_version: self.kernel_version,
+                    spec: resolved[i].clone(),
+                    result: result.clone(),
+                };
+                if let Err(e) = cache.put(&keys[i], &entry) {
+                    eprintln!("[flov] warning: could not persist {}: {e}", &keys[i]);
                 }
-                progress.tick(false);
-                result
-            })
-            .collect();
+            }
+            progress.tick(false);
+            result
+        });
+        if !misses.is_empty() {
+            *self.last_sched.lock().expect("sched stats lock") = Some(sched);
+        }
         let sim_cycles: u64 = computed.iter().map(|r| r.runtime_cycles).sum();
         for (&slot, result) in misses.iter().zip(computed) {
             slots[slot] = Some(result);
@@ -225,14 +285,13 @@ impl Engine {
             // Under the parallel kernel, report the effective tile
             // geometry (requested vs planned) instead of clamping
             // silently; batches can mix topologies, hence the set.
-            let geometry = match crate::kernel_from_env() {
-                crate::KernelMode::Parallel { tiles, .. } if !uniques.is_empty() => {
-                    let kernel = crate::kernel_from_env();
+            let geometry = match requested_kernel {
+                KernelMode::Parallel { tiles, .. } if !uniques.is_empty() => {
                     let mut geoms: Vec<String> = uniques
                         .iter()
                         .filter_map(|&i| {
                             let cfg = &resolved[i].cfg;
-                            kernel.planned_grid(cfg.kx(), cfg.ky())
+                            requested_kernel.planned_grid(cfg.kx(), cfg.ky())
                         })
                         .map(|(r, c)| format!("{r}x{c}"))
                         .collect();
@@ -242,9 +301,19 @@ impl Engine {
                 }
                 _ => String::new(),
             };
+            let sched_note = if misses.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", {} workers ({:.0}% busy, {} steals)",
+                    sched.workers,
+                    sched.occupancy() * 100.0,
+                    sched.steals,
+                )
+            };
             eprintln!(
                 "[flov] engine: {} specs ({} unique): {} cached, {} simulated, \
-                 {wall:.1}s wall, {:.0} sim-cycles/sec{geometry}",
+                 {wall:.1}s wall, {:.0} sim-cycles/sec{geometry}{sched_note}",
                 specs.len(),
                 uniques.len(),
                 n_cached,
@@ -253,9 +322,23 @@ impl Engine {
             );
         }
 
+        // Hand each slot's result to its last user without cloning — a
+        // dense timeline makes RunResult a multi-kilobyte value, and the
+        // common case is one submission per unique spec.
+        let mut last_use: Vec<usize> = vec![usize::MAX; slots.len()];
+        for (i, &slot) in assignment.iter().enumerate() {
+            last_use[slot] = i;
+        }
         assignment
-            .into_iter()
-            .map(|slot| slots[slot].clone().expect("every unique slot filled"))
+            .iter()
+            .enumerate()
+            .map(|(i, &slot)| {
+                if last_use[slot] == i {
+                    slots[slot].take().expect("every unique slot filled")
+                } else {
+                    slots[slot].clone().expect("every unique slot filled")
+                }
+            })
             .collect()
     }
 }
@@ -305,5 +388,55 @@ mod tests {
         let e = Engine::without_cache();
         assert!(e.run_batch(&[]).is_empty());
         assert_eq!(e.stats(), EngineStats::default());
+    }
+
+    #[test]
+    fn batch_records_scheduler_stats() {
+        let e = Engine::without_cache();
+        assert!(e.sched_stats().is_none());
+        let specs: Vec<RunSpec> = (0..4).map(|i| tiny("gFLOV", i as f64 * 0.1)).collect();
+        e.run_batch(&specs);
+        let s = e.sched_stats().expect("compute phase ran");
+        assert_eq!(s.jobs, 4);
+        assert!(s.workers >= 1);
+        assert!(s.occupancy() > 0.0 && s.occupancy() <= 1.0);
+    }
+
+    #[test]
+    fn arbitrate_demotes_under_load_and_grants_on_drain() {
+        let req = KernelMode::Parallel { tiles: 8, grid: None };
+        // Saturated batch: every run single-threaded.
+        assert_eq!(arbitrate(req, 16, 8), KernelMode::ActiveSet);
+        assert_eq!(arbitrate(req, 8, 8), KernelMode::ActiveSet);
+        // Draining: the share grows; never beyond the request.
+        assert_eq!(arbitrate(req, 4, 8), KernelMode::Parallel { tiles: 2, grid: None });
+        assert_eq!(arbitrate(req, 1, 8), KernelMode::Parallel { tiles: 8, grid: None });
+        let pinned = KernelMode::Parallel { tiles: 4, grid: Some((2, 2)) };
+        // Full grant keeps a pinned geometry; partial grant re-plans.
+        assert_eq!(arbitrate(pinned, 1, 8), pinned);
+        assert_eq!(arbitrate(pinned, 2, 8), KernelMode::Parallel { tiles: 4, grid: Some((2, 2)) });
+        assert_eq!(arbitrate(pinned, 3, 8), KernelMode::Parallel { tiles: 2, grid: None });
+        // Non-parallel kernels pass through untouched.
+        assert_eq!(arbitrate(KernelMode::ActiveSet, 1, 8), KernelMode::ActiveSet);
+        assert_eq!(arbitrate(KernelMode::Reference, 1, 8), KernelMode::Reference);
+    }
+
+    #[test]
+    fn arbitration_never_changes_results() {
+        // The same batch, saturated (ActiveSet) vs fully granted parallel
+        // tiles, must be bit-identical — the kernel-equivalence guarantee
+        // the arbiter relies on.
+        let spec = tiny("rFLOV", 0.3);
+        let a = crate::run_kernel(
+            &spec,
+            arbitrate(KernelMode::Parallel { tiles: 4, grid: None }, 16, 4),
+        );
+        let b = crate::run_kernel(
+            &spec,
+            arbitrate(KernelMode::Parallel { tiles: 4, grid: None }, 1, 4),
+        );
+        assert_eq!(a.avg_latency, b.avg_latency);
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(a.power.total_w, b.power.total_w);
     }
 }

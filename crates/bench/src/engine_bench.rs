@@ -1,0 +1,229 @@
+//! Batch-engine throughput measurement behind `flov bench-engine`.
+//!
+//! Times the full `Engine::run_batch` path — key hashing, cache probing,
+//! work-stealing scheduling, persistence — over a ~1000-run sweep of tiny
+//! unique specs, in four lanes:
+//!
+//! - `cold_binary_sharded` / `warm_binary_sharded`: the current engine
+//!   (sharded binary cache + in-memory index + work-stealing scheduler),
+//!   first populating an empty cache, then replaying it fully warm.
+//! - `cold_json_flat` / `warm_json_flat`: the seed engine's layout (flat
+//!   per-key JSON files probed by direct reads), as the A/B baseline the
+//!   ISSUE's ≥10× warm-replay target is measured against.
+//!
+//! Every lane must produce byte-identical results (the cache is an
+//! implementation detail, never a semantic one), and the warm lanes must
+//! serve every run from cache. The report lands in `BENCH_engine.json`;
+//! `--min-warm-probe-rate` turns the warm binary lane's probes/sec into a
+//! CI regression gate.
+
+use crate::cache::{CacheFormat, ResultCache};
+use crate::engine::Engine;
+use crate::spec::RunSpec;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One timed lane.
+#[derive(Clone, Debug, Serialize)]
+pub struct EngineLane {
+    pub name: String,
+    pub runs: usize,
+    pub cached: usize,
+    pub simulated: usize,
+    /// Wall seconds for the `run_batch` call (excludes the index scan,
+    /// reported separately).
+    pub wall_seconds: f64,
+    pub runs_per_sec: f64,
+    /// Cache probes served per second (warm lanes: every run is a probe).
+    pub probes_per_sec: f64,
+    /// One-time index build: directory-scan seconds and entries found
+    /// (zero for the flat-layout lanes, which keep no index).
+    pub index_scan_seconds: f64,
+    pub index_entries: usize,
+    /// Scheduler counters (cold lanes; warm lanes simulate nothing).
+    pub workers: usize,
+    pub occupancy: f64,
+    pub steals: u64,
+    /// Cache footprint after the lane.
+    pub bytes_on_disk: u64,
+}
+
+/// The full `BENCH_engine.json` payload.
+#[derive(Clone, Debug, Serialize)]
+pub struct EngineBenchReport {
+    pub quick: bool,
+    pub host_threads: usize,
+    pub runs: usize,
+    pub lanes: Vec<EngineLane>,
+    /// Warm binary-sharded replay wall time over warm flat-JSON replay
+    /// wall time (the acceptance target is ≥10 on a ≥1000-run sweep).
+    pub warm_speedup_vs_json_flat: f64,
+}
+
+/// The sweep: `n` unique tiny specs. Short runs with a dense timeline
+/// (~1200 interval samples, the payload shape of a long production run),
+/// so warm-lane probes decode a realistic entry while the cold lane stays
+/// cheap to simulate.
+pub fn sweep_specs(n: usize) -> Vec<RunSpec> {
+    (0..n)
+        .map(|i| {
+            RunSpec::builder()
+                .mechanism(if i % 2 == 0 { "gFLOV" } else { "rFLOV" })
+                .k(4)
+                .rate(0.10)
+                .gated_fraction(0.25)
+                .seed(1_000 + i as u64)
+                .warmup(0)
+                .cycles(6_000)
+                .timeline_width(5)
+                .drain(5_000)
+                .build()
+        })
+        .collect()
+}
+
+fn lane_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("flov-bench-engine-{}-{tag}", std::process::id()))
+}
+
+/// Run one lane: build an engine over `cache`, execute the sweep
+/// `repeats` times keeping the fastest wall (warm lanes finish in
+/// milliseconds, so a single shot is at the mercy of scheduler jitter),
+/// and return the lane row plus a canonical digest of every result.
+fn run_lane(
+    name: &str,
+    cache: ResultCache,
+    specs: &[RunSpec],
+    time_index_scan: bool,
+    repeats: usize,
+) -> (EngineLane, String) {
+    let (index_entries, index_scan_seconds) =
+        if time_index_scan { cache.prime_index() } else { (0, 0.0) };
+    let mut wall = f64::INFINITY;
+    let mut digest = String::new();
+    let mut cached = 0;
+    let mut simulated = 0;
+    let mut sched = None;
+    for rep in 0..repeats.max(1) {
+        let engine = Engine::with_cache(cache.clone()).quiet();
+        let t0 = Instant::now();
+        let results = engine.run_batch(specs);
+        let w = t0.elapsed().as_secs_f64();
+        let d = serde_json::to_string(&results).expect("results serialize");
+        assert!(rep == 0 || d == digest, "lane {name} not deterministic across repeats");
+        digest = d;
+        if w < wall {
+            wall = w;
+            let s = engine.stats();
+            cached = s.cached;
+            simulated = s.simulated;
+            sched = engine.sched_stats();
+        }
+    }
+    let lane = EngineLane {
+        name: name.to_string(),
+        runs: specs.len(),
+        cached,
+        simulated,
+        wall_seconds: wall,
+        runs_per_sec: specs.len() as f64 / wall.max(1e-9),
+        probes_per_sec: cached as f64 / wall.max(1e-9),
+        index_scan_seconds,
+        index_entries,
+        workers: sched.as_ref().map(|x| x.workers).unwrap_or(0),
+        occupancy: sched.as_ref().map(|x| x.occupancy()).unwrap_or(0.0),
+        steals: sched.as_ref().map(|x| x.steals).unwrap_or(0),
+        bytes_on_disk: cache.stats().total_bytes,
+    };
+    (lane, digest)
+}
+
+/// Run the four-lane matrix. Panics if a warm lane misses the cache, if
+/// any lane's results diverge from the cold binary lane's, or, when
+/// `min_warm_probe_rate` is set, if the warm binary lane probes slower
+/// than that floor (probes/sec).
+pub fn run_bench(
+    quick: bool,
+    runs: Option<usize>,
+    min_warm_probe_rate: Option<f64>,
+) -> EngineBenchReport {
+    let n = runs.unwrap_or(if quick { 300 } else { 1_000 });
+    let specs = sweep_specs(n);
+    let bin_dir = lane_dir("bin");
+    let flat_dir = lane_dir("flat");
+    for d in [&bin_dir, &flat_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    let binary = || ResultCache::new(&bin_dir).with_format(CacheFormat::Binary);
+    let flat = || ResultCache::legacy_flat_json(&flat_dir);
+    // Fresh ResultCache per lane so each warm lane rebuilds its index
+    // from a cold directory scan, the way a new `flov` invocation would.
+    let warm_repeats = 3;
+    let (cold_bin, cold_bin_digest) = run_lane("cold_binary_sharded", binary(), &specs, false, 1);
+    eprintln!(
+        "[flov] bench-engine cold_binary_sharded: {:.2}s, {:.0} runs/s, \
+         {} workers ({:.0}% busy, {} steals)",
+        cold_bin.wall_seconds,
+        cold_bin.runs_per_sec,
+        cold_bin.workers,
+        cold_bin.occupancy * 100.0,
+        cold_bin.steals,
+    );
+    let (warm_bin, warm_bin_digest) =
+        run_lane("warm_binary_sharded", binary(), &specs, true, warm_repeats);
+    eprintln!(
+        "[flov] bench-engine warm_binary_sharded: {:.3}s, {:.0} probes/s \
+         (index: {} entries in {:.3}s)",
+        warm_bin.wall_seconds,
+        warm_bin.probes_per_sec,
+        warm_bin.index_entries,
+        warm_bin.index_scan_seconds,
+    );
+    let (cold_flat, cold_flat_digest) = run_lane("cold_json_flat", flat(), &specs, false, 1);
+    eprintln!(
+        "[flov] bench-engine cold_json_flat: {:.2}s, {:.0} runs/s",
+        cold_flat.wall_seconds, cold_flat.runs_per_sec,
+    );
+    let (warm_flat, warm_flat_digest) =
+        run_lane("warm_json_flat", flat(), &specs, false, warm_repeats);
+    eprintln!(
+        "[flov] bench-engine warm_json_flat: {:.3}s, {:.0} probes/s",
+        warm_flat.wall_seconds, warm_flat.probes_per_sec,
+    );
+
+    // The cache layer must be semantically invisible: every lane, cold or
+    // warm, binary or JSON, yields byte-identical results.
+    assert_eq!(warm_bin_digest, cold_bin_digest, "binary warm replay diverged from cold run");
+    assert_eq!(cold_flat_digest, cold_bin_digest, "flat-JSON lane diverged from binary lane");
+    assert_eq!(warm_flat_digest, cold_bin_digest, "flat-JSON warm replay diverged");
+    assert_eq!(warm_bin.cached, n, "warm binary lane missed the cache");
+    assert_eq!(warm_flat.cached, n, "warm flat lane missed the cache");
+    assert_eq!(warm_bin.index_entries, n, "index scan missed entries");
+
+    let warm_speedup = warm_flat.wall_seconds / warm_bin.wall_seconds.max(1e-9);
+    eprintln!(
+        "[flov] bench-engine: warm replay speedup vs flat JSON: {warm_speedup:.1}x \
+         ({:.0} vs {:.0} probes/s)",
+        warm_bin.probes_per_sec, warm_flat.probes_per_sec,
+    );
+    if let Some(floor) = min_warm_probe_rate {
+        assert!(
+            warm_bin.probes_per_sec >= floor,
+            "engine-probe regression: warm binary lane at {:.0} probes/sec < floor {floor:.0}",
+            warm_bin.probes_per_sec
+        );
+    }
+
+    for d in [&bin_dir, &flat_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    EngineBenchReport {
+        quick,
+        host_threads: std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1),
+        runs: n,
+        lanes: vec![cold_bin, warm_bin, cold_flat, warm_flat],
+        warm_speedup_vs_json_flat: warm_speedup,
+    }
+}

@@ -10,22 +10,29 @@
 //! aligned table and CSV. Every individual simulation is deterministic.
 
 pub mod ablations;
+pub mod binfmt;
 pub mod cache;
 pub mod engine;
+pub mod engine_bench;
 pub mod figures;
 pub mod fuzz;
 pub mod kernel_bench;
 pub mod progress;
 pub mod report;
+pub mod scheduler;
 pub mod spec;
 pub mod studies;
 
-pub use cache::{CacheEntry, CacheStats, ResultCache};
+pub use cache::{
+    CacheEntry, CacheFormat, CacheStats, GcOptions, GcReport, MigrateReport, ResultCache,
+    VerifyReport,
+};
 pub use engine::{Engine, EngineStats, KERNEL_VERSION};
 pub use flov_noc::audit::{AuditViolation, DEFAULT_AUDIT_INTERVAL};
 pub use flov_noc::network::KernelMode;
 pub use fuzz::{FuzzOptions, FuzzReport};
 pub use report::{csv_escape, Table};
+pub use scheduler::SchedStats;
 pub use spec::{RunResult, RunSpec, RunSpecBuilder, WorkloadSpec};
 
 use flov_core::mechanism;

@@ -1,21 +1,40 @@
 //! Live progress for batch runs, written to stderr so CSV/table output on
 //! stdout stays clean and pipeable.
+//!
+//! Three modes, picked automatically:
+//! - **Interactive** (stderr is a terminal): a throttled `\r`-redrawn
+//!   status line, as before.
+//! - **Plain** (stderr redirected — CI logs, `2>file`): one plain line
+//!   per 5% of the batch, so a 10k-run sweep logs ≤20 lines instead of
+//!   thousands of carriage-return redraws.
+//! - **Silent** (`--quiet`, `FLOV_QUIET`, or a quiet engine): counters
+//!   only, no output.
 
-use std::io::Write;
+use std::io::{IsTerminal, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Throttled `\r`-style progress line plus a final machine-parseable
-/// summary. All methods take `&self`; safe to tick from worker threads.
+/// How progress reaches stderr. See the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    Interactive,
+    Plain,
+    Silent,
+}
+
+/// Throttled `\r`-style progress line (or per-5% plain lines). All
+/// methods take `&self`; safe to tick from worker threads.
 pub struct Progress {
     total: usize,
     done: AtomicUsize,
     cached: AtomicUsize,
     draws: AtomicUsize,
+    /// Last 5% milestone printed (Plain mode): `done * 20 / total`.
+    milestone: AtomicUsize,
     start: Instant,
     last_draw: Mutex<Instant>,
-    enabled: bool,
+    mode: Mode,
 }
 
 /// Minimum interval between stderr redraws. Fully-cached batches tick tens
@@ -24,21 +43,41 @@ pub struct Progress {
 const DRAW_INTERVAL: Duration = Duration::from_millis(50);
 
 impl Progress {
+    /// `enabled = false` is Silent; otherwise the mode follows whether
+    /// stderr is a terminal.
     pub fn new(total: usize, enabled: bool) -> Progress {
+        let mode = if !enabled {
+            Mode::Silent
+        } else if std::io::stderr().is_terminal() {
+            Mode::Interactive
+        } else {
+            Mode::Plain
+        };
+        Progress::with_mode(total, mode)
+    }
+
+    /// Explicit-mode constructor (tests pin a mode regardless of where
+    /// stderr points).
+    pub fn with_mode(total: usize, mode: Mode) -> Progress {
         let now = Instant::now();
         Progress {
             total,
             done: AtomicUsize::new(0),
             cached: AtomicUsize::new(0),
             draws: AtomicUsize::new(0),
+            milestone: AtomicUsize::new(0),
             start: now,
             // Backdate so the first tick draws immediately.
             last_draw: Mutex::new(now - Duration::from_secs(1)),
-            enabled,
+            mode,
         }
     }
 
-    /// Number of stderr redraws so far (throttle observability).
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Number of stderr writes so far (throttle observability).
     pub fn draws(&self) -> usize {
         self.draws.load(Ordering::Relaxed)
     }
@@ -50,9 +89,39 @@ impl Progress {
         if from_cache {
             self.cached.fetch_add(1, Ordering::Relaxed);
         }
-        if !self.enabled {
+        match self.mode {
+            Mode::Silent => {}
+            Mode::Plain => self.tick_plain(done),
+            Mode::Interactive => self.tick_interactive(done),
+        }
+    }
+
+    /// Plain mode: one line each time the batch crosses a 5% boundary
+    /// (and on the final run). A CAS on the milestone counter ensures
+    /// exactly one thread prints each boundary.
+    fn tick_plain(&self, done: usize) {
+        let step = (done * 20).checked_div(self.total).unwrap_or(20);
+        let prev = self.milestone.load(Ordering::Relaxed);
+        if step <= prev
+            || self
+                .milestone
+                .compare_exchange(prev, step, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+        {
             return;
         }
+        self.draws.fetch_add(1, Ordering::Relaxed);
+        let cached = self.cached.load(Ordering::Relaxed);
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let rate = done as f64 / elapsed.max(1e-9);
+        eprintln!(
+            "[flov] progress {done}/{} runs ({}%), {cached} cached, {rate:.1} runs/s",
+            self.total,
+            step * 5,
+        );
+    }
+
+    fn tick_interactive(&self, done: usize) {
         // Redraw at most once per DRAW_INTERVAL (always on the last run);
         // skip the draw entirely if another thread holds the throttle lock.
         let Ok(mut last) = self.last_draw.try_lock() else { return };
@@ -74,7 +143,7 @@ impl Progress {
 
     /// Clear the progress line. Call before printing the batch summary.
     pub fn clear_line(&self) {
-        if self.enabled && self.total > 0 {
+        if self.mode == Mode::Interactive && self.total > 0 {
             eprint!("\r{:76}\r", "");
             let _ = std::io::stderr().flush();
         }
@@ -90,7 +159,7 @@ mod tests {
         // 10k instantaneous ticks must produce at most a handful of stderr
         // writes: the first (backdated) draw, the guaranteed final draw,
         // and at most one per elapsed DRAW_INTERVAL in between.
-        let p = Progress::new(10_000, true);
+        let p = Progress::with_mode(10_000, Mode::Interactive);
         for i in 0..10_000 {
             p.tick(i % 2 == 0);
         }
@@ -102,13 +171,36 @@ mod tests {
     }
 
     #[test]
+    fn plain_mode_prints_one_line_per_five_percent() {
+        let p = Progress::with_mode(10_000, Mode::Plain);
+        for _ in 0..10_000 {
+            p.tick(false);
+        }
+        let draws = p.draws();
+        assert!(draws >= 1, "must log at least the final milestone");
+        assert!(draws <= 21, "plain mode leaked past 5% milestones: {draws} lines");
+        p.clear_line();
+    }
+
+    #[test]
+    fn plain_mode_small_batch_never_exceeds_run_count() {
+        let p = Progress::with_mode(3, Mode::Plain);
+        p.tick(false);
+        p.tick(true);
+        p.tick(false);
+        assert!(p.draws() <= 3);
+    }
+
+    #[test]
     fn disabled_progress_still_counts() {
         let p = Progress::new(3, false);
+        assert_eq!(p.mode(), Mode::Silent);
         p.tick(true);
         p.tick(false);
         p.tick(false);
         assert_eq!(p.done.load(Ordering::Relaxed), 3);
         assert_eq!(p.cached.load(Ordering::Relaxed), 1);
+        assert_eq!(p.draws(), 0);
         p.clear_line();
     }
 }

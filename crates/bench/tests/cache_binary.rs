@@ -1,0 +1,347 @@
+//! The sharded binary cache: format round-trips, index correctness,
+//! corruption quarantine, GC eviction order, legacy-JSON compatibility,
+//! migration, and work-stealing determinism.
+
+use flov_bench::cache::QUARANTINE_DIR;
+use flov_bench::{
+    binfmt, CacheEntry, CacheFormat, Engine, GcOptions, ResultCache, RunResult, RunSpec,
+    KERNEL_VERSION,
+};
+use proptest::prelude::*;
+use std::fs::{self, FileTimes};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, SystemTime};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh cache directory per test, safe under parallel test threads.
+fn temp_cache_dir() -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("flov-cache-bin-test-{}-{n}", std::process::id()))
+}
+
+fn tiny_spec(fraction: f64, seed: u64) -> RunSpec {
+    RunSpec::builder()
+        .k(4)
+        .gated_fraction(fraction)
+        .seed(seed)
+        .warmup(200)
+        .cycles(1_500)
+        .drain(8_000)
+        .build()
+}
+
+/// Canonical spec JSON + content key for `spec` under the current salt.
+fn key_of(spec: &RunSpec) -> String {
+    let json = serde_json::to_string(&spec.resolved()).unwrap();
+    ResultCache::key(&json, KERNEL_VERSION)
+}
+
+/// The on-disk path of a sharded entry.
+fn entry_path(dir: &Path, key: &str, ext: &str) -> PathBuf {
+    dir.join(&key[..2]).join(format!("{key}.{ext}"))
+}
+
+fn binary_engine(dir: &Path) -> Engine {
+    Engine::with_cache(ResultCache::new(dir).with_format(CacheFormat::Binary)).quiet()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// A simulated `RunResult` survives JSON ⇄ binary bit-identically:
+    /// decoding the binary container yields exactly the result the JSON
+    /// round trip yields, down to every float bit (canonical JSON uses
+    /// shortest-roundtrip floats, so string equality is bit equality).
+    #[test]
+    fn runresult_roundtrips_json_and_binary_bit_identically(
+        fraction in 0.0f64..0.8,
+        seed in 0u64..1_000_000,
+    ) {
+        let spec = tiny_spec(fraction, seed).resolved();
+        let result = flov_bench::run(&spec);
+        let json = serde_json::to_string(&result).unwrap();
+        let via_json: RunResult = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&serde_json::to_string(&via_json).unwrap(), &json);
+
+        let spec_json = serde_json::to_string(&spec).unwrap();
+        let key = ResultCache::key(&spec_json, KERNEL_VERSION);
+        let bytes = binfmt::encode_entry(&key, KERNEL_VERSION, &spec_json, &result);
+        let entry = binfmt::decode_entry(&bytes).unwrap();
+        prop_assert_eq!(&entry.key, &key);
+        prop_assert_eq!(entry.kernel_version, KERNEL_VERSION);
+        prop_assert_eq!(&entry.spec_json, &spec_json);
+        prop_assert_eq!(&serde_json::to_string(&entry.result).unwrap(), &json);
+
+        // The fast probe path decodes the same result...
+        let probed = binfmt::decode_result(&bytes, &key, KERNEL_VERSION).unwrap().unwrap();
+        prop_assert_eq!(&serde_json::to_string(&probed).unwrap(), &json);
+        // ...and a salt mismatch is a plain miss, not an error.
+        prop_assert!(binfmt::decode_result(&bytes, &key, KERNEL_VERSION + 1).unwrap().is_none());
+    }
+}
+
+#[test]
+fn truncated_entry_is_a_quarantined_miss() {
+    let dir = temp_cache_dir();
+    let spec = tiny_spec(0.4, 7);
+    binary_engine(&dir).run_one(&spec);
+    let key = key_of(&spec);
+    let path = entry_path(&dir, &key, "bin");
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let cache = ResultCache::new(&dir);
+    assert!(cache.get(&key, KERNEL_VERSION).is_none(), "truncated entry must miss");
+    assert!(!path.exists(), "truncated entry must be moved out of the shard");
+    assert!(dir.join(QUARANTINE_DIR).join(format!("{key}.bin")).exists());
+    let s = cache.stats();
+    assert_eq!(s.entries, 0);
+    assert_eq!(s.quarantined, 1);
+
+    // The engine recovers transparently: the run is simulated afresh and
+    // re-persisted under the same key.
+    let engine = binary_engine(&dir);
+    engine.run_one(&spec);
+    assert_eq!(engine.stats().simulated, 1);
+    assert!(path.exists());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_entry_is_a_quarantined_miss() {
+    let dir = temp_cache_dir();
+    let spec = tiny_spec(0.2, 8);
+    binary_engine(&dir).run_one(&spec);
+    let key = key_of(&spec);
+    let path = entry_path(&dir, &key, "bin");
+    let mut bytes = fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    fs::write(&path, &bytes).unwrap();
+
+    let cache = ResultCache::new(&dir);
+    assert!(cache.get(&key, KERNEL_VERSION).is_none(), "corrupt entry must miss, not crash");
+    assert_eq!(cache.stats().quarantined, 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn index_rebuild_from_scan_matches_incremental_index() {
+    let dir = temp_cache_dir();
+    let specs: Vec<RunSpec> = (0..6).map(|i| tiny_spec(i as f64 * 0.1, 100 + i)).collect();
+    let engine = binary_engine(&dir);
+    engine.run_batch(&specs);
+
+    // The engine's cache indexed each entry incrementally as it was
+    // written; a fresh cache over the same directory must scan to the
+    // exact same key set.
+    let incremental = engine.cache().unwrap().known_keys();
+    let rescanned = ResultCache::new(&dir).known_keys();
+    assert_eq!(incremental.len(), specs.len());
+    assert_eq!(incremental, rescanned);
+    let mut expected: Vec<String> = specs.iter().map(key_of).collect();
+    expected.sort();
+    assert_eq!(rescanned, expected);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Pin an entry's access+modify times (GC orders by the newer of the two).
+fn set_entry_times(path: &Path, t: SystemTime) {
+    let f = fs::File::options().write(true).open(path).unwrap();
+    f.set_times(FileTimes::new().set_accessed(t).set_modified(t)).unwrap();
+}
+
+#[test]
+fn gc_max_bytes_keeps_most_recently_used_entries() {
+    let dir = temp_cache_dir();
+    let specs: Vec<RunSpec> = (0..4).map(|i| tiny_spec(0.1 * i as f64, 200 + i)).collect();
+    binary_engine(&dir).run_batch(&specs);
+    let keys: Vec<String> = specs.iter().map(key_of).collect();
+    let now = SystemTime::now();
+    // Ages: specs[0] oldest ... specs[3] newest.
+    for (i, key) in keys.iter().enumerate() {
+        let age = Duration::from_secs(3600 * (specs.len() - i) as u64);
+        set_entry_times(&entry_path(&dir, key, "bin"), now - age);
+    }
+
+    let cache = ResultCache::new(&dir);
+    let sizes: Vec<u64> =
+        keys.iter().map(|k| fs::metadata(entry_path(&dir, k, "bin")).unwrap().len()).collect();
+    // Budget for exactly the two most recently used entries.
+    let budget = sizes[2] + sizes[3];
+    let report = cache.gc(&GcOptions { max_bytes: Some(budget), max_age: None }).unwrap();
+    assert_eq!(report.scanned, 4);
+    assert_eq!(report.removed, 2);
+    assert!(!entry_path(&dir, &keys[0], "bin").exists(), "LRU entry must be evicted");
+    assert!(!entry_path(&dir, &keys[1], "bin").exists());
+    assert!(entry_path(&dir, &keys[2], "bin").exists(), "MRU entries must survive");
+    assert!(entry_path(&dir, &keys[3], "bin").exists());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gc_max_age_evicts_only_stale_entries() {
+    let dir = temp_cache_dir();
+    let fresh = tiny_spec(0.3, 300);
+    let stale = tiny_spec(0.6, 301);
+    binary_engine(&dir).run_batch(&[fresh.clone(), stale.clone()]);
+    set_entry_times(
+        &entry_path(&dir, &key_of(&stale), "bin"),
+        SystemTime::now() - Duration::from_secs(48 * 3600),
+    );
+
+    let cache = ResultCache::new(&dir);
+    let report = cache
+        .gc(&GcOptions { max_bytes: None, max_age: Some(Duration::from_secs(24 * 3600)) })
+        .unwrap();
+    assert_eq!(report.removed, 1);
+    assert!(entry_path(&dir, &key_of(&fresh), "bin").exists());
+    assert!(!entry_path(&dir, &key_of(&stale), "bin").exists());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_flat_json_entries_are_readable_and_migratable() {
+    let dir = temp_cache_dir();
+    let specs: Vec<RunSpec> = (0..3).map(|i| tiny_spec(0.2 * i as f64, 400 + i)).collect();
+
+    // Seed-era layout: flat JSON files straight under the cache dir.
+    let legacy = Engine::with_cache(ResultCache::legacy_flat_json(&dir)).quiet();
+    let original = legacy.run_batch(&specs);
+    for spec in &specs {
+        assert!(dir.join(format!("{}.json", key_of(spec))).exists());
+    }
+
+    // The sharded cache reads them where they are (no migration needed).
+    let replay_engine = binary_engine(&dir);
+    let replayed = replay_engine.run_batch(&specs);
+    assert_eq!(replay_engine.stats().cached, specs.len(), "flat JSON must hit");
+    assert_eq!(
+        serde_json::to_string(&replayed).unwrap(),
+        serde_json::to_string(&original).unwrap(),
+    );
+
+    // Migration rewrites them as sharded binary, preserving every key...
+    let cache = ResultCache::new(&dir);
+    let before = cache.known_keys();
+    let report = cache.migrate().unwrap();
+    assert_eq!(report.migrated, specs.len());
+    assert_eq!(report.quarantined, 0);
+    assert_eq!(cache.known_keys(), before, "migration must preserve content hashes");
+    for spec in &specs {
+        let key = key_of(spec);
+        assert!(entry_path(&dir, &key, "bin").exists());
+        assert!(!dir.join(format!("{key}.json")).exists(), "source JSON must be consumed");
+    }
+    // ...verification agrees...
+    let verify = cache.verify();
+    assert_eq!(verify.checked, specs.len());
+    assert_eq!(verify.quarantined, 0);
+
+    // ...and the warm replay still serves identical bytes.
+    let after_engine = binary_engine(&dir);
+    let after = after_engine.run_batch(&specs);
+    assert_eq!(after_engine.stats().cached, specs.len());
+    assert_eq!(serde_json::to_string(&after).unwrap(), serde_json::to_string(&original).unwrap(),);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verify_quarantines_entries_filed_under_the_wrong_key() {
+    let dir = temp_cache_dir();
+    let spec = tiny_spec(0.5, 500);
+    binary_engine(&dir).run_one(&spec);
+    let key = key_of(&spec);
+    // File a byte-for-byte copy of a valid entry under a different key:
+    // structurally sound, wrong address.
+    let prefix = if &key[..2] == "ff" { "00" } else { "ff" };
+    let bogus = format!("{prefix}{}", &key[2..]);
+    let from = entry_path(&dir, &key, "bin");
+    let to = entry_path(&dir, &bogus, "bin");
+    fs::create_dir_all(to.parent().unwrap()).unwrap();
+    fs::copy(&from, &to).unwrap();
+
+    let cache = ResultCache::new(&dir);
+    let report = cache.verify();
+    assert_eq!(report.checked, 2);
+    assert_eq!(report.ok, 1);
+    assert_eq!(report.quarantined, 1);
+    assert!(from.exists());
+    assert!(!to.exists());
+
+    // The misfiled copy is also a hard miss on the probe path (hash
+    // mismatch inside the container is corruption, not a silent hit).
+    let dir2 = temp_cache_dir();
+    let bytes = fs::read(&from).unwrap();
+    let c2 = ResultCache::new(&dir2);
+    let dest = dir2.join(&bogus[..2]).join(format!("{bogus}.bin"));
+    fs::create_dir_all(dest.parent().unwrap()).unwrap();
+    fs::write(&dest, &bytes).unwrap();
+    assert!(c2.get(&bogus, KERNEL_VERSION).is_none());
+    assert_eq!(c2.stats().quarantined, 1);
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&dir2);
+}
+
+#[test]
+fn work_stealing_batch_matches_sequential_execution() {
+    let dir = temp_cache_dir();
+    // A mixed batch with duplicates, big enough to spread across workers.
+    let mut specs: Vec<RunSpec> = (0..10).map(|i| tiny_spec(0.08 * i as f64, 600 + i)).collect();
+    specs.push(specs[2].clone());
+    specs.push(specs[0].clone());
+
+    let engine = binary_engine(&dir);
+    let batch = engine.run_batch(&specs);
+
+    // Sequential ground truth: each spec simulated in submission order,
+    // no scheduler, no cache.
+    let sequential: Vec<RunResult> = specs.iter().map(flov_bench::run).collect();
+    assert_eq!(
+        serde_json::to_string(&batch).unwrap(),
+        serde_json::to_string(&sequential).unwrap(),
+        "work-stealing execution changed results vs sequential order"
+    );
+
+    // And the cache keys are exactly the canonical per-spec hashes.
+    let mut expected: Vec<String> = specs.iter().map(key_of).collect();
+    expected.sort();
+    expected.dedup();
+    assert_eq!(engine.cache().unwrap().known_keys(), expected);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn json_write_format_interoperates_with_binary_probes() {
+    let dir = temp_cache_dir();
+    let spec = tiny_spec(0.35, 700);
+    // Write sharded JSON (FLOV_CACHE_FORMAT=json path, minus the env var).
+    let json_engine =
+        Engine::with_cache(ResultCache::new(&dir).with_format(CacheFormat::Json)).quiet();
+    let original = json_engine.run_one(&spec);
+    let key = key_of(&spec);
+    assert!(entry_path(&dir, &key, "json").exists());
+
+    // A default (binary-writing) cache still hits the sharded JSON entry.
+    let replay = binary_engine(&dir);
+    let replayed = replay.run_one(&spec);
+    assert_eq!(replay.stats().cached, 1);
+    assert_eq!(
+        serde_json::to_string(&replayed).unwrap(),
+        serde_json::to_string(&original).unwrap(),
+    );
+
+    // When both formats exist for one key, the index prefers the binary.
+    let entry = CacheEntry {
+        kernel_version: KERNEL_VERSION,
+        spec: spec.resolved(),
+        result: original.clone(),
+    };
+    ResultCache::new(&dir).with_format(CacheFormat::Binary).put(&key, &entry).unwrap();
+    let both = ResultCache::new(&dir);
+    assert!(both.get(&key, KERNEL_VERSION).is_some());
+    assert_eq!(both.known_keys().len(), 1);
+    let _ = fs::remove_dir_all(&dir);
+}
