@@ -21,7 +21,7 @@ use flov_bench::figures::{
     fig_breakdown, fig_parsec, fig_static, fig_synthetic, fig_timeline, overhead, parsec_default,
     table1, SynthScale,
 };
-use flov_bench::{ablations, studies, ResultCache, RunResult, RunSpec};
+use flov_bench::{ablations, studies, tracefmt, ResultCache, RunResult, RunSpec, WorkloadSpec};
 use flov_core::mechanism;
 use flov_noc::network::Simulation;
 use flov_noc::{render, TopologySpec};
@@ -55,8 +55,18 @@ tools:
               [--mech M] [--pattern P] [--rate R] [--gated F] [--cycles N]
               [--warmup N] [--seed S] [--k K] [--parsec BENCH] [--json] [--map]
               [--audit] [--topology mesh|torus|cmesh:C|rect:KXxKY]
+              [--mmpp R1,R2,..] (MMPP bursty traffic: random-dwell phases)
+              [--diurnal R1,R2,..] (fixed-dwell load phases)
+              [--dwell N] (mean [mmpp] / exact [diurnal] phase length)
               [--threads N] (sharded parallel kernel, planner-chosen grid)
               [--tiles RxC] (sharded parallel kernel, explicit 2-D geometry)
+  trace       record/replay compact binary flit traces (.flovtrace:
+              varint delta records + CRC-32C, source spec embedded)
+              record: capture a run's injection stream + core schedule
+                [any sim workload flag] [--out FILE.flovtrace] [--json]
+              replay: re-run a recorded stream, bit-identical on every
+              kernel (pair with --no-cache when comparing kernels)
+                --in FILE.flovtrace [--json] [--closed-loop]
   sweep       run a batch of serialized RunSpecs
               --spec FILE.json (one spec or an array); JSON results on stdout
   bench-kernel  time the cycle kernels (active-set vs reference) on 8x8
@@ -206,9 +216,12 @@ fn parse_age(v: &str) -> std::time::Duration {
     }))
 }
 
-/// Surface a config problem as a diagnostic instead of a panic.
+/// Surface a config problem as a diagnostic instead of a panic. This is
+/// full spec-level validation (`RunSpec::validate`): NoC shape problems
+/// *and* workload problems — an over-saturated injection rate, an empty
+/// MMPP rate list — all exit 2 with the structured `ConfigError` text.
 fn validate_or_die(spec: &RunSpec) {
-    if let Err(e) = spec.resolved().cfg.validate() {
+    if let Err(e) = spec.validate() {
         eprintln!("error: invalid configuration for {}: {e}", spec.mechanism);
         std::process::exit(2);
     }
@@ -352,6 +365,14 @@ fn main() {
             table.emit("parsec");
         }
         "sim" => sim(&engine, rest),
+        "trace" => match rest.first().map(|s| s.as_str()) {
+            Some("record") => trace_record(&rest[1..]),
+            Some("replay") => trace_replay(&engine, &rest[1..]),
+            _ => {
+                eprintln!("error: trace needs a record or replay subcommand\n");
+                usage();
+            }
+        },
         "sweep" => {
             let path = flag_value(rest, "--spec").unwrap_or_else(|| {
                 eprintln!("error: sweep needs --spec FILE.json");
@@ -457,6 +478,15 @@ fn main() {
                     );
                     println!("shard dirs   {}", s.shard_dirs);
                     println!("quarantined  {} ({} bytes)", s.quarantined, s.quarantined_bytes);
+                    if s.atime_bump_failures > 0 {
+                        println!(
+                            "atime bumps  {} failed — access times are stale \
+                             (noatime/read-only mount?); gc orders by mtime",
+                            s.atime_bump_failures
+                        );
+                    } else {
+                        println!("atime bumps  ok (gc orders by last use)");
+                    }
                 }
                 Some("clear") => {
                     let n = cache.clear().unwrap_or_else(|e| {
@@ -530,24 +560,57 @@ fn main() {
     }
 }
 
-/// `flov sim` — one-off simulation with a human-readable report, JSON
-/// output for scripting, and an optional steady-state mesh map.
-fn sim(engine: &Engine, rest: &[String]) {
-    let mut mech = "gFLOV".to_string();
-    let mut pattern = Pattern::UniformRandom;
-    let mut rate = 0.02f64;
-    let mut gated = 0.5f64;
-    let mut cycles = 100_000u64;
-    let mut warmup = 10_000u64;
-    let mut seed = 0xF10Fu64;
-    let mut k = 8u16;
-    let mut topology: Option<String> = None;
-    let mut parsec: Option<String> = None;
-    let mut json = false;
-    let mut map = false;
-    let mut audit = false;
-    let mut threads: Option<usize> = None;
-    let mut tiles: Option<String> = None;
+/// Workload/run-shape flags shared by `sim` and `trace record`.
+struct SimArgs {
+    mech: String,
+    pattern: Pattern,
+    rate: f64,
+    gated: f64,
+    cycles: u64,
+    warmup: u64,
+    seed: u64,
+    k: u16,
+    topology: Option<String>,
+    parsec: Option<String>,
+    mmpp: Option<Vec<f64>>,
+    diurnal: Option<Vec<f64>>,
+    dwell: u64,
+    json: bool,
+    map: bool,
+    audit: bool,
+    threads: Option<usize>,
+    tiles: Option<String>,
+    out: Option<String>,
+}
+
+/// Comma-separated per-phase injection rates (values are validated by
+/// `RunSpec::validate`, so an over-saturated phase still exits 2).
+fn parse_rates(flag: &str, v: &str) -> Vec<f64> {
+    v.split(',').map(|r| parse_or_die(flag, r)).collect()
+}
+
+fn parse_sim_args(rest: &[String]) -> SimArgs {
+    let mut a = SimArgs {
+        mech: "gFLOV".to_string(),
+        pattern: Pattern::UniformRandom,
+        rate: 0.02,
+        gated: 0.5,
+        cycles: 100_000,
+        warmup: 10_000,
+        seed: 0xF10F,
+        k: 8,
+        topology: None,
+        parsec: None,
+        mmpp: None,
+        diurnal: None,
+        dwell: 10_000,
+        json: false,
+        map: false,
+        audit: false,
+        threads: None,
+        tiles: None,
+        out: None,
+    };
     let mut i = 0;
     while i < rest.len() {
         let val = |i: &mut usize| -> String {
@@ -558,21 +621,25 @@ fn sim(engine: &Engine, rest: &[String]) {
             })
         };
         match rest[i].as_str() {
-            "--mech" => mech = val(&mut i),
-            "--pattern" => pattern = parse_pattern(&val(&mut i)),
-            "--rate" => rate = parse_or_die("--rate", &val(&mut i)),
-            "--gated" => gated = parse_or_die("--gated", &val(&mut i)),
-            "--cycles" => cycles = parse_or_die("--cycles", &val(&mut i)),
-            "--warmup" => warmup = parse_or_die("--warmup", &val(&mut i)),
-            "--seed" => seed = parse_or_die("--seed", &val(&mut i)),
-            "--k" => k = parse_or_die("--k", &val(&mut i)),
-            "--topology" => topology = Some(val(&mut i)),
-            "--parsec" => parsec = Some(val(&mut i)),
-            "--json" => json = true,
-            "--map" => map = true,
-            "--audit" => audit = true,
-            "--threads" => threads = Some(parse_or_die("--threads", &val(&mut i))),
-            "--tiles" => tiles = Some(val(&mut i)),
+            "--mech" => a.mech = val(&mut i),
+            "--pattern" => a.pattern = parse_pattern(&val(&mut i)),
+            "--rate" => a.rate = parse_or_die("--rate", &val(&mut i)),
+            "--gated" => a.gated = parse_or_die("--gated", &val(&mut i)),
+            "--cycles" => a.cycles = parse_or_die("--cycles", &val(&mut i)),
+            "--warmup" => a.warmup = parse_or_die("--warmup", &val(&mut i)),
+            "--seed" => a.seed = parse_or_die("--seed", &val(&mut i)),
+            "--k" => a.k = parse_or_die("--k", &val(&mut i)),
+            "--topology" => a.topology = Some(val(&mut i)),
+            "--parsec" => a.parsec = Some(val(&mut i)),
+            "--mmpp" => a.mmpp = Some(parse_rates("--mmpp", &val(&mut i))),
+            "--diurnal" => a.diurnal = Some(parse_rates("--diurnal", &val(&mut i))),
+            "--dwell" => a.dwell = parse_or_die("--dwell", &val(&mut i)),
+            "--json" => a.json = true,
+            "--map" => a.map = true,
+            "--audit" => a.audit = true,
+            "--threads" => a.threads = Some(parse_or_die("--threads", &val(&mut i))),
+            "--tiles" => a.tiles = Some(val(&mut i)),
+            "--out" => a.out = Some(val(&mut i)),
             // Global flags were already consumed in main.
             "--quick" | "--no-cache" | "--quiet" => {}
             "--cache-dir" => {
@@ -582,24 +649,44 @@ fn sim(engine: &Engine, rest: &[String]) {
         }
         i += 1;
     }
-    check_mech(&mech);
-    let mut b = RunSpec::builder().mechanism(&mech).k(k).seed(seed).audit(audit);
-    if let Some(t) = &topology {
-        b = b.topology(parse_topology(t, k));
+    if a.mmpp.is_some() && a.diurnal.is_some() {
+        eprintln!("error: --mmpp and --diurnal are mutually exclusive");
+        std::process::exit(2);
     }
-    b = match &parsec {
+    a
+}
+
+fn build_sim_spec(a: &SimArgs) -> RunSpec {
+    check_mech(&a.mech);
+    let mut b = RunSpec::builder().mechanism(&a.mech).k(a.k).seed(a.seed).audit(a.audit);
+    if let Some(t) = &a.topology {
+        b = b.topology(parse_topology(t, a.k));
+    }
+    b = match &a.parsec {
         Some(bench) => b.parsec(bench),
-        None => b
-            .pattern(pattern)
-            .rate(rate)
-            .gated_fraction(gated)
-            .warmup(warmup)
-            .cycles(cycles)
-            .drain(cycles),
+        None => {
+            let mut b = b
+                .pattern(a.pattern)
+                .gated_fraction(a.gated)
+                .warmup(a.warmup)
+                .cycles(a.cycles)
+                .drain(a.cycles);
+            b = if let Some(rates) = &a.mmpp {
+                b.mmpp(rates.clone(), a.dwell)
+            } else if let Some(rates) = &a.diurnal {
+                b.diurnal(rates.clone(), a.dwell)
+            } else {
+                b.rate(a.rate)
+            };
+            b
+        }
     };
-    let spec = b.build();
-    validate_or_die(&spec);
-    if let Some(t) = threads {
+    b.build()
+}
+
+/// Apply `--threads`/`--tiles` by selecting the parallel kernel via env.
+fn apply_kernel_flags(a: &SimArgs) {
+    if let Some(t) = a.threads {
         // Reject t == 0 here: a cache hit would otherwise skip the kernel
         // lookup (kernel mode is not in the cache key) and mask the error.
         if t == 0 {
@@ -612,7 +699,7 @@ fn sim(engine: &Engine, rest: &[String]) {
         std::env::set_var("FLOV_KERNEL", "parallel");
         std::env::set_var("FLOV_THREADS", t.to_string());
     }
-    if let Some(g) = &tiles {
+    if let Some(g) = &a.tiles {
         // Validate eagerly for the same cache-hit reason as --threads.
         if flov_bench::parse_tile_geometry(g).is_none() {
             eprintln!("error: --tiles wants RxC (e.g. 4x2), got {g:?}");
@@ -621,6 +708,103 @@ fn sim(engine: &Engine, rest: &[String]) {
         std::env::set_var("FLOV_KERNEL", "parallel");
         std::env::set_var("FLOV_TILES", g);
     }
+}
+
+/// `flov trace record` — run a spec (same workload flags as `sim`) with
+/// the recording wrapper on, then persist the captured stream as a
+/// `.flovtrace` container. The run itself is bit-identical to `sim`.
+fn trace_record(rest: &[String]) {
+    let a = parse_sim_args(rest);
+    let out = a.out.clone().unwrap_or_else(|| "trace.flovtrace".to_string());
+    // Embed the *resolved* spec so replay rebuilds the exact run shape
+    // (mechanism parameters included) without re-resolving.
+    let spec = build_sim_spec(&a).resolved();
+    validate_or_die(&spec);
+    apply_kernel_flags(&a);
+    let (audited, data) = flov_bench::record_trace(&spec, flov_bench::kernel_from_env())
+        .unwrap_or_else(|e| {
+            eprintln!("error: invalid configuration for {}: {e}", spec.mechanism);
+            std::process::exit(2);
+        });
+    for v in &audited.violations {
+        eprintln!("[flov] audit violation ({}): {v}", spec.mechanism);
+    }
+    let spec_json = serde_json::to_string(&spec).expect("spec serializes");
+    let bytes = tracefmt::encode_trace(flov_bench::KERNEL_VERSION, &spec_json, &data);
+    let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("crc trailer"));
+    std::fs::write(&out, &bytes).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[flov] trace: {} packets, {} core events, {} change pulses -> {out} \
+         ({} bytes, crc {crc:08x})",
+        data.packets.len(),
+        data.core_events.len(),
+        data.changed_cycles.len(),
+        bytes.len()
+    );
+    if a.json {
+        println!("{}", serde_json::to_string_pretty(&audited.result).expect("result serializes"));
+    } else {
+        println!("recorded {} run -> {out} (crc {crc:08x})", spec.mechanism);
+    }
+}
+
+/// `flov trace replay` — rebuild the recorded run with its workload
+/// swapped for the trace stream. Results are bit-identical to the source
+/// run on every kernel (use `--no-cache` when comparing kernels: kernel
+/// mode is not part of the cache key).
+fn trace_replay(engine: &Engine, rest: &[String]) {
+    let input = flag_value(rest, "--in").unwrap_or_else(|| {
+        eprintln!("error: trace replay needs --in FILE.flovtrace");
+        std::process::exit(2);
+    });
+    let json = rest.iter().any(|a| a == "--json");
+    let bytes = std::fs::read(&input).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {input}: {e}");
+        std::process::exit(1);
+    });
+    let file = tracefmt::decode_trace(&bytes).unwrap_or_else(|e| {
+        eprintln!("error: {input}: {}", e.0);
+        std::process::exit(1);
+    });
+    let mut spec: RunSpec = serde_json::from_str(&file.source_spec_json).unwrap_or_else(|e| {
+        eprintln!("error: {input}: embedded source spec does not parse: {e}");
+        std::process::exit(1);
+    });
+    // A PARSEC source ran closed-loop (until delivery), so its replay
+    // must too; synthetic sources replay open-loop unless overridden.
+    let closed_loop = rest.iter().any(|a| a == "--closed-loop")
+        || matches!(spec.workload, WorkloadSpec::Parsec { .. });
+    spec.workload = WorkloadSpec::Trace { path: input.clone(), crc: file.crc, closed_loop };
+    validate_or_die(&spec);
+    let r = engine.run_one(&spec);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&r).expect("result serializes"));
+    } else {
+        println!(
+            "replayed {} ({} packets recorded): {} delivered, avg latency {:.2}, \
+             total power {:.1} mW",
+            input,
+            file.data.packets.len(),
+            r.packets,
+            r.avg_latency,
+            r.power.total_w * 1e3
+        );
+    }
+}
+
+/// `flov sim` — one-off simulation with a human-readable report, JSON
+/// output for scripting, and an optional steady-state mesh map.
+fn sim(engine: &Engine, rest: &[String]) {
+    let a = parse_sim_args(rest);
+    let (pattern, rate, gated, seed) = (a.pattern, a.rate, a.gated, a.seed);
+    let (json, map, parsec) = (a.json, a.map, a.parsec.clone());
+    let mech = a.mech.clone();
+    let spec = build_sim_spec(&a);
+    validate_or_die(&spec);
+    apply_kernel_flags(&a);
     let r = engine.run_one(&spec);
     if json {
         println!("{}", serde_json::to_string_pretty(&r).expect("result serializes"));

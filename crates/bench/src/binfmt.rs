@@ -164,7 +164,7 @@ const TAG_STR: u8 = 5;
 const TAG_SEQ: u8 = 6;
 const TAG_MAP: u8 = 7;
 
-fn write_uvarint(mut v: u128, out: &mut Vec<u8>) {
+pub(crate) fn write_uvarint(mut v: u128, out: &mut Vec<u8>) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -184,13 +184,13 @@ fn unzigzag(v: u128) -> i128 {
     ((v >> 1) as i128) ^ -((v & 1) as i128)
 }
 
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
         match end {
             Some(end) => {
@@ -202,11 +202,11 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn byte(&mut self) -> Result<u8, BinError> {
+    pub(crate) fn byte(&mut self) -> Result<u8, BinError> {
         Ok(self.take(1)?[0])
     }
 
-    fn uvarint(&mut self) -> Result<u128, BinError> {
+    pub(crate) fn uvarint(&mut self) -> Result<u128, BinError> {
         let mut v: u128 = 0;
         for shift in (0..).step_by(7) {
             if shift >= 128 {
@@ -224,7 +224,7 @@ impl<'a> Reader<'a> {
     /// A length that must fit in the remaining input (each encoded element
     /// is at least one byte), so corrupt counts can't trigger huge
     /// allocations before the read fails.
-    fn bounded_len(&mut self) -> Result<usize, BinError> {
+    pub(crate) fn bounded_len(&mut self) -> Result<usize, BinError> {
         let n = self.uvarint()?;
         let remaining = (self.bytes.len() - self.pos) as u128;
         if n > remaining {

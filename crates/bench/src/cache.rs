@@ -33,6 +33,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, SystemTime};
 
@@ -75,6 +76,10 @@ pub struct CacheStats {
     /// Files parked in `quarantine/`.
     pub quarantined: usize,
     pub quarantined_bytes: u64,
+    /// LRU atime bumps that failed since this cache handle was created
+    /// (noatime/read-only mounts). Non-zero means access times are stale
+    /// and GC recency falls back to modification times.
+    pub atime_bump_failures: u64,
 }
 
 /// Knobs for [`ResultCache::gc`]. Unset fields do not evict.
@@ -129,6 +134,18 @@ pub struct ResultCache {
     legacy_flat: bool,
     /// Lazily built key → path map; `None` until the first probe.
     index: Arc<Mutex<Option<HashMap<String, PathBuf>>>>,
+    /// How many LRU atime bumps have failed (shared across clones, like
+    /// the index). The first failure also latches `atime_unreliable`.
+    atime_failures: Arc<AtomicU64>,
+    /// Once an atime bump fails (noatime/read-only mount), access times
+    /// can no longer be trusted to reflect use: recency ordering falls
+    /// back to modification times for the rest of this handle's life.
+    atime_unreliable: Arc<AtomicBool>,
+    /// Test-only failure injection: filesystem-owner semantics let root
+    /// set times even on read-only files, so the failure path cannot be
+    /// provoked from the outside in a root-run test suite.
+    #[cfg(test)]
+    fail_atime_bumps: Arc<AtomicBool>,
 }
 
 /// 64-bit FNV-1a over `bytes`, from a caller-chosen basis.
@@ -157,11 +174,19 @@ impl ResultCache {
             None | Some("") | Some("binary") | Some("bin") => CacheFormat::Binary,
             Some(other) => panic!("unknown FLOV_CACHE_FORMAT value {other:?} (use binary|json)"),
         };
+        Self::make(dir.into(), write_format, false)
+    }
+
+    fn make(dir: PathBuf, write_format: CacheFormat, legacy_flat: bool) -> ResultCache {
         ResultCache {
-            dir: dir.into(),
+            dir,
             write_format,
-            legacy_flat: false,
+            legacy_flat,
             index: Arc::new(Mutex::new(None)),
+            atime_failures: Arc::new(AtomicU64::new(0)),
+            atime_unreliable: Arc::new(AtomicBool::new(false)),
+            #[cfg(test)]
+            fail_atime_bumps: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -175,12 +200,7 @@ impl ResultCache {
     /// `flov bench-engine`: flat pretty-free JSON files probed by direct
     /// reads, no shards, no index, no quarantine, no atime bumps.
     pub fn legacy_flat_json(dir: impl Into<PathBuf>) -> ResultCache {
-        ResultCache {
-            dir: dir.into(),
-            write_format: CacheFormat::Json,
-            legacy_flat: true,
-            index: Arc::new(Mutex::new(None)),
-        }
+        Self::make(dir.into(), CacheFormat::Json, true)
     }
 
     /// The default location: `$FLOV_CACHE_DIR`, or `results/cache`.
@@ -345,8 +365,7 @@ impl ResultCache {
         };
         match outcome {
             Ok(Some(result)) => {
-                // Best-effort; LRU accuracy only.
-                let _ = file.set_times(fs::FileTimes::new().set_accessed(SystemTime::now()));
+                self.bump_atime(&file);
                 Some(result)
             }
             Ok(None) => None,
@@ -356,6 +375,38 @@ impl ResultCache {
                 None
             }
         }
+    }
+
+    /// Bump `file`'s access time so `gc` can evict least-recently-*used*
+    /// first. LRU accuracy only — a failure (noatime or read-only mount)
+    /// never fails the probe — but failures are *counted*, surfaced in
+    /// [`ResultCache::stats`], and latch the mtime-ordering fallback for
+    /// [`ResultCache::gc`] recency (stale access times would otherwise
+    /// make "LRU" eviction arbitrary).
+    fn bump_atime(&self, file: &fs::File) {
+        #[cfg(test)]
+        let outcome = if self.fail_atime_bumps.load(Ordering::Relaxed) {
+            Err(std::io::Error::other("injected atime failure"))
+        } else {
+            file.set_times(fs::FileTimes::new().set_accessed(SystemTime::now()))
+        };
+        #[cfg(not(test))]
+        let outcome = file.set_times(fs::FileTimes::new().set_accessed(SystemTime::now()));
+        if outcome.is_err() {
+            self.atime_failures.fetch_add(1, Ordering::Relaxed);
+            self.atime_unreliable.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// LRU atime bumps that failed through this handle (and its clones).
+    pub fn atime_bump_failures(&self) -> u64 {
+        self.atime_failures.load(Ordering::Relaxed)
+    }
+
+    /// Whether GC recency has fallen back to modification-time ordering
+    /// (latched by the first failed atime bump).
+    pub fn atime_unreliable(&self) -> bool {
+        self.atime_unreliable.load(Ordering::Relaxed)
     }
 
     /// Persist `entry` under `key` atomically: the shard directory is
@@ -409,6 +460,10 @@ impl ResultCache {
     /// Every entry on disk as `(key, path, bytes, last use)`.
     fn inventory(&self) -> Vec<(String, PathBuf, u64, SystemTime)> {
         self.index_reset();
+        // Once a bump has failed, access times no longer track use: an
+        // entry replayed a thousand times can look untouched. Ordering by
+        // modification time alone is then the honest recency signal.
+        let trust_atime = !self.atime_unreliable();
         self.scan()
             .into_iter()
             .map(|(key, path)| {
@@ -416,9 +471,12 @@ impl ResultCache {
                 let len = meta.as_ref().map(|m| m.len()).unwrap_or(0);
                 let recency = meta
                     .map(|m| {
-                        let acc = m.accessed().unwrap_or(SystemTime::UNIX_EPOCH);
                         let modi = m.modified().unwrap_or(SystemTime::UNIX_EPOCH);
-                        acc.max(modi)
+                        if trust_atime {
+                            m.accessed().unwrap_or(SystemTime::UNIX_EPOCH).max(modi)
+                        } else {
+                            modi
+                        }
                     })
                     .unwrap_or(SystemTime::UNIX_EPOCH);
                 (key, path, len, recency)
@@ -428,7 +486,8 @@ impl ResultCache {
 
     /// Count the entries (and bytes) currently on disk.
     pub fn stats(&self) -> CacheStats {
-        let mut s = CacheStats::default();
+        let mut s =
+            CacheStats { atime_bump_failures: self.atime_bump_failures(), ..Default::default() };
         let Ok(rd) = fs::read_dir(&self.dir) else { return s };
         let tally = |s: &mut CacheStats, path: &Path, flat: bool| {
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else { return };
@@ -664,6 +723,108 @@ mod tests {
         let a = RunSpec::builder().mechanism("rFLOV").rate(0.08).build();
         let b = RunSpec::builder().rate(0.08).mechanism("rFLOV").build();
         assert_eq!(ResultCache::key(&canonical(&a), 1), ResultCache::key(&canonical(&b), 1),);
+    }
+
+    fn tiny_entry(seed: u64) -> (String, CacheEntry) {
+        let spec = RunSpec::builder().k(2).seed(seed).warmup(50).cycles(300).drain(5_000).build();
+        let result = crate::run_kernel(&spec, crate::KernelMode::ActiveSet);
+        let key = ResultCache::key(&canonical(&spec), 1);
+        (key, CacheEntry { kernel_version: 1, spec, result })
+    }
+
+    fn temp_cache(tag: &str) -> (PathBuf, ResultCache) {
+        let dir =
+            std::env::temp_dir().join(format!("flov-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        (dir.clone(), ResultCache::new(dir))
+    }
+
+    #[test]
+    fn atime_bump_failures_are_counted_and_surfaced() {
+        let (dir, cache) = temp_cache("atime");
+        let (key, entry) = tiny_entry(1);
+        cache.put(&key, &entry).unwrap();
+
+        assert!(cache.get(&key, 1).is_some());
+        assert_eq!(cache.atime_bump_failures(), 0);
+        assert!(!cache.atime_unreliable());
+
+        cache.fail_atime_bumps.store(true, Ordering::Relaxed);
+        // A failed bump never fails the probe itself...
+        assert!(cache.get(&key, 1).is_some(), "hit must survive a failed atime bump");
+        assert!(cache.get(&key, 1).is_some());
+        // ...but it is counted, latches the unreliable flag, and shows up
+        // in `cache stats` (the satellite bug: `let _ =` swallowed it all).
+        assert_eq!(cache.atime_bump_failures(), 2);
+        assert!(cache.atime_unreliable());
+        assert_eq!(cache.stats().atime_bump_failures, 2);
+        // Clones share the counters, like the index.
+        assert_eq!(cache.clone().atime_bump_failures(), 2);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_recency_falls_back_to_mtime_when_atime_unreliable() {
+        let (dir, cache) = temp_cache("recency");
+        let (key_a, entry_a) = tiny_entry(2);
+        let (key_b, entry_b) = tiny_entry(3);
+        cache.put(&key_a, &entry_a).unwrap();
+        cache.put(&key_b, &entry_b).unwrap();
+
+        let stamp = |key: &str, mtime_s: u64, atime_s: u64| {
+            let path = cache.index_lookup(key).expect("entry indexed");
+            let at = |s| SystemTime::UNIX_EPOCH + Duration::from_secs(s);
+            let f = fs::File::options().write(true).open(path).unwrap();
+            f.set_times(fs::FileTimes::new().set_modified(at(mtime_s)).set_accessed(at(atime_s)))
+                .unwrap();
+        };
+        // A: written long ago but heavily replayed (fresh atime).
+        // B: written later, never replayed.
+        stamp(&key_a, 1_000, 9_000);
+        stamp(&key_b, 5_000, 5_000);
+
+        let recency = |cache: &ResultCache| -> HashMap<String, SystemTime> {
+            cache.inventory().into_iter().map(|(k, _, _, r)| (k, r)).collect()
+        };
+        // Healthy atimes: replay recency counts, A is the fresher entry.
+        let r = recency(&cache);
+        assert!(r[&key_a] > r[&key_b], "atime-trusting recency inverted");
+
+        // After a bump failure, access times are stale by assumption:
+        // ordering must degrade to modification times (B is fresher).
+        cache.fail_atime_bumps.store(true, Ordering::Relaxed);
+        assert!(cache.get(&key_a, 1).is_some());
+        assert!(cache.atime_unreliable());
+        let r = recency(&cache);
+        assert!(r[&key_a] < r[&key_b], "mtime fallback not applied");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn probes_survive_a_read_only_shard_dir() {
+        use std::os::unix::fs::PermissionsExt;
+        let (dir, cache) = temp_cache("readonly");
+        let (key, entry) = tiny_entry(4);
+        cache.put(&key, &entry).unwrap();
+        let shard = cache.shard_dir(&key);
+        let entry_path = cache.index_lookup(&key).unwrap();
+        let restore = |p: &Path, mode: u32| {
+            let mut perm = fs::metadata(p).unwrap().permissions();
+            perm.set_mode(mode);
+            fs::set_permissions(p, perm).unwrap();
+        };
+        restore(&entry_path, 0o444);
+        restore(&shard, 0o555);
+        // A read-only layout must never fail the probe. (Whether the bump
+        // itself fails is owner-dependent — root may set times regardless
+        // — so the counter is exercised via injection above, not here.)
+        assert!(cache.get(&key, 1).is_some(), "read-only shard broke probing");
+        restore(&shard, 0o755);
+        restore(&entry_path, 0o644);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -174,7 +174,7 @@ pub fn sample_spec(rng: &mut Rng, max_cycles: Cycle) -> RunSpec {
             _ => {}
         }
     }
-    RunSpec::builder()
+    let mut builder = RunSpec::builder()
         .cfg(cfg)
         .mechanism(mechanism)
         .pattern(pattern)
@@ -186,8 +186,47 @@ pub fn sample_spec(rng: &mut Rng, max_cycles: Cycle) -> RunSpec {
         .warmup(cycles / 5)
         .cycles(cycles)
         .drain(30_000)
-        .audit(true)
-        .build()
+        .audit(true);
+    // Bursty lanes: a slice of the campaign drives the same fabric through
+    // the MMPP / diurnal load modulators instead of a stationary rate —
+    // their quiet phases are where the time-skip kernels earn their keep,
+    // so that is where divergence would hide.
+    match rng.below(8) {
+        0 => {
+            let n = 2 + rng.below(2) as usize;
+            let phase_rates: Vec<f64> = (0..n).map(|_| *rng.pick(&RATES)).collect();
+            builder = builder.mmpp(phase_rates, 1 + rng.below(2_000));
+        }
+        1 => {
+            let n = 2 + rng.below(2) as usize;
+            let phase_rates: Vec<f64> = (0..n).map(|_| *rng.pick(&RATES)).collect();
+            builder = builder.diurnal(phase_rates, 1 + rng.below(2_000));
+        }
+        _ => {}
+    }
+    builder.build()
+}
+
+/// Sample a trace-replay spec: record a (small) sampled run into a trace
+/// file under `dir`, then return a spec that replays that file with the
+/// recorded run's exact shape. Differential failures on such a spec are
+/// record/replay bugs by construction. Returns `None` when recording
+/// itself fails (the plain sampled spec already covers that case).
+pub fn sample_trace_spec(rng: &mut Rng, max_cycles: Cycle, dir: &Path) -> Option<RunSpec> {
+    let source = sample_spec(rng, max_cycles.min(6_000)).resolved();
+    let recorded =
+        catch_unwind(AssertUnwindSafe(|| crate::record_trace(&source, KernelMode::ActiveSet)));
+    let (_, data) = recorded.ok()?.ok()?;
+    let json = serde_json::to_string(&source).expect("spec serializes");
+    let bytes = crate::tracefmt::encode_trace(KERNEL_VERSION, &json, &data);
+    let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("trace-{crc:08x}.flovtrace"));
+    std::fs::write(&path, &bytes).ok()?;
+    let mut spec = source;
+    spec.workload =
+        WorkloadSpec::Trace { path: path.to_string_lossy().into_owned(), crc, closed_loop: false };
+    Some(spec)
 }
 
 /// Run `spec` through all three kernels — active-set, reference, and the
@@ -201,8 +240,13 @@ pub fn check_spec(spec: &RunSpec) -> Option<(String, String)> {
     // The explicit grid is allowed to exceed the fabric (the planner
     // clamps per axis), which keeps the clamping path under test too.
     let seed = match &spec.workload {
-        WorkloadSpec::Synthetic { seed, .. } => *seed,
-        WorkloadSpec::Parsec { seed, .. } => *seed,
+        WorkloadSpec::Synthetic { seed, .. }
+        | WorkloadSpec::Parsec { seed, .. }
+        | WorkloadSpec::Mmpp { seed, .. }
+        | WorkloadSpec::Diurnal { seed, .. } => *seed,
+        // Trace replays have no workload seed; the content CRC is just as
+        // good a deterministic geometry picker.
+        WorkloadSpec::Trace { crc, .. } => *crc as u64,
     };
     let (rows, cols) = (1 + (seed >> 1) % 3, 1 + (seed >> 3) % 3);
     let rows = if rows * cols == 1 { 2 } else { rows } as u16;
@@ -433,7 +477,14 @@ pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
         .par_iter()
         .map(|&case| {
             let mut rng = Rng::new(opts.seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let spec = sample_spec(&mut rng, opts.max_cycles);
+            // Every fifth case exercises the record→replay path end to end;
+            // the rest sample live workloads (synthetic, MMPP, diurnal).
+            let spec = if case % 5 == 4 {
+                sample_trace_spec(&mut rng, opts.max_cycles, &opts.out_dir)
+                    .unwrap_or_else(|| sample_spec(&mut rng, opts.max_cycles))
+            } else {
+                sample_spec(&mut rng, opts.max_cycles)
+            };
             let (kind, detail) = check_spec(&spec)?;
             eprintln!("[flov] fuzz: case {case} failed ({kind}); shrinking");
             let minimized = shrink_with(&spec, &kind, &|s| check_spec(s).map(|(k, _)| k), 32);
@@ -468,9 +519,14 @@ mod tests {
     #[test]
     fn sampled_specs_are_legal_by_construction() {
         let mut rng = Rng::new(7);
+        let mut modulated = 0;
         for _ in 0..200 {
             let spec = sample_spec(&mut rng, 20_000).resolved();
             assert_eq!(spec.cfg.validate(), Ok(()), "invalid sample: {}", spec.mechanism);
+            assert_eq!(spec.validate(), Ok(()), "spec-level invalid sample: {}", spec.mechanism);
+            if matches!(spec.workload, WorkloadSpec::Mmpp { .. } | WorkloadSpec::Diurnal { .. }) {
+                modulated += 1;
+            }
             assert!(
                 mechanism::by_name(&spec.mechanism, &spec.cfg).is_some(),
                 "unconstructible sample: {} on {}",
@@ -504,6 +560,17 @@ mod tests {
             }
             assert!(spec.audit, "fuzz specs must audit");
         }
+        // The bursty lanes actually fire (~25% of 200 draws).
+        assert!(modulated >= 20, "only {modulated}/200 modulated samples");
+    }
+
+    #[test]
+    fn trace_samples_replay_clean_across_kernels() {
+        let dir = std::env::temp_dir().join("flov-fuzz-trace-test");
+        let mut rng = Rng::new(0x7ACE);
+        let spec = sample_trace_spec(&mut rng, 4_000, &dir).expect("recording failed");
+        assert!(matches!(spec.workload, WorkloadSpec::Trace { .. }));
+        assert_eq!(check_spec(&spec), None, "trace replay diverged across kernels");
     }
 
     #[test]
@@ -513,7 +580,10 @@ mod tests {
         // (switches, changes, gating) and walk both knobs to their floor.
         let mut rng = Rng::new(3);
         let mut spec = sample_spec(&mut rng, 64_000);
-        while spec.cfg.k <= 3 || spec.mechanism == "NoRD" {
+        while spec.cfg.k <= 3
+            || spec.mechanism == "NoRD"
+            || !matches!(spec.workload, WorkloadSpec::Synthetic { .. })
+        {
             spec = sample_spec(&mut rng, 64_000);
         }
         let pred = |s: &RunSpec| (s.cycles >= 2_000 && s.cfg.k > 3).then(|| "synthetic".into());

@@ -22,6 +22,7 @@ pub mod report;
 pub mod scheduler;
 pub mod spec;
 pub mod studies;
+pub mod tracefmt;
 
 pub use cache::{
     CacheEntry, CacheFormat, CacheStats, GcOptions, GcReport, MigrateReport, ResultCache,
@@ -43,7 +44,13 @@ use flov_noc::traits::Workload;
 use flov_noc::types::Cycle;
 use flov_noc::ConfigError;
 use flov_power::GatedResidual;
-use flov_workloads::{GatingSchedule, ParsecWorkload, PatternSpace, SyntheticWorkload};
+use flov_workloads::trace::TraceData;
+use flov_workloads::{
+    Dwell, GatingSchedule, ModulatedWorkload, ParsecWorkload, PatternSpace, RecordingWorkload,
+    SyntheticWorkload, TraceWorkload,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Kernel selected by the `FLOV_KERNEL` environment variable (`active` |
 /// `reference` | `parallel`); defaults to the active-set kernel. For
@@ -147,10 +154,29 @@ pub fn try_run_kernel_audited(
     kernel: KernelMode,
 ) -> Result<AuditedRun, ConfigError> {
     let spec = spec.resolved();
-    spec.cfg.validate()?;
+    spec.validate()?;
     let mech = mechanism::by_name(&spec.mechanism, &spec.cfg)
         .unwrap_or_else(|| panic!("unknown mechanism {:?}", spec.mechanism));
     Ok(run_with_kernel_audited(&spec, mech, kernel))
+}
+
+/// Run `spec` while capturing its workload's full observable behaviour —
+/// the injection stream, the active-core flips, and the change pulses —
+/// as a [`TraceData`] (serialize it with [`tracefmt::encode_trace`]).
+/// The recording wrapper is transparent, so the returned result is
+/// bit-identical to an unrecorded run of the same spec.
+pub fn record_trace(
+    spec: &RunSpec,
+    kernel: KernelMode,
+) -> Result<(AuditedRun, TraceData), ConfigError> {
+    let spec = spec.resolved();
+    spec.validate()?;
+    let mech = mechanism::by_name(&spec.mechanism, &spec.cfg)
+        .unwrap_or_else(|| panic!("unknown mechanism {:?}", spec.mechanism));
+    let log = Rc::new(RefCell::new(TraceData::default()));
+    let audited = run_audited_inner(&spec, mech, kernel, Some(Rc::clone(&log)));
+    let data = Rc::try_unwrap(log).expect("recording log still shared after the run").into_inner();
+    Ok((audited, data))
 }
 
 /// Execute one simulation with an explicitly constructed mechanism (used by
@@ -181,12 +207,21 @@ pub fn run_with_kernel_audited(
     mech: Box<dyn flov_noc::PowerMechanism>,
     kernel: KernelMode,
 ) -> AuditedRun {
-    let cfg = spec.cfg.clone();
+    run_audited_inner(spec, mech, kernel, None)
+}
+
+/// Construct the workload a spec describes (the single source of truth for
+/// spec→workload semantics; every run and recording goes through it).
+fn build_workload(spec: &RunSpec) -> Box<dyn Workload> {
+    let cfg = &spec.cfg;
     let space = PatternSpace { kx: cfg.kx(), ky: cfg.ky(), c: cfg.concentration() };
-    let workload: Box<dyn Workload> = match &spec.workload {
+    let static_gating = |gated_fraction: &f64, seed: &u64| {
+        GatingSchedule::static_fraction(cfg.cores(), *gated_fraction, *seed, &[])
+    };
+    match &spec.workload {
         WorkloadSpec::Synthetic { pattern, rate, gated_fraction, seed, changes } => {
             let gating = if changes.is_empty() {
-                GatingSchedule::static_fraction(cfg.cores(), *gated_fraction, *seed, &[])
+                static_gating(gated_fraction, seed)
             } else {
                 GatingSchedule::rerandomized_at(cfg.cores(), *gated_fraction, *seed, changes, &[])
             };
@@ -197,6 +232,30 @@ pub fn run_with_kernel_audited(
                 cfg.synth_packet_len,
                 spec.cycles,
                 gating,
+                *seed ^ 0xABCD,
+            ))
+        }
+        WorkloadSpec::Mmpp { pattern, rates, mean_dwell, gated_fraction, seed } => {
+            Box::new(ModulatedWorkload::new(
+                space,
+                *pattern,
+                rates.clone(),
+                Dwell::Geometric { mean: *mean_dwell },
+                cfg.synth_packet_len,
+                spec.cycles,
+                static_gating(gated_fraction, seed),
+                *seed ^ 0xABCD,
+            ))
+        }
+        WorkloadSpec::Diurnal { pattern, rates, dwell, gated_fraction, seed } => {
+            Box::new(ModulatedWorkload::new(
+                space,
+                *pattern,
+                rates.clone(),
+                Dwell::Fixed { cycles: *dwell },
+                cfg.synth_packet_len,
+                spec.cycles,
+                static_gating(gated_fraction, seed),
                 *seed ^ 0xABCD,
             ))
         }
@@ -213,7 +272,48 @@ pub fn run_with_kernel_audited(
                 .unwrap_or_else(|| panic!("unknown PARSEC benchmark {name:?}"));
             Box::new(ParsecWorkload::new(cfg.kx(), profile, *seed))
         }
-    };
+        WorkloadSpec::Trace { path, crc, .. } => {
+            let bytes = std::fs::read(path)
+                .unwrap_or_else(|e| panic!("cannot read trace file {path:?}: {e}"));
+            let file = tracefmt::decode_trace(&bytes)
+                .unwrap_or_else(|e| panic!("bad trace file {path:?}: {}", e.0));
+            assert_eq!(
+                file.crc, *crc,
+                "trace file {path:?} CRC {:08x} does not match the spec's {crc:08x} \
+                 (the file changed since the spec was written)",
+                file.crc,
+            );
+            if let Some(max) = file.data.max_node() {
+                assert!(
+                    (max as usize) < cfg.cores(),
+                    "trace references node {max} but the config has {} cores",
+                    cfg.cores(),
+                );
+            }
+            if file.kernel_version != KERNEL_VERSION {
+                eprintln!(
+                    "[flov] note: trace {path:?} was recorded under kernel version {} \
+                     (this build is {KERNEL_VERSION}); replay is well-defined but \
+                     cross-version bit-identity is not guaranteed",
+                    file.kernel_version,
+                );
+            }
+            Box::new(TraceWorkload::new(file.data))
+        }
+    }
+}
+
+fn run_audited_inner(
+    spec: &RunSpec,
+    mech: Box<dyn flov_noc::PowerMechanism>,
+    kernel: KernelMode,
+    record: Option<Rc<RefCell<TraceData>>>,
+) -> AuditedRun {
+    let cfg = spec.cfg.clone();
+    let mut workload = build_workload(spec);
+    if let Some(log) = record {
+        workload = Box::new(RecordingWorkload::new(workload, log));
+    }
     let mut sim = Simulation::new(cfg, mech, workload);
     sim.core.kernel = kernel;
     sim.measure_from(spec.warmup);
@@ -227,31 +327,36 @@ pub fn run_with_kernel_audited(
     }
     if !spec.mech_switches.is_empty() {
         assert!(
-            matches!(spec.workload, WorkloadSpec::Synthetic { .. }),
-            "mech_switches only apply to synthetic runs"
+            !matches!(spec.workload, WorkloadSpec::Parsec { .. }),
+            "mech_switches do not apply to closed-loop PARSEC runs"
         );
     }
+    // Closed-loop runs (PARSEC; trace replays of such runs) execute to
+    // workload completion under a cycle cap; open-loop runs execute the
+    // fixed warmup/measure/drain window.
+    let closed_loop = match &spec.workload {
+        WorkloadSpec::Parsec { .. } => true,
+        WorkloadSpec::Trace { closed_loop, .. } => *closed_loop,
+        _ => false,
+    };
     // Warmup.
     run_switched(&mut sim, spec, spec.warmup);
     let act0 = sim.core.activity.clone();
     let res0 = sim.core.residency().to_vec();
     // Measured portion.
     let measured_end;
-    match &spec.workload {
-        WorkloadSpec::Synthetic { .. } => {
-            run_switched(&mut sim, spec, spec.cycles);
-            measured_end = sim.core.cycle;
-            sim.core.stats.measure_until = spec.cycles;
-            sim.drain(spec.drain);
-        }
-        WorkloadSpec::Parsec { .. } => {
-            let end = sim.run_until_done(spec.cycles);
-            assert!(
-                sim.core.is_empty(),
-                "PARSEC run hit the cycle cap ({end} cycles) before completing"
-            );
-            measured_end = end;
-        }
+    if closed_loop {
+        let end = sim.run_until_done(spec.cycles);
+        assert!(
+            sim.core.is_empty(),
+            "closed-loop run hit the cycle cap ({end} cycles) before completing"
+        );
+        measured_end = end;
+    } else {
+        run_switched(&mut sim, spec, spec.cycles);
+        measured_end = sim.core.cycle;
+        sim.core.stats.measure_until = spec.cycles;
+        sim.drain(spec.drain);
     }
     // A final sweep so short runs (or a deadlocked drain) are audited even
     // when the run length never crossed an interval boundary.

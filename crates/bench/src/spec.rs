@@ -8,6 +8,7 @@
 //! [`RunSpec::builder`] (paper defaults, fluent overrides) or the
 //! [`RunSpec::synthetic_paper`] / [`RunSpec::parsec`] shorthands.
 
+use flov_noc::config::ConfigError;
 use flov_noc::stats::IntervalSample;
 use flov_noc::topology::TopologySpec;
 use flov_noc::types::Cycle;
@@ -32,6 +33,32 @@ pub enum WorkloadSpec {
     },
     /// §VI-B-3 full-system traffic (PARSEC proxy); runs to completion.
     Parsec { name: String, seed: u64 },
+    /// MMPP bursty traffic: synthetic injection whose rate walks `rates`
+    /// cyclically, dwelling geometrically with mean `mean_dwell` cycles.
+    Mmpp {
+        pattern: Pattern,
+        /// Per-phase rates \[flits/cycle/node\], visited cyclically.
+        rates: Vec<f64>,
+        /// Mean phase dwell \[cycles\] (geometric, >= 1).
+        mean_dwell: Cycle,
+        gated_fraction: f64,
+        seed: u64,
+    },
+    /// Diurnal load curve: like [`WorkloadSpec::Mmpp`] but with fixed
+    /// `dwell`-cycle phases (a deterministic day/night rate schedule).
+    Diurnal {
+        pattern: Pattern,
+        rates: Vec<f64>,
+        /// Exact phase length \[cycles\] (>= 1).
+        dwell: Cycle,
+        gated_fraction: f64,
+        seed: u64,
+    },
+    /// Replay a recorded flit trace (see `flov trace record`). The CRC-32C
+    /// of the trace file ties the cache key to the trace *content*, not
+    /// just its path; `closed_loop` runs to trace completion instead of
+    /// the fixed cycle window.
+    Trace { path: String, crc: u32, closed_loop: bool },
 }
 
 /// Everything needed to execute one simulation.
@@ -116,6 +143,53 @@ impl RunSpec {
         s.resolve();
         s
     }
+
+    /// Full spec validation: the resolved config's structural checks plus
+    /// workload-level sanity — notably rejecting over-saturated injection
+    /// rates, which `SyntheticWorkload` would otherwise silently clamp to
+    /// one packet per node-cycle (a different experiment than requested).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let resolved = self.resolved();
+        resolved.cfg.validate()?;
+        let pkt_len = resolved.cfg.synth_packet_len;
+        let rate_ok = |rate: f64| {
+            if rate.is_finite() && (0.0..=pkt_len as f64).contains(&rate) {
+                Ok(())
+            } else {
+                Err(ConfigError::OversaturatedRate { rate, pkt_len })
+            }
+        };
+        let rates_ok = |rates: &[f64]| {
+            if rates.is_empty() {
+                return Err(ConfigError::InvalidModulation {
+                    why: "at least one phase rate is required",
+                });
+            }
+            rates.iter().try_for_each(|&r| rate_ok(r))
+        };
+        match &self.workload {
+            WorkloadSpec::Synthetic { rate, .. } => rate_ok(*rate),
+            WorkloadSpec::Parsec { .. } | WorkloadSpec::Trace { .. } => Ok(()),
+            WorkloadSpec::Mmpp { rates, mean_dwell, .. } => {
+                rates_ok(rates)?;
+                if *mean_dwell == 0 {
+                    return Err(ConfigError::InvalidModulation {
+                        why: "mean phase dwell must be at least one cycle",
+                    });
+                }
+                Ok(())
+            }
+            WorkloadSpec::Diurnal { rates, dwell, .. } => {
+                rates_ok(rates)?;
+                if *dwell == 0 {
+                    return Err(ConfigError::InvalidModulation {
+                        why: "phase dwell must be at least one cycle",
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 /// Fluent constructor for [`RunSpec`]; see [`RunSpec::builder`].
@@ -129,6 +203,9 @@ pub struct RunSpecBuilder {
     seed: u64,
     changes: Vec<Cycle>,
     parsec: Option<String>,
+    mmpp: Option<(Vec<f64>, Cycle)>,
+    diurnal: Option<(Vec<f64>, Cycle)>,
+    trace: Option<(String, u32, bool)>,
     warmup: Cycle,
     cycles: Cycle,
     drain: Cycle,
@@ -149,6 +226,9 @@ impl Default for RunSpecBuilder {
             seed: 0xF10F,
             changes: Vec::new(),
             parsec: None,
+            mmpp: None,
+            diurnal: None,
+            trace: None,
             warmup: 10_000,
             cycles: 100_000,
             drain: 100_000,
@@ -233,6 +313,29 @@ impl RunSpecBuilder {
         self
     }
 
+    /// Switch to MMPP bursty traffic: the injection rate walks `rates`
+    /// cyclically with geometric phase dwells of mean `mean_dwell` cycles.
+    /// Keeps the synthetic run shape (warmup / cycles / drain).
+    pub fn mmpp(mut self, rates: Vec<f64>, mean_dwell: Cycle) -> Self {
+        self.mmpp = Some((rates, mean_dwell));
+        self
+    }
+
+    /// Switch to a diurnal load curve: `rates` phases of exactly `dwell`
+    /// cycles each. Keeps the synthetic run shape.
+    pub fn diurnal(mut self, rates: Vec<f64>, dwell: Cycle) -> Self {
+        self.diurnal = Some((rates, dwell));
+        self
+    }
+
+    /// Replay a recorded flit trace. `crc` is the trace file's CRC-32C
+    /// (cache-key content binding; `flov trace record` prints it);
+    /// `closed_loop` runs to trace completion instead of the cycle window.
+    pub fn trace(mut self, path: &str, crc: u32, closed_loop: bool) -> Self {
+        self.trace = Some((path.into(), crc, closed_loop));
+        self
+    }
+
     /// Warmup cycles excluded from measurement.
     pub fn warmup(mut self, w: Cycle) -> Self {
         self.warmup = w;
@@ -275,17 +378,38 @@ impl RunSpecBuilder {
         self
     }
 
-    /// Assemble the spec, applying [`RunSpec::resolve`].
+    /// Assemble the spec, applying [`RunSpec::resolve`]. Workload
+    /// precedence when several selectors were called: trace, then PARSEC,
+    /// then MMPP, then diurnal, then plain synthetic.
     pub fn build(self) -> RunSpec {
-        let workload = match self.parsec {
-            Some(name) => WorkloadSpec::Parsec { name, seed: self.seed },
-            None => WorkloadSpec::Synthetic {
+        let workload = if let Some((path, crc, closed_loop)) = self.trace {
+            WorkloadSpec::Trace { path, crc, closed_loop }
+        } else if let Some(name) = self.parsec {
+            WorkloadSpec::Parsec { name, seed: self.seed }
+        } else if let Some((rates, mean_dwell)) = self.mmpp {
+            WorkloadSpec::Mmpp {
+                pattern: self.pattern,
+                rates,
+                mean_dwell,
+                gated_fraction: self.gated_fraction,
+                seed: self.seed,
+            }
+        } else if let Some((rates, dwell)) = self.diurnal {
+            WorkloadSpec::Diurnal {
+                pattern: self.pattern,
+                rates,
+                dwell,
+                gated_fraction: self.gated_fraction,
+                seed: self.seed,
+            }
+        } else {
+            WorkloadSpec::Synthetic {
                 pattern: self.pattern,
                 rate: self.rate,
                 gated_fraction: self.gated_fraction,
                 seed: self.seed,
                 changes: self.changes,
-            },
+            }
         };
         let mut spec = RunSpec {
             cfg: self.cfg,
@@ -395,5 +519,82 @@ mod tests {
     fn builder_k_shorthand_sets_mesh_radix() {
         let s = RunSpec::builder().k(4).build();
         assert_eq!(s.cfg.k, 4);
+    }
+
+    #[test]
+    fn validate_rejects_oversaturated_rate() {
+        // Table I packets are 4 flits: a 5 flits/cycle/node request would
+        // silently clamp to one packet per node-cycle. Validation rejects
+        // it instead of running the wrong experiment.
+        let s = RunSpec::builder().rate(5.0).build();
+        assert_eq!(s.validate(), Err(ConfigError::OversaturatedRate { rate: 5.0, pkt_len: 4 }));
+        // The saturation boundary itself (rate == pkt_len) is legal.
+        assert_eq!(RunSpec::builder().rate(4.0).build().validate(), Ok(()));
+        // Negative and non-finite rates are the same class of error.
+        assert!(RunSpec::builder().rate(-0.1).build().validate().is_err());
+        assert!(RunSpec::builder().rate(f64::NAN).build().validate().is_err());
+        // validate() includes the structural config checks.
+        let mut bad = RunSpec::builder().build();
+        bad.cfg.vnets = 0;
+        assert_eq!(bad.validate(), Err(ConfigError::NoVnets));
+    }
+
+    #[test]
+    fn validate_checks_modulated_workloads() {
+        assert_eq!(RunSpec::builder().mmpp(vec![0.001, 0.3], 2_000).build().validate(), Ok(()));
+        assert_eq!(RunSpec::builder().diurnal(vec![0.0, 0.2], 5_000).build().validate(), Ok(()));
+        // Every phase rate is checked, not just the first.
+        assert_eq!(
+            RunSpec::builder().mmpp(vec![0.001, 9.0], 2_000).build().validate(),
+            Err(ConfigError::OversaturatedRate { rate: 9.0, pkt_len: 4 })
+        );
+        assert!(matches!(
+            RunSpec::builder().mmpp(vec![], 2_000).build().validate(),
+            Err(ConfigError::InvalidModulation { .. })
+        ));
+        assert!(matches!(
+            RunSpec::builder().mmpp(vec![0.1], 0).build().validate(),
+            Err(ConfigError::InvalidModulation { .. })
+        ));
+        assert!(matches!(
+            RunSpec::builder().diurnal(vec![0.1], 0).build().validate(),
+            Err(ConfigError::InvalidModulation { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_workload_precedence_and_shapes() {
+        let s = RunSpec::builder().mmpp(vec![0.01, 0.3], 1_000).build();
+        assert!(matches!(&s.workload, WorkloadSpec::Mmpp { rates, mean_dwell: 1_000, .. }
+            if rates == &[0.01, 0.3]));
+        // The modulated workloads keep the synthetic run shape.
+        assert_eq!(s.warmup, 10_000);
+        assert_eq!(s.cycles, 100_000);
+
+        let s = RunSpec::builder().trace("results/t.flovtrace", 0xDEAD_BEEF, true).build();
+        assert!(
+            matches!(&s.workload, WorkloadSpec::Trace { crc: 0xDEAD_BEEF, closed_loop: true, path }
+            if path == "results/t.flovtrace")
+        );
+
+        // Trace wins over every other selector (it *is* the recorded run).
+        let s = RunSpec::builder().mmpp(vec![0.1], 10).trace("t", 1, false).build();
+        assert!(matches!(s.workload, WorkloadSpec::Trace { .. }));
+    }
+
+    #[test]
+    fn legacy_workload_encodings_are_stable() {
+        // Adding WorkloadSpec variants must not perturb the serialized form
+        // of the existing ones: the result cache keys on these bytes.
+        let synth = RunSpec::builder().build();
+        let json = serde_json::to_string(&synth.workload).unwrap();
+        assert_eq!(
+            json,
+            "{\"Synthetic\":{\"pattern\":\"UniformRandom\",\"rate\":0.02,\
+             \"gated_fraction\":0.0,\"seed\":61711,\"changes\":[]}}"
+        );
+        let parsec = RunSpec::parsec("RP", "canneal", 2);
+        let json = serde_json::to_string(&parsec.workload).unwrap();
+        assert_eq!(json, "{\"Parsec\":{\"name\":\"canneal\",\"seed\":2}}");
     }
 }

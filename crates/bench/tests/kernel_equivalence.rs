@@ -20,11 +20,15 @@
 //! timeline differs), and v3 switched latency percentiles to bucket lower
 //! edges and extended the `RunSpec` schema.
 
-use flov_bench::{run_kernel, KernelMode, RunSpec, KERNEL_VERSION};
+use flov_bench::{
+    record_trace, run_kernel, tracefmt, KernelMode, RunSpec, WorkloadSpec, KERNEL_VERSION,
+};
 use flov_core::mechanism;
 use flov_noc::network::Simulation;
 use flov_noc::{NocConfig, TopologySpec};
-use flov_workloads::{GatingSchedule, Pattern, SyntheticWorkload};
+use flov_workloads::{
+    Dwell, GatingSchedule, ModulatedWorkload, Pattern, PatternSpace, SyntheticWorkload,
+};
 use rayon::prelude::*;
 
 const MECHANISMS: [&str; 5] = ["Baseline", "rFLOV", "gFLOV", "RP", "NoRD"];
@@ -381,6 +385,205 @@ fn low_rate_rows_skip_most_cycles_and_stay_bit_identical() {
         .flatten()
         .collect();
     assert!(failures.is_empty(), "low-rate skip failures:\n{}", failures.join("\n"));
+}
+
+/// MMPP and diurnal modulated workloads join the bit-identity matrix:
+/// phase switches re-seed the injection rate mid-run through
+/// `SyntheticWorkload::set_rate`, and the modulator's own RNG draws the
+/// next dwell *at the switch cycle* — so the contract only holds if every
+/// kernel lands `update_cores` on exactly the same cycles. Any horizon
+/// bug (a kernel skipping past a phase switch) desynchronizes the dwell
+/// RNG stream and shows up here as a divergence.
+#[test]
+fn modulated_rows_stay_bit_identical_across_all_kernels() {
+    let cells: Vec<(&str, &str)> =
+        MECHANISMS.iter().flat_map(|&m| [("mmpp", m), ("diurnal", m)]).collect();
+    let failures: Vec<String> = cells
+        .par_iter()
+        .map(|&(kind, mech)| {
+            eprintln!("cell start: {kind}/{mech}");
+            let b = RunSpec::builder()
+                .mechanism(mech)
+                .pattern(Pattern::UniformRandom)
+                .gated_fraction(0.3)
+                .seed(0xF10F)
+                .warmup(1_500)
+                .cycles(9_000)
+                .drain(25_000);
+            let s = match kind {
+                "mmpp" => b.mmpp(vec![0.002, 0.15], 1_500),
+                _ => b.diurnal(vec![0.002, 0.15], 1_500),
+            }
+            .build();
+            let active = run_kernel(&s, KernelMode::ActiveSet);
+            let reference = run_kernel(&s, KernelMode::Reference);
+            let parallel = run_kernel(&s, KernelMode::Parallel { tiles: 4, grid: None });
+            let aj = serde_json::to_string(&active).expect("serialize active result");
+            let rj = serde_json::to_string(&reference).expect("serialize reference result");
+            let pj = serde_json::to_string(&parallel).expect("serialize parallel result");
+            if active.packets <= 100 {
+                return Some(format!(
+                    "{kind}/{mech}: too little traffic ({} packets)",
+                    active.packets
+                ));
+            }
+            if aj != rj {
+                return Some(format!("{kind}/{mech}: active-set and reference diverged"));
+            }
+            if aj != pj {
+                return Some(format!("{kind}/{mech}: parallel and active-set diverged"));
+            }
+            None
+        })
+        .collect::<Vec<Option<String>>>()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(failures.is_empty(), "modulated equivalence failures:\n{}", failures.join("\n"));
+}
+
+/// Like [`run_low_rate`], but under a bursty MMPP schedule whose quiet
+/// phases are totally silent. The active kernel must still skip cycles
+/// inside those phases — the workload horizon (the next sampled phase
+/// switch) bounds each jump without forbidding it.
+fn run_bursty(mech_name: &str, kernel: KernelMode) -> (String, u64) {
+    let mut cfg = NocConfig::default();
+    if mech_name == "NoRD" {
+        cfg.enable_ring = true;
+    }
+    let cycles = 60_000u64;
+    let gating = GatingSchedule::static_fraction(cfg.nodes(), 0.3, 0xF10F, &[]);
+    let workload = ModulatedWorkload::new(
+        PatternSpace { kx: cfg.kx(), ky: cfg.ky(), c: cfg.concentration() },
+        Pattern::UniformRandom,
+        vec![0.0, 0.10],
+        Dwell::Geometric { mean: 3_000 },
+        cfg.synth_packet_len,
+        cycles,
+        gating,
+        0xF10F ^ 0xABCD,
+    );
+    let mech = mechanism::by_name(mech_name, &cfg).expect("known mechanism");
+    let mut sim = Simulation::new(cfg, mech, Box::new(workload));
+    sim.core.kernel = kernel;
+    sim.run(cycles);
+    sim.drain(25_000);
+    let residency = sim.core.residency().to_vec();
+    let digest = serde_json::to_string(&(&sim.core.activity, &sim.core.stats, &residency))
+        .expect("digest serialization");
+    (digest, sim.core.cycles_skipped)
+}
+
+#[test]
+fn mmpp_quiet_phases_skip_cycles_and_stay_bit_identical() {
+    let failures: Vec<String> = MECHANISMS
+        .par_iter()
+        .map(|&mech| {
+            let (active, skipped) = run_bursty(mech, KernelMode::ActiveSet);
+            let (reference, ref_skipped) = run_bursty(mech, KernelMode::Reference);
+            let (parallel, par_skipped) =
+                run_bursty(mech, KernelMode::Parallel { tiles: 4, grid: None });
+            if active != reference {
+                return Some(format!("{mech}: bursty active vs reference end states differ"));
+            }
+            if parallel != active {
+                return Some(format!("{mech}: bursty parallel vs active end states differ"));
+            }
+            if ref_skipped != 0 {
+                return Some(format!("{mech}: reference kernel skipped {ref_skipped} cycles"));
+            }
+            if skipped == 0 {
+                return Some(format!(
+                    "{mech}: active kernel skipped no cycles under the bursty schedule \
+                     (silent MMPP phases should be skippable)"
+                ));
+            }
+            if par_skipped != skipped {
+                return Some(format!(
+                    "{mech}: parallel kernel skipped {par_skipped} cycles, active {skipped} \
+                     (jump horizons must agree)"
+                ));
+            }
+            None
+        })
+        .collect::<Vec<Option<String>>>()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(failures.is_empty(), "bursty skip failures:\n{}", failures.join("\n"));
+}
+
+/// Record→replay closes the loop on the trace container: capturing a
+/// run's injection stream and core schedule, then replaying it through a
+/// `TraceWorkload`, must reproduce the source `RunResult` byte for byte —
+/// on every kernel. (The trace horizon differs from the source
+/// workload's, so this also proves results are invariant to *where* the
+/// clock jumps land, as long as they are sound.)
+#[test]
+fn recorded_traces_replay_bit_identical_on_every_kernel() {
+    let sources: Vec<(&str, bool)> = vec![("gFLOV", false), ("NoRD", false), ("rFLOV", true)];
+    let failures: Vec<String> = sources
+        .par_iter()
+        .map(|&(mech, bursty)| {
+            eprintln!("cell start: replay/{mech}{}", if bursty { "/mmpp" } else { "" });
+            let b = RunSpec::builder()
+                .mechanism(mech)
+                .pattern(Pattern::UniformRandom)
+                .gated_fraction(0.3)
+                .seed(0xF10F)
+                .warmup(1_500)
+                .cycles(6_000)
+                .drain(25_000);
+            let source = if bursty { b.mmpp(vec![0.0, 0.10], 1_000) } else { b.rate(0.05) }
+                .build()
+                .resolved();
+            let (audited, data) =
+                record_trace(&source, KernelMode::ActiveSet).expect("source spec is valid");
+            let source_json =
+                serde_json::to_string(&audited.result).expect("serialize source result");
+            let spec_json = serde_json::to_string(&source).expect("spec serializes");
+            let bytes = tracefmt::encode_trace(KERNEL_VERSION, &spec_json, &data);
+            let path = std::env::temp_dir()
+                .join(format!("flov-equiv-trace-{mech}-{bursty}-{}.flovtrace", std::process::id()));
+            std::fs::write(&path, &bytes).expect("trace file writes");
+            let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("crc"));
+            let mut replay = source.clone();
+            replay.workload = WorkloadSpec::Trace {
+                path: path.to_string_lossy().into_owned(),
+                crc,
+                closed_loop: false,
+            };
+            let kernels = [
+                ("active", KernelMode::ActiveSet),
+                ("reference", KernelMode::Reference),
+                ("parallel", KernelMode::Parallel { tiles: 4, grid: None }),
+            ];
+            let mut failure = None;
+            for (kname, kernel) in kernels {
+                let r = run_kernel(&replay, kernel);
+                let rj = serde_json::to_string(&r).expect("serialize replay result");
+                if rj != source_json {
+                    failure = Some(format!(
+                        "replay/{mech} (bursty={bursty}): {kname}-kernel replay diverged \
+                         from the recorded source result"
+                    ));
+                    break;
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+            if failure.is_none() && audited.result.packets <= 100 {
+                failure = Some(format!(
+                    "replay/{mech} (bursty={bursty}): too little traffic ({} packets)",
+                    audited.result.packets
+                ));
+            }
+            failure
+        })
+        .collect::<Vec<Option<String>>>()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(failures.is_empty(), "record→replay failures:\n{}", failures.join("\n"));
 }
 
 /// Regression: NoRD at the paper's base load (0.05) with seed 0xF10F used

@@ -42,6 +42,12 @@ pub enum ConfigError {
     /// Wrap-minimal torus routing relies on the escape sub-network for
     /// deadlock freedom.
     TorusNeedsEscapeVc,
+    /// Synthetic injection rate outside `[0, pkt_len]` flits/cycle/node:
+    /// the Bernoulli process caps at one packet per node-cycle, so a
+    /// higher request would silently run a clamped experiment.
+    OversaturatedRate { rate: f64, pkt_len: u16 },
+    /// Ill-formed MMPP/diurnal modulation parameters.
+    InvalidModulation { why: &'static str },
 }
 
 impl fmt::Display for ConfigError {
@@ -80,6 +86,15 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::TorusNeedsEscapeVc => {
                 write!(f, "torus routing needs the escape sub-network (escape_vcs >= 1)")
+            }
+            ConfigError::OversaturatedRate { rate, pkt_len } => write!(
+                f,
+                "injection rate {rate} flits/cycle/node exceeds the {pkt_len}-flit packet \
+                 length (at most one packet per node-cycle, i.e. rate <= pkt_len) or is not \
+                 a finite non-negative number"
+            ),
+            ConfigError::InvalidModulation { why } => {
+                write!(f, "invalid load modulation: {why}")
             }
         }
     }

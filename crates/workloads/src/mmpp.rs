@@ -1,0 +1,247 @@
+//! Bursty open-loop traffic: load modulation over the synthetic generator.
+//!
+//! A [`ModulatedWorkload`] wraps [`SyntheticWorkload`] and walks a cyclic
+//! sequence of *phases*, each with its own injection rate. Two dwell
+//! disciplines cover the paper-relevant regimes:
+//!
+//! * [`Dwell::Geometric`] — a Markov-modulated Poisson process (MMPP):
+//!   phase dwell times are geometric with a given mean, so the rate
+//!   process is a continuous-time-like Markov chain sampled per cycle.
+//!   Quiet phases (low or zero rate) are exactly the spans where the
+//!   power-gating mechanisms separate — and where the time-skip kernel
+//!   must keep jumping, which is why the modulator implements an exact
+//!   [`Workload::next_event`] horizon.
+//! * [`Dwell::Fixed`] — a deterministic "diurnal" load curve: phases of
+//!   fixed length, e.g. a day/night rate alternation.
+//!
+//! Phase switches are applied inside [`Workload::update_cores`] in strict
+//! schedule order, and every switch discards the generator's pending
+//! arrivals and redraws them at the switch cycle (memorylessness makes the
+//! discard exact, ascending node order makes it deterministic), so runs
+//! are bit-identical across the reference, active-set, and parallel
+//! kernels.
+
+use crate::gating::GatingSchedule;
+use crate::patterns::{Pattern, PatternSpace};
+use crate::synthetic::SyntheticWorkload;
+use flov_noc::rng::Rng;
+use flov_noc::traits::{PacketRequest, Workload};
+use flov_noc::types::Cycle;
+
+/// How long the modulator stays in one phase before advancing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dwell {
+    /// MMPP: dwell `>= 1` drawn geometrically with the given mean (cycles).
+    Geometric { mean: Cycle },
+    /// Diurnal: every phase lasts exactly this many cycles (`>= 1`).
+    Fixed { cycles: Cycle },
+}
+
+/// Phase-modulated synthetic traffic (MMPP / diurnal); see the module docs.
+pub struct ModulatedWorkload {
+    inner: SyntheticWorkload,
+    /// Per-phase injection rates \[flits/cycle/node\], visited cyclically.
+    rates: Vec<f64>,
+    dwell: Dwell,
+    /// Dwell-draw stream, independent of the generator's injection stream
+    /// so a phase switch never perturbs the within-phase draw sequence.
+    mod_rng: Rng,
+    phase: usize,
+    /// First cycle of the next phase; switches stop at the generator's
+    /// `stop_at` so the drain window can still skip.
+    next_switch: Cycle,
+}
+
+impl ModulatedWorkload {
+    /// Modulated generator over an arbitrary pattern space. Starts in
+    /// phase 0 (`rates[0]`); panics if `rates` is empty (the spec layer
+    /// rejects that before construction).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        space: PatternSpace,
+        pattern: Pattern,
+        rates: Vec<f64>,
+        dwell: Dwell,
+        pkt_len: u16,
+        stop_at: Cycle,
+        gating: GatingSchedule,
+        seed: u64,
+    ) -> ModulatedWorkload {
+        assert!(!rates.is_empty(), "modulated workload needs at least one phase rate");
+        let inner =
+            SyntheticWorkload::with_space(space, pattern, rates[0], pkt_len, stop_at, gating, seed);
+        let mut w = ModulatedWorkload {
+            inner,
+            rates,
+            dwell,
+            // Distinct stream from the generator's `seed ^ ...` forks.
+            mod_rng: Rng::new(seed ^ 0x4D4D_5050_4D4D_5050),
+            phase: 0,
+            next_switch: 0,
+        };
+        w.next_switch = w.draw_dwell();
+        w
+    }
+
+    /// Current phase index (tests/diagnostics).
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// First cycle of the next phase (tests/diagnostics).
+    pub fn next_switch(&self) -> Cycle {
+        self.next_switch
+    }
+
+    fn draw_dwell(&mut self) -> Cycle {
+        match self.dwell {
+            Dwell::Fixed { cycles } => cycles.max(1),
+            Dwell::Geometric { mean } => {
+                let p = (1.0 / mean.max(1) as f64).min(1.0);
+                1u64.saturating_add(self.mod_rng.geometric0(p))
+            }
+        }
+    }
+
+    /// True once the modulator can never act again (all switches are at or
+    /// past the generator's stop cycle).
+    fn settled(&self) -> bool {
+        self.next_switch >= self.inner.stop_at
+    }
+}
+
+impl Workload for ModulatedWorkload {
+    fn update_cores(&mut self, cycle: Cycle, active: &mut [bool]) -> bool {
+        // Apply every elapsed switch in schedule order: the dwell stream is
+        // consumed identically whether the kernel stepped each cycle or
+        // jumped straight to the switch (the horizon below never lets it
+        // jump past one).
+        while self.next_switch <= cycle && !self.settled() {
+            self.phase = (self.phase + 1) % self.rates.len();
+            self.inner.set_rate(self.rates[self.phase]);
+            let d = self.draw_dwell();
+            self.next_switch = self.next_switch.saturating_add(d);
+        }
+        self.inner.update_cores(cycle, active)
+    }
+
+    fn generate(&mut self, cycle: Cycle, active: &[bool], out: &mut Vec<PacketRequest>) {
+        self.inner.generate(cycle, active, out);
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let inner = self.inner.next_event(now);
+        let switch = (!self.settled()).then(|| self.next_switch.max(now));
+        match (inner, switch) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modulated(rates: Vec<f64>, dwell: Dwell, stop_at: Cycle, seed: u64) -> ModulatedWorkload {
+        ModulatedWorkload::new(
+            PatternSpace::square(4),
+            Pattern::UniformRandom,
+            rates,
+            dwell,
+            4,
+            stop_at,
+            GatingSchedule::none(),
+            seed,
+        )
+    }
+
+    /// Drive per-cycle, returning packets grouped by cycle.
+    fn run(w: &mut ModulatedWorkload, nodes: usize, cycles: u64) -> Vec<(Cycle, usize)> {
+        let mut active = vec![true; nodes];
+        let mut counts = Vec::new();
+        let mut out = Vec::new();
+        for c in 0..cycles {
+            w.update_cores(c, &mut active);
+            out.clear();
+            w.generate(c, &active, &mut out);
+            counts.push((c, out.len()));
+        }
+        counts
+    }
+
+    #[test]
+    fn diurnal_phases_alternate_on_schedule() {
+        // 0.0 / 1.0 alternation with fixed 500-cycle phases: the quiet
+        // halves must be silent, the busy halves busy.
+        let mut w = modulated(vec![0.0, 1.0], Dwell::Fixed { cycles: 500 }, u64::MAX, 3);
+        let counts = run(&mut w, 16, 2_000);
+        let phase_total = |lo: u64, hi: u64| -> usize {
+            counts.iter().filter(|(c, _)| *c >= lo && *c < hi).map(|(_, n)| n).sum()
+        };
+        assert_eq!(phase_total(0, 500), 0, "quiet phase 0 injected");
+        assert!(phase_total(500, 1_000) > 500, "busy phase 1 barely injected");
+        assert_eq!(phase_total(1_000, 1_500), 0, "quiet phase 2 injected");
+        assert!(phase_total(1_500, 2_000) > 500);
+    }
+
+    #[test]
+    fn mmpp_mean_dwell_is_respected() {
+        let mut w = modulated(vec![0.0, 0.2], Dwell::Geometric { mean: 200 }, u64::MAX, 7);
+        let mut switches = 0u64;
+        let mut last_phase = w.phase();
+        let mut active = vec![true; 16];
+        let mut out = Vec::new();
+        for c in 0..100_000 {
+            w.update_cores(c, &mut active);
+            w.generate(c, &active, &mut out);
+            if w.phase() != last_phase {
+                switches += 1;
+                last_phase = w.phase();
+            }
+        }
+        // Expected switches = cycles / mean dwell = 500.
+        assert!((400..=600).contains(&switches), "switch count {switches} vs ~500");
+    }
+
+    #[test]
+    fn quiet_phase_horizon_reaches_the_next_switch() {
+        // In a zero-rate phase with no pending gating the only future event
+        // is the phase switch itself — the horizon must point exactly there
+        // (this is what lets the active-set kernel skip the quiet span).
+        let mut w = modulated(vec![0.0, 0.3], Dwell::Fixed { cycles: 1_000 }, u64::MAX, 5);
+        let mut active = vec![true; 16];
+        let mut out = Vec::new();
+        w.update_cores(0, &mut active);
+        w.generate(0, &active, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(w.next_event(1), Some(1_000));
+    }
+
+    #[test]
+    fn modulation_stops_at_stop_cycle() {
+        let mut w = modulated(vec![0.0, 0.3], Dwell::Fixed { cycles: 100 }, 1_000, 5);
+        let mut active = vec![true; 16];
+        let mut out = Vec::new();
+        for c in 0..1_000 {
+            w.update_cores(c, &mut active);
+            w.generate(c, &active, &mut out);
+        }
+        // Past stop_at the workload settles: empty horizon, no switches.
+        w.update_cores(1_000, &mut active);
+        let phase = w.phase();
+        w.update_cores(5_000, &mut active);
+        assert_eq!(w.phase(), phase, "modulator switched after stop_at");
+        assert_eq!(w.next_event(5_000), None);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let collect = |seed| {
+            let mut w = modulated(vec![0.01, 0.5], Dwell::Geometric { mean: 300 }, u64::MAX, seed);
+            run(&mut w, 16, 5_000)
+        };
+        assert_eq!(collect(9), collect(9));
+        assert_ne!(collect(9), collect(10));
+    }
+}

@@ -89,6 +89,21 @@ impl SyntheticWorkload {
         (self.rate / self.pkt_len as f64).min(1.0)
     }
 
+    /// Switch the injection rate mid-run (the MMPP/diurnal modulators).
+    /// Every pending arrival is discarded and every active node resampled
+    /// at the next `generate` call — the geometric gap is memoryless, so
+    /// discard-and-resample is distributionally exact, and the refresh
+    /// redraws in ascending node order, keeping the draw sequence
+    /// deterministic across kernels.
+    pub fn set_rate(&mut self, rate: f64) {
+        self.rate = rate;
+        for slot in &mut self.next_inject {
+            *slot = NEVER;
+        }
+        self.min_next = NEVER;
+        self.cache_dirty = true;
+    }
+
     /// Rebuild the active list after a gating change: newly active nodes
     /// (in ascending id order, for a deterministic draw sequence) get a
     /// fresh arrival starting at `cycle`; surviving nodes keep theirs;
@@ -102,7 +117,10 @@ impl SyntheticWorkload {
             if is_active {
                 self.active_cache.push(n as NodeId);
                 if self.next_inject[n] == NEVER && p > 0.0 {
-                    self.next_inject[n] = cycle + self.rng.geometric0(p);
+                    // Saturating: a huge gap (tiny p near the end of time)
+                    // degrades to the NEVER sentinel instead of wrapping
+                    // into a time-travel arrival.
+                    self.next_inject[n] = cycle.saturating_add(self.rng.geometric0(p));
                 }
             } else {
                 self.next_inject[n] = NEVER;
@@ -148,8 +166,13 @@ impl Workload for SyntheticWorkload {
             // exactly like the per-cycle Bernoulli draw this replaces. A
             // zero rate has no next trial (`geometric0` rejects p == 0, and
             // in release it would spin sampling a divergent geometric).
-            self.next_inject[src as usize] =
-                if p > 0.0 { cycle + 1 + self.rng.geometric0(p) } else { NEVER };
+            // Saturating adds: a gap overshooting `Cycle::MAX` (tiny p, the
+            // MMPP slow states) means NEVER, not a wrapped past cycle.
+            self.next_inject[src as usize] = if p > 0.0 {
+                cycle.saturating_add(1).saturating_add(self.rng.geometric0(p))
+            } else {
+                NEVER
+            };
             min_next = min_next.min(self.next_inject[src as usize]);
             let dst = match self.pattern {
                 Pattern::UniformRandom => {
@@ -345,6 +368,91 @@ mod tests {
         }
         assert!(out.len() <= 16, "one resample per node at most");
         assert_eq!(w.next_event(100), None);
+    }
+
+    #[test]
+    fn tiny_rate_near_end_of_time_saturates_to_never() {
+        // p ~ 1e-12 draws geometric gaps around 10^12 cycles; starting the
+        // clock near Cycle::MAX used to wrap the next-injection arithmetic
+        // (panic in debug, time-travel arrival in release). It must
+        // saturate to the NEVER sentinel instead.
+        let mut w = SyntheticWorkload::new(
+            4,
+            Pattern::UniformRandom,
+            4e-12, // p = rate / pkt_len = 1e-12
+            4,
+            u64::MAX,
+            GatingSchedule::none(),
+            1,
+        );
+        let start = Cycle::MAX - 16;
+        let mut active = vec![true; 16];
+        let mut out = Vec::new();
+        for c in start..start + 8 {
+            w.update_cores(c, &mut active);
+            w.generate(c, &active, &mut out);
+        }
+        assert!(out.is_empty(), "1e-12 probability injected within 8 cycles");
+        // Every pending arrival saturated to NEVER: the horizon is empty
+        // (nothing left to inject, no gating changes pending).
+        assert_eq!(w.next_event(start + 8), None);
+
+        // The resample path (a due arrival drawing its successor gap) must
+        // saturate the same way: force a due arrival at rate 1.0, then
+        // shrink the rate so the redraw overshoots the end of time.
+        let mut w = SyntheticWorkload::new(
+            4,
+            Pattern::UniformRandom,
+            1.0,
+            1,
+            u64::MAX,
+            GatingSchedule::none(),
+            1,
+        );
+        let mut out = Vec::new();
+        w.generate(Cycle::MAX - 2, &active, &mut out); // schedules + emits
+        w.rate = 1e-12;
+        out.clear();
+        w.update_cores(Cycle::MAX - 1, &mut active);
+        w.generate(Cycle::MAX - 1, &active, &mut out); // redraw saturates
+        assert_eq!(w.next_event(Cycle::MAX - 1), None);
+    }
+
+    #[test]
+    fn set_rate_discards_pending_arrivals_and_redraws() {
+        let mut w = SyntheticWorkload::new(
+            4,
+            Pattern::UniformRandom,
+            0.0,
+            4,
+            u64::MAX,
+            GatingSchedule::none(),
+            1,
+        );
+        assert!(gen_packets(&mut w, 16, 1_000).is_empty());
+        w.set_rate(2.0); // p = 0.5 per node-cycle
+                         // The horizon snaps to the present until the refresh materializes.
+        assert_eq!(w.next_event(1_000), Some(1_000));
+        let mut active = vec![true; 16];
+        let mut out = Vec::new();
+        for c in 1_000..1_200 {
+            w.update_cores(c, &mut active);
+            w.generate(c, &active, &mut out);
+        }
+        let expect = 0.5 * 16.0 * 200.0;
+        assert!(
+            (out.len() as f64 - expect).abs() < expect * 0.2,
+            "rate change not honored: {} packets vs ~{expect}",
+            out.len()
+        );
+        w.set_rate(0.0);
+        out.clear();
+        for c in 1_200..1_400 {
+            w.update_cores(c, &mut active);
+            w.generate(c, &active, &mut out);
+        }
+        assert!(out.is_empty());
+        assert_eq!(w.next_event(1_400), None);
     }
 
     #[test]
